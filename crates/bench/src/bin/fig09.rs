@@ -1,0 +1,34 @@
+//! Figure 9: Energy×Delay (a) and execution time (b) for the four
+//! two-layer controller schemes across the full evaluation set (six SPEC
+//! workloads, eight PARSEC workloads), normalized to Coordinated
+//! heuristic, with SAv/PAv/Avg summary bars.
+
+use yukta_bench::{Sweep, sweep};
+use yukta_core::schemes::Scheme;
+use yukta_workloads::catalog;
+
+fn main() {
+    let workloads = catalog::evaluation_set();
+    let schemes = Scheme::figure9();
+    println!("Figure 9: {} workloads x {} schemes", workloads.len(), schemes.len());
+    let s: Sweep = sweep(&schemes, &workloads);
+
+    s.print_normalized("Figure 9(a): Energy x Delay", |r| r.metrics.exd(), 0, 6);
+    s.print_normalized(
+        "Figure 9(b): Execution time",
+        |r| r.metrics.delay_seconds,
+        0,
+        6,
+    );
+    s.write_csv("fig09a_exd.csv", |r| r.metrics.exd(), 0);
+    s.write_csv("fig09b_time.csv", |r| r.metrics.delay_seconds, 0);
+
+    // Completion sanity for the harness log.
+    for (w, row) in s.workloads.iter().zip(&s.results) {
+        for r in row {
+            if !r.metrics.completed {
+                println!("WARNING: {} under {} timed out", w, r.scheme);
+            }
+        }
+    }
+}

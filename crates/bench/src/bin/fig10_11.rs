@@ -1,0 +1,40 @@
+//! Figures 10 and 11: big-cluster power vs time (Fig 10) and total BIPS
+//! vs time (Fig 11) for blackscholes under the four two-layer schemes.
+//!
+//! The paper's qualitative claims checked here: the decoupled heuristic
+//! oscillates heavily and finishes last; the coordinated heuristic reduces
+//! the peaks/valleys; the Yukta variants keep steady-state power closest
+//! to the 3.3 W limit and finish first (paper: 320/270/205/180 s).
+
+use yukta_bench::{run_one, trace_csv, write_results};
+use yukta_core::metrics::TraceSample;
+use yukta_core::schemes::Scheme;
+use yukta_workloads::catalog;
+
+fn main() {
+    let wl = catalog::parsec::blackscholes();
+    println!("Figures 10/11: blackscholes power and performance traces\n");
+    println!(
+        "{:<28} | {:>9} | {:>10} | {:>12} | {:>12} | {:>10}",
+        "scheme", "time (s)", "energy (J)", "mean Pbig(W)", "peaks>3.3W", "mean BIPS"
+    );
+    for (i, scheme) in Scheme::figure9().iter().enumerate() {
+        let rep = run_one(*scheme, &wl);
+        let mean_p = rep.trace.mean_of(|s| s.p_big);
+        let mean_b = rep.trace.mean_of(|s| s.bips);
+        let peaks = rep.trace.crossings_above(|s| s.p_big, 3.3);
+        println!(
+            "{:<28} | {:>9.1} | {:>10.1} | {:>12.2} | {:>12} | {:>10.2}",
+            rep.scheme, rep.metrics.delay_seconds, rep.metrics.energy_joules, mean_p, peaks, mean_b
+        );
+        let cols: &[(&str, fn(&TraceSample) -> f64)] = &[
+            ("p_big", |s| s.p_big),
+            ("bips", |s| s.bips),
+            ("f_big", |s| s.f_big),
+            ("big_cores", |s| s.big_cores as f64),
+        ];
+        write_results(&format!("fig10_11_trace_{i}.csv"), &trace_csv(&rep, cols));
+    }
+    println!("\nPaper reference completion times: 320 s (Decoupled), 270 s (Coordinated),");
+    println!("205 s (HW SSV+OS heuristic), 180 s (HW SSV+OS SSV).");
+}

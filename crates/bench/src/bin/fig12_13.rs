@@ -1,0 +1,30 @@
+//! Figures 12 and 13: E×D and execution time for the LQG comparison —
+//! Coordinated heuristic, Decoupled HW LQG+OS LQG, Monolithic LQG, and
+//! Yukta: HW SSV+OS SSV, across the full evaluation set.
+//!
+//! Paper reference: Decoupled LQG ≈ Coordinated heuristic; Monolithic LQG
+//! −20% E×D / −11% time; Yukta −50% E×D / −38% time.
+
+use yukta_bench::{Sweep, sweep};
+use yukta_core::schemes::Scheme;
+use yukta_workloads::catalog;
+
+fn main() {
+    let workloads = catalog::evaluation_set();
+    let schemes = Scheme::figure12();
+    println!(
+        "Figures 12/13: {} workloads x {} schemes",
+        workloads.len(),
+        schemes.len()
+    );
+    let s: Sweep = sweep(&schemes, &workloads);
+    s.print_normalized("Figure 12: Energy x Delay", |r| r.metrics.exd(), 0, 6);
+    s.print_normalized(
+        "Figure 13: Execution time",
+        |r| r.metrics.delay_seconds,
+        0,
+        6,
+    );
+    s.write_csv("fig12_exd.csv", |r| r.metrics.exd(), 0);
+    s.write_csv("fig13_time.csv", |r| r.metrics.delay_seconds, 0);
+}

@@ -1,0 +1,27 @@
+//! Figure 14: E×D for the heterogeneous workloads (blmc, stga, blst,
+//! mcga) under every heuristic, LQG, and Yukta scheme implemented.
+//!
+//! Paper reference: the Yukta designs have the lowest E×D, then Monolithic
+//! LQG, then Coordinated heuristic; Yukta: HW SSV+OS SSV reaches −47%.
+
+use yukta_bench::{Sweep, sweep};
+use yukta_core::schemes::Scheme;
+use yukta_workloads::catalog;
+
+fn main() {
+    let workloads = catalog::mixes::all();
+    let schemes = Scheme::all();
+    println!(
+        "Figure 14: {} mixes x {} schemes",
+        workloads.len(),
+        schemes.len()
+    );
+    let s: Sweep = sweep(&schemes, &workloads);
+    s.print_normalized(
+        "Figure 14: Energy x Delay (heterogeneous mixes)",
+        |r| r.metrics.exd(),
+        0,
+        0,
+    );
+    s.write_csv("fig14_exd.csv", |r| r.metrics.exd(), 0);
+}

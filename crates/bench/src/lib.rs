@@ -1,0 +1,228 @@
+//! # yukta-bench
+//!
+//! The experiment harness: everything needed to regenerate the tables and
+//! figures of the paper's evaluation section. Each figure has a dedicated
+//! binary under `src/bin/` (see `DESIGN.md` for the experiment index);
+//! this library holds the shared machinery — parallel scheme×workload
+//! sweeps, normalized-table formatting, and CSV emission under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use yukta_core::metrics::Report;
+use yukta_core::runtime::{Experiment, RunOptions};
+use yukta_core::schemes::Scheme;
+use yukta_workloads::Workload;
+
+/// Default run options for evaluation executions.
+pub fn eval_options() -> RunOptions {
+    RunOptions {
+        timeout_s: 1200.0,
+        keep_trace: true,
+        ..Default::default()
+    }
+}
+
+/// Runs one scheme on one workload against the cached default design.
+///
+/// # Panics
+///
+/// Panics on design/instantiation failures — the harness treats those as
+/// build-breaking.
+pub fn run_one(scheme: Scheme, wl: &Workload) -> Report {
+    Experiment::new(scheme)
+        .expect("experiment construction")
+        .with_options(eval_options())
+        .run(wl)
+        .expect("experiment run")
+}
+
+/// A full sweep result: `results[w][s]` is workload `w` under scheme `s`.
+pub struct Sweep {
+    /// Workload names, in order.
+    pub workloads: Vec<String>,
+    /// Scheme labels, in order.
+    pub schemes: Vec<&'static str>,
+    /// Reports, indexed `[workload][scheme]`.
+    pub results: Vec<Vec<Report>>,
+}
+
+/// Runs every scheme on every workload, parallelizing across workloads.
+pub fn sweep(schemes: &[Scheme], workloads: &[Workload]) -> Sweep {
+    // Force the (expensive, process-wide) design to build once before
+    // fanning out.
+    let _ = yukta_core::design::default_design();
+    let mut results: Vec<Vec<Report>> = Vec::with_capacity(workloads.len());
+    let reports: Vec<(usize, Vec<Report>)> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (wi, wl) in workloads.iter().enumerate() {
+            let schemes = schemes.to_vec();
+            handles.push(scope.spawn(move |_| {
+                let per: Vec<Report> = schemes.iter().map(|s| run_one(*s, wl)).collect();
+                (wi, per)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("scope");
+    let mut sorted = reports;
+    sorted.sort_by_key(|(wi, _)| *wi);
+    for (_, per) in sorted {
+        results.push(per);
+    }
+    Sweep {
+        workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+        schemes: schemes.iter().map(|s| s.label()).collect(),
+        results,
+    }
+}
+
+/// Geometric means used for the paper's SAv/PAv/Avg bars (geomean is the
+/// right average for normalized ratios).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+impl Sweep {
+    /// Extracts a metric for every cell.
+    pub fn metric(&self, f: impl Fn(&Report) -> f64) -> Vec<Vec<f64>> {
+        self.results
+            .iter()
+            .map(|row| row.iter().map(&f).collect())
+            .collect()
+    }
+
+    /// Normalizes a metric matrix to scheme column `base` (the paper
+    /// normalizes to *Coordinated heuristic*).
+    pub fn normalized(&self, f: impl Fn(&Report) -> f64, base: usize) -> Vec<Vec<f64>> {
+        self.metric(f)
+            .into_iter()
+            .map(|row| {
+                let b = row[base];
+                row.into_iter().map(|v| v / b).collect()
+            })
+            .collect()
+    }
+
+    /// Prints the paper-style table: one row per workload plus SAv (first
+    /// `n_spec` rows), PAv (rest), and Avg geomeans.
+    pub fn print_normalized(
+        &self,
+        title: &str,
+        f: impl Fn(&Report) -> f64,
+        base: usize,
+        n_spec: usize,
+    ) {
+        let norm = self.normalized(&f, base);
+        println!("\n## {title} (normalized to {})", self.schemes[base]);
+        print!("{:<14}", "workload");
+        for s in &self.schemes {
+            print!(" | {s:>26}");
+        }
+        println!();
+        for (w, row) in self.workloads.iter().zip(&norm) {
+            print!("{w:<14}");
+            for v in row {
+                print!(" | {v:>26.3}");
+            }
+            println!();
+        }
+        let n_schemes = self.schemes.len();
+        let col =
+            |rows: &[Vec<f64>], j: usize| rows.iter().map(|r| r[j]).collect::<Vec<f64>>();
+        if n_spec > 0 && n_spec < norm.len() {
+            let (spec, parsec) = norm.split_at(n_spec);
+            print!("{:<14}", "SAv");
+            for j in 0..n_schemes {
+                print!(" | {:>26.3}", geomean(&col(spec, j)));
+            }
+            println!();
+            print!("{:<14}", "PAv");
+            for j in 0..n_schemes {
+                print!(" | {:>26.3}", geomean(&col(parsec, j)));
+            }
+            println!();
+        }
+        print!("{:<14}", "Avg");
+        for j in 0..n_schemes {
+            print!(" | {:>26.3}", geomean(&col(&norm, j)));
+        }
+        println!();
+    }
+
+    /// Writes the normalized metric as CSV under `results/`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (harness-fatal).
+    pub fn write_csv(&self, path: &str, f: impl Fn(&Report) -> f64, base: usize) {
+        let norm = self.normalized(&f, base);
+        let mut out = String::new();
+        out.push_str("workload");
+        for s in &self.schemes {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (w, row) in self.workloads.iter().zip(&norm) {
+            out.push_str(w);
+            for v in row {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        write_results(path, &out);
+    }
+}
+
+/// Writes a file under `results/`, creating the directory if needed.
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn write_results(path: &str, contents: &str) {
+    let full = Path::new("results").join(path);
+    if let Some(dir) = full.parent() {
+        fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = fs::File::create(&full).expect("create results file");
+    f.write_all(contents.as_bytes()).expect("write results");
+    println!("[wrote {}]", full.display());
+}
+
+/// Formats a trace time series as CSV text (`time` plus named columns).
+pub fn trace_csv(
+    report: &Report,
+    columns: &[(&str, fn(&yukta_core::metrics::TraceSample) -> f64)],
+) -> String {
+    let mut out = String::from("time");
+    for (name, _) in columns {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for s in &report.trace.samples {
+        out.push_str(&format!("{:.2}", s.time));
+        for (_, f) in columns {
+            out.push_str(&format!(",{:.4}", f(s)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,646 @@
+//! The assembled board simulator.
+//!
+//! [`Board`] ties together the power, thermal, performance, sensor, and
+//! emergency-heuristic models behind the same interface the paper's
+//! controllers used on the real XU3: discrete actuation (cluster
+//! frequencies, core counts, thread placement) in, sampled sensors
+//! (windowed power, temperature, instruction counters) out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{BoardConfig, Cluster};
+use crate::perf::{ThreadLoad, multiplex, thread_gips};
+use crate::power::cluster_power;
+use crate::sensors::{PerfCounter, PowerSensor};
+use crate::thermal::ThermalState;
+use crate::tmu::{Tmu, TmuCaps};
+
+/// The OS-layer thread placement decision — the three inputs of the
+/// paper's software controller (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Threads assigned to the big cluster (the rest go to little).
+    pub threads_big: usize,
+    /// Average threads per non-idle big core.
+    pub packing_big: f64,
+    /// Average threads per non-idle little core.
+    pub packing_little: f64,
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement {
+            threads_big: usize::MAX, // everything on big until told otherwise
+            packing_big: 1.0,
+            packing_little: 1.0,
+        }
+    }
+}
+
+/// A (partial) actuation request; `None` fields leave the knob unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Actuation {
+    /// Requested big-cluster frequency (GHz) — snapped to the DVFS grid.
+    pub f_big: Option<f64>,
+    /// Requested little-cluster frequency (GHz).
+    pub f_little: Option<f64>,
+    /// Requested powered big cores (clamped to 1..=4, as in the paper).
+    pub big_cores: Option<usize>,
+    /// Requested powered little cores (clamped to 1..=4).
+    pub little_cores: Option<usize>,
+    /// New thread placement.
+    pub placement: Option<Placement>,
+}
+
+/// A snapshot of the board's actuated/physical state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoardState {
+    /// Simulated time (s).
+    pub time: f64,
+    /// Effective big-cluster frequency after TMU caps (GHz).
+    pub f_big: f64,
+    /// Effective little-cluster frequency (GHz).
+    pub f_little: f64,
+    /// Powered big cores after TMU caps.
+    pub big_cores: usize,
+    /// Powered little cores.
+    pub little_cores: usize,
+    /// Current placement.
+    pub placement: Placement,
+    /// True hotspot temperature (°C).
+    pub t_hot: f64,
+    /// Emergency caps currently in force.
+    pub caps: TmuCaps,
+}
+
+/// What happened during one simulation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Giga-instructions retired by each thread (aligned with the `loads`
+    /// slice passed to [`Board::step`]).
+    pub thread_progress: Vec<f64>,
+    /// True instantaneous big-cluster power (W).
+    pub p_big: f64,
+    /// True instantaneous little-cluster power (W).
+    pub p_little: f64,
+    /// Hotspot temperature (°C).
+    pub t_hot: f64,
+    /// Giga-instructions retired on the big cluster this step.
+    pub instr_big: f64,
+    /// Giga-instructions retired on the little cluster this step.
+    pub instr_little: f64,
+}
+
+/// The simulated ODROID XU3.
+#[derive(Debug, Clone)]
+pub struct Board {
+    cfg: BoardConfig,
+    time: f64,
+    // Requested operating point (pre-TMU).
+    req_f_big: f64,
+    req_f_little: f64,
+    req_big_cores: usize,
+    req_little_cores: usize,
+    placement: Placement,
+    // Transition stalls remaining (s).
+    stall_big: f64,
+    stall_little: f64,
+    thermal: ThermalState,
+    tmu: Tmu,
+    p_sensor_big: PowerSensor,
+    p_sensor_little: PowerSensor,
+    counter_big: PerfCounter,
+    counter_little: PerfCounter,
+    energy_j: f64,
+    rng: StdRng,
+    hmp_factor_big: f64,
+    hmp_factor_little: f64,
+    hmp_timer: f64,
+}
+
+impl Board {
+    /// Powers on a board in its reset state: both clusters at minimum
+    /// frequency, all cores on, everything at ambient temperature.
+    pub fn new(cfg: BoardConfig) -> Self {
+        let tmu = Tmu::new(cfg.tmu.clone(), cfg.big.f_max, cfg.little.f_max, cfg.big.n_cores);
+        let thermal = ThermalState::at_ambient(&cfg.thermal);
+        let p_period = cfg.sensors.power_period;
+        let seed = cfg.seed;
+        Board {
+            req_f_big: cfg.big.f_min,
+            req_f_little: cfg.little.f_min,
+            req_big_cores: cfg.big.n_cores,
+            req_little_cores: cfg.little.n_cores,
+            placement: Placement::default(),
+            stall_big: 0.0,
+            stall_little: 0.0,
+            thermal,
+            tmu,
+            p_sensor_big: PowerSensor::new(p_period),
+            p_sensor_little: PowerSensor::new(p_period),
+            counter_big: PerfCounter::new(),
+            counter_little: PerfCounter::new(),
+            energy_j: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            hmp_factor_big: 1.0,
+            hmp_factor_little: 1.0,
+            hmp_timer: 0.0,
+            time: 0.0,
+            cfg,
+        }
+    }
+
+    /// The configuration the board was built with.
+    pub fn config(&self) -> &BoardConfig {
+        &self.cfg
+    }
+
+    /// Applies an actuation request, snapping frequencies to the DVFS grid,
+    /// clamping core counts to 1..=n, and charging the transition stalls.
+    pub fn actuate(&mut self, act: &Actuation) {
+        if let Some(f) = act.f_big {
+            let snapped = self.snap_freq(Cluster::Big, f);
+            if (snapped - self.req_f_big).abs() > 1e-9 {
+                self.req_f_big = snapped;
+                self.stall_big = self.stall_big.max(self.cfg.dvfs_stall);
+            }
+        }
+        if let Some(f) = act.f_little {
+            let snapped = self.snap_freq(Cluster::Little, f);
+            if (snapped - self.req_f_little).abs() > 1e-9 {
+                self.req_f_little = snapped;
+                self.stall_little = self.stall_little.max(self.cfg.dvfs_stall);
+            }
+        }
+        if let Some(n) = act.big_cores {
+            let n = n.clamp(1, self.cfg.big.n_cores);
+            if n != self.req_big_cores {
+                let delta = n.abs_diff(self.req_big_cores) as f64;
+                self.req_big_cores = n;
+                self.stall_big = self.stall_big.max(self.cfg.hotplug_stall * delta);
+            }
+        }
+        if let Some(n) = act.little_cores {
+            let n = n.clamp(1, self.cfg.little.n_cores);
+            if n != self.req_little_cores {
+                let delta = n.abs_diff(self.req_little_cores) as f64;
+                self.req_little_cores = n;
+                self.stall_little = self.stall_little.max(self.cfg.hotplug_stall * delta);
+            }
+        }
+        if let Some(p) = act.placement {
+            let changed = p.threads_big != self.placement.threads_big
+                || (p.packing_big - self.placement.packing_big).abs() > 1e-9
+                || (p.packing_little - self.placement.packing_little).abs() > 1e-9;
+            if changed {
+                self.placement = Placement {
+                    threads_big: p.threads_big,
+                    packing_big: p.packing_big.max(1.0),
+                    packing_little: p.packing_little.max(1.0),
+                };
+                // Migration costs both clusters a brief stall.
+                self.stall_big = self.stall_big.max(self.cfg.migration_stall);
+                self.stall_little = self.stall_little.max(self.cfg.migration_stall);
+            }
+        }
+    }
+
+    fn snap_freq(&self, c: Cluster, f: f64) -> f64 {
+        let cc = self.cfg.cluster(c);
+        let clamped = f.clamp(cc.f_min, cc.f_max);
+        let steps = ((clamped - cc.f_min) / cc.f_step).round();
+        // Re-clamp: the reconstruction can overshoot f_max by one ULP
+        // (e.g. 0.2 + 12×0.1 = 1.4000000000000001).
+        (cc.f_min + steps * cc.f_step).clamp(cc.f_min, cc.f_max)
+    }
+
+    /// Advances the board by one timestep given each thread's current load.
+    pub fn step(&mut self, loads: &[ThreadLoad]) -> StepReport {
+        let dt = self.cfg.dt;
+        // Refresh the HMP packing-noise factors every 500 ms.
+        self.hmp_timer += dt;
+        if self.hmp_timer >= 0.5 {
+            self.hmp_timer = 0.0;
+            self.hmp_factor_big = self.draw_hmp_factor();
+            self.hmp_factor_little = self.draw_hmp_factor();
+        }
+        // Apply TMU caps to the requested operating point.
+        let caps = self.tmu.caps();
+        let f_big = caps.f_big.map_or(self.req_f_big, |c| self.req_f_big.min(c));
+        let f_little = caps
+            .f_little
+            .map_or(self.req_f_little, |c| self.req_f_little.min(c));
+        let big_cores = caps
+            .big_cores
+            .map_or(self.req_big_cores, |c| self.req_big_cores.min(c.max(1)));
+        let little_cores = self.req_little_cores;
+
+        // Partition the active threads.
+        let active: Vec<usize> = loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.active)
+            .map(|(i, _)| i)
+            .collect();
+        let n_big = self.placement.threads_big.min(active.len());
+        let (big_ids, little_ids) = active.split_at(n_big);
+
+        let mux_big = multiplex(big_ids.len(), big_cores, self.placement.packing_big);
+        let mux_little = multiplex(
+            little_ids.len(),
+            little_cores,
+            self.placement.packing_little,
+        );
+
+        // Execution, gated by transition stalls.
+        let exec_big = if self.stall_big > 0.0 { 0.0 } else { 1.0 };
+        let exec_little = if self.stall_little > 0.0 { 0.0 } else { 1.0 };
+        self.stall_big = (self.stall_big - dt).max(0.0);
+        self.stall_little = (self.stall_little - dt).max(0.0);
+
+        let mut progress = vec![0.0; loads.len()];
+        let mut instr_big = 0.0;
+        let mut instr_little = 0.0;
+        for &tid in big_ids {
+            let l = &loads[tid];
+            let gips = thread_gips(
+                &self.cfg.big,
+                l.ipc_factor_big,
+                l.mem_intensity,
+                f_big,
+                mux_big.share_per_thread,
+            ) * self.hmp_factor_big
+                * exec_big;
+            progress[tid] = gips * dt;
+            instr_big += gips * dt;
+        }
+        for &tid in little_ids {
+            let l = &loads[tid];
+            let gips = thread_gips(
+                &self.cfg.little,
+                l.ipc_factor_little,
+                l.mem_intensity,
+                f_little,
+                mux_little.share_per_thread,
+            ) * self.hmp_factor_little
+                * exec_little;
+            progress[tid] = gips * dt;
+            instr_little += gips * dt;
+        }
+
+        // Power and thermal.
+        let busy_big = if exec_big > 0.0 { mux_big.cores_used as f64 } else { 0.2 };
+        let busy_little = if exec_little > 0.0 {
+            mux_little.cores_used as f64
+        } else {
+            0.2
+        };
+        let p_big = cluster_power(
+            &self.cfg.big,
+            &self.cfg.thermal,
+            big_cores,
+            busy_big,
+            f_big,
+            self.thermal.t_hot,
+        )
+        .total();
+        let p_little = cluster_power(
+            &self.cfg.little,
+            &self.cfg.thermal,
+            little_cores,
+            busy_little,
+            f_little,
+            self.thermal.t_board,
+        )
+        .total();
+        let p_total = p_big + p_little + 0.3; // rest-of-board draw
+        self.thermal.step(&self.cfg.thermal, p_big, p_total, dt);
+
+        // Sensors, counters, energy.
+        self.p_sensor_big.integrate(p_big, dt);
+        self.p_sensor_little.integrate(p_little, dt);
+        self.counter_big.add(instr_big);
+        self.counter_little.add(instr_little);
+        self.energy_j += (p_big + p_little) * dt;
+
+        // Emergency heuristics observe the (lagging) sensor powers.
+        self.tmu.step(
+            dt,
+            self.thermal.t_hot,
+            self.p_sensor_big.read(),
+            self.p_sensor_little.read(),
+            f_big,
+        );
+
+        self.time += dt;
+        StepReport {
+            thread_progress: progress,
+            p_big,
+            p_little,
+            t_hot: self.thermal.t_hot,
+            instr_big,
+            instr_little,
+        }
+    }
+
+    fn draw_hmp_factor(&mut self) -> f64 {
+        if self.cfg.hmp_noise <= 0.0 {
+            return 1.0;
+        }
+        // Mild throughput loss most intervals; occasionally the scheduler
+        // packs badly and costs much more (the paper's example of threads
+        // stacked on one core while another idles).
+        let base: f64 = 1.0 - self.rng.gen_range(0.0..self.cfg.hmp_noise);
+        if self.rng.gen_bool(0.05) {
+            base * 0.85
+        } else {
+            base
+        }
+    }
+
+    /// Last completed power-sensor reading for a cluster (W).
+    pub fn read_power(&self, c: Cluster) -> f64 {
+        match c {
+            Cluster::Big => self.p_sensor_big.read(),
+            Cluster::Little => self.p_sensor_little.read(),
+        }
+    }
+
+    /// Temperature-sensor reading: hotspot plus sensor noise (°C).
+    pub fn read_temp(&mut self) -> f64 {
+        let noise = self.cfg.sensors.temp_noise;
+        self.thermal.t_hot + self.rng.gen_range(-noise..=noise)
+    }
+
+    /// Cumulative retired giga-instructions on a cluster.
+    pub fn instructions(&self, c: Cluster) -> f64 {
+        match c {
+            Cluster::Big => self.counter_big.total(),
+            Cluster::Little => self.counter_little.total(),
+        }
+    }
+
+    /// Cumulative retired giga-instructions (both clusters).
+    pub fn total_instructions(&self) -> f64 {
+        self.counter_big.total() + self.counter_little.total()
+    }
+
+    /// Cumulative cluster energy (J) — what the paper's E×D integrates.
+    pub fn energy(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Simulated time (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// How many TMU emergency trips have fired so far.
+    pub fn tmu_trips(&self) -> u64 {
+        self.tmu.trips()
+    }
+
+    /// A snapshot of the effective operating point.
+    pub fn state(&self) -> BoardState {
+        let caps = self.tmu.caps();
+        BoardState {
+            time: self.time,
+            f_big: caps.f_big.map_or(self.req_f_big, |c| self.req_f_big.min(c)),
+            f_little: caps
+                .f_little
+                .map_or(self.req_f_little, |c| self.req_f_little.min(c)),
+            big_cores: caps
+                .big_cores
+                .map_or(self.req_big_cores, |c| self.req_big_cores.min(c.max(1))),
+            little_cores: self.req_little_cores,
+            placement: self.placement,
+            t_hot: self.thermal.t_hot,
+            caps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> Board {
+        Board::new(BoardConfig::odroid_xu3())
+    }
+
+    fn eight_threads() -> Vec<ThreadLoad> {
+        vec![ThreadLoad::nominal(); 8]
+    }
+
+    fn run(b: &mut Board, loads: &[ThreadLoad], secs: f64) {
+        let steps = (secs / b.config().dt) as usize;
+        for _ in 0..steps {
+            b.step(loads);
+        }
+    }
+
+    #[test]
+    fn reset_state_is_minimum_frequency_all_cores() {
+        let b = board();
+        let s = b.state();
+        assert!((s.f_big - 0.2).abs() < 1e-12);
+        assert_eq!(s.big_cores, 4);
+        assert_eq!(s.little_cores, 4);
+        assert!((s.t_hot - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn actuation_snaps_and_clamps() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(1.234),
+            f_little: Some(9.0),
+            big_cores: Some(0),
+            little_cores: Some(10),
+            placement: None,
+        });
+        let s = b.state();
+        assert!((s.f_big - 1.2).abs() < 1e-9);
+        assert!((s.f_little - 1.4).abs() < 1e-9);
+        assert_eq!(s.big_cores, 1);
+        assert_eq!(s.little_cores, 4);
+    }
+
+    #[test]
+    fn threads_execute_and_counters_advance() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(1.0),
+            placement: Some(Placement {
+                threads_big: 8,
+                packing_big: 2.0,
+                packing_little: 1.0,
+            }),
+            ..Default::default()
+        });
+        run(&mut b, &eight_threads(), 2.0);
+        assert!(b.total_instructions() > 0.5);
+        assert!(b.instructions(Cluster::Big) > 0.0);
+        assert_eq!(b.instructions(Cluster::Little), 0.0);
+        assert!(b.energy() > 0.0);
+    }
+
+    #[test]
+    fn placement_splits_threads_between_clusters() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(1.0),
+            f_little: Some(1.0),
+            placement: Some(Placement {
+                threads_big: 4,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            }),
+            ..Default::default()
+        });
+        run(&mut b, &eight_threads(), 2.0);
+        assert!(b.instructions(Cluster::Big) > 0.0);
+        assert!(b.instructions(Cluster::Little) > 0.0);
+        // Big cores are faster than little at the same frequency.
+        assert!(b.instructions(Cluster::Big) > b.instructions(Cluster::Little));
+    }
+
+    #[test]
+    fn higher_frequency_burns_more_energy_and_runs_faster() {
+        let mk = |f: f64| {
+            let mut b = board();
+            b.actuate(&Actuation {
+                f_big: Some(f),
+                placement: Some(Placement {
+                    threads_big: 8,
+                    packing_big: 2.0,
+                    packing_little: 1.0,
+                }),
+                ..Default::default()
+            });
+            run(&mut b, &eight_threads(), 5.0);
+            (b.total_instructions(), b.energy())
+        };
+        let (i_lo, e_lo) = mk(0.6);
+        let (i_hi, e_hi) = mk(1.8);
+        assert!(i_hi > 1.5 * i_lo);
+        assert!(e_hi > 2.0 * e_lo);
+    }
+
+    #[test]
+    fn power_sensor_updates_on_260ms_cadence() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(2.0),
+            ..Default::default()
+        });
+        let loads = eight_threads();
+        // Before the first 260 ms window completes: zero reading.
+        run(&mut b, &loads, 0.2);
+        assert_eq!(b.read_power(Cluster::Big), 0.0);
+        run(&mut b, &loads, 0.1);
+        assert!(b.read_power(Cluster::Big) > 0.5);
+    }
+
+    #[test]
+    fn max_frequency_eventually_trips_the_emergency_tmu() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(2.0),
+            placement: Some(Placement {
+                threads_big: 8,
+                packing_big: 2.0,
+                packing_little: 1.0,
+            }),
+            ..Default::default()
+        });
+        run(&mut b, &eight_threads(), 20.0);
+        assert!(b.tmu_trips() > 0, "sustained max power must trip the TMU");
+        // The effective frequency is capped below max.
+        assert!(b.state().f_big < 2.0);
+    }
+
+    #[test]
+    fn safe_operating_point_never_trips() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(1.2),
+            f_little: Some(0.8),
+            placement: Some(Placement {
+                threads_big: 4,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            }),
+            ..Default::default()
+        });
+        run(&mut b, &eight_threads(), 30.0);
+        assert_eq!(b.tmu_trips(), 0);
+        let s = b.state();
+        assert!(s.t_hot < 79.0, "hotspot {}", s.t_hot);
+    }
+
+    #[test]
+    fn dvfs_change_stalls_execution_briefly() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(1.0),
+            ..Default::default()
+        });
+        let loads = eight_threads();
+        run(&mut b, &loads, 1.0);
+        let before = b.total_instructions();
+        // Change frequency: the next step must retire nothing on big.
+        b.actuate(&Actuation {
+            f_big: Some(1.1),
+            ..Default::default()
+        });
+        let rep = b.step(&loads);
+        assert_eq!(rep.instr_big, 0.0);
+        assert!(b.total_instructions() >= before);
+    }
+
+    #[test]
+    fn inactive_threads_make_no_progress() {
+        let mut b = board();
+        let mut loads = eight_threads();
+        loads[3] = ThreadLoad::idle();
+        b.actuate(&Actuation {
+            f_big: Some(1.0),
+            ..Default::default()
+        });
+        run(&mut b, &loads, 1.0);
+        let rep = b.step(&loads);
+        assert_eq!(rep.thread_progress[3], 0.0);
+        assert!(rep.thread_progress[0] > 0.0);
+    }
+
+    #[test]
+    fn temperature_rises_under_load() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(1.6),
+            ..Default::default()
+        });
+        run(&mut b, &eight_threads(), 30.0);
+        assert!(b.state().t_hot > 40.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let mk = || {
+            let mut b = board();
+            b.actuate(&Actuation {
+                f_big: Some(1.5),
+                ..Default::default()
+            });
+            run(&mut b, &eight_threads(), 5.0);
+            (b.total_instructions(), b.energy())
+        };
+        let (i1, e1) = mk();
+        let (i2, e2) = mk();
+        assert_eq!(i1, i2);
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Bilinear (Tustin) transforms between continuous and discrete time.
+//!
+//! Yukta identifies discrete models from sampled board data but performs
+//! H∞ synthesis with the continuous-time DGKF formulas; these two maps
+//! carry realizations across the domains while preserving the frequency
+//! response along `s = (2/T)·(z−1)/(z+1)`.
+
+use yukta_linalg::{Error, Mat, Result};
+
+use crate::ss::StateSpace;
+
+/// Discretizes a continuous system with the Tustin transform at sample
+/// period `ts`.
+///
+/// # Errors
+///
+/// * [`Error::NoSolution`] if the system is already discrete.
+/// * [`Error::Singular`] if `I − (T/2)A` is singular (a continuous pole at
+///   `2/T`).
+///
+/// # Examples
+///
+/// ```
+/// use yukta_control::{c2d::c2d_tustin, ss::StateSpace};
+/// use yukta_linalg::Mat;
+///
+/// # fn main() -> Result<(), yukta_linalg::Error> {
+/// let cont = StateSpace::new(
+///     Mat::filled(1, 1, -1.0),
+///     Mat::identity(1),
+///     Mat::identity(1),
+///     Mat::zeros(1, 1),
+///     None,
+/// )?;
+/// let disc = c2d_tustin(&cont, 0.1)?;
+/// // DC gains match exactly under Tustin.
+/// assert!((disc.dc_gain()?[(0, 0)] - cont.dc_gain()?[(0, 0)]).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn c2d_tustin(sys: &StateSpace, ts: f64) -> Result<StateSpace> {
+    if sys.is_discrete() {
+        return Err(Error::NoSolution {
+            op: "c2d_tustin",
+            why: "input system is already discrete",
+        });
+    }
+    let n = sys.order();
+    let a = sys.a();
+    let half = 0.5 * ts;
+    let ima = &Mat::identity(n) - &a.scale(half);
+    let m = ima.inverse().map_err(|_| Error::Singular { op: "c2d_tustin" })?;
+    let ad = &m * &(&Mat::identity(n) + &a.scale(half));
+    let bd = &m * &sys.b().scale(ts);
+    let cd = sys.c() * &m;
+    let dd = sys.d() + &(&(sys.c() * &m) * sys.b()).scale(half);
+    StateSpace::new(ad, bd, cd, dd, Some(ts))
+}
+
+/// Converts a discrete system back to continuous time with the inverse
+/// Tustin transform.
+///
+/// # Errors
+///
+/// * [`Error::NoSolution`] if the system is already continuous.
+/// * [`Error::Singular`] if `I + A_d` is singular (a discrete pole at −1).
+pub fn d2c_tustin(sys: &StateSpace) -> Result<StateSpace> {
+    let Some(ts) = sys.ts() else {
+        return Err(Error::NoSolution {
+            op: "d2c_tustin",
+            why: "input system is already continuous",
+        });
+    };
+    let n = sys.order();
+    let ad = sys.a();
+    let ipa = &Mat::identity(n) + ad;
+    let ipa_inv = ipa
+        .inverse()
+        .map_err(|_| Error::Singular { op: "d2c_tustin" })?;
+    // A = (2/T)(A_d + I)⁻¹(A_d − I)
+    let a = (&ipa_inv * &(ad - &Mat::identity(n))).scale(2.0 / ts);
+    // B = (1/T)(I − (T/2)A) B_d
+    let half = 0.5 * ts;
+    let ima = &Mat::identity(n) - &a.scale(half);
+    let b = (&ima * sys.b()).scale(1.0 / ts);
+    // C = C_d (I − (T/2)A)
+    let c = sys.c() * &ima;
+    // D = D_d − (T/2) C_d B
+    let d = sys.d() - &(sys.c() * &b).scale(half);
+    StateSpace::new(a, b, c, d, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yukta_linalg::C64;
+
+    fn cont_sys() -> StateSpace {
+        StateSpace::new(
+            Mat::from_rows(&[&[-1.0, 2.0], &[0.0, -3.0]]),
+            Mat::from_rows(&[&[1.0, 0.0], &[0.5, 1.0]]),
+            Mat::from_rows(&[&[1.0, -1.0]]),
+            Mat::from_rows(&[&[0.2, 0.0]]),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_c2d_d2c() {
+        let sys = cont_sys();
+        let d = c2d_tustin(&sys, 0.5).unwrap();
+        let back = d2c_tustin(&d).unwrap();
+        assert!(back.a().approx_eq(sys.a(), 1e-10));
+        assert!(back.b().approx_eq(sys.b(), 1e-10));
+        assert!(back.c().approx_eq(sys.c(), 1e-10));
+        assert!(back.d().approx_eq(sys.d(), 1e-10));
+    }
+
+    #[test]
+    fn frequency_response_preserved_at_warped_frequency() {
+        // Tustin maps continuous frequency Ω to discrete ω where
+        // Ω = (2/T)·tan(ωT/2); responses must match along that curve.
+        let sys = cont_sys();
+        let ts = 0.25;
+        let d = c2d_tustin(&sys, ts).unwrap();
+        for &w_disc in &[0.1, 0.5, 1.5, 3.0] {
+            let w_cont = (2.0 / ts) * (w_disc * ts / 2.0).tan();
+            let gc = sys.freq_response(w_cont).unwrap();
+            let gd = d.freq_response(w_disc).unwrap();
+            for j in 0..2 {
+                let diff = gc.get(0, j) - gd.get(0, j);
+                assert!(diff.abs() < 1e-10, "mismatch at w={w_disc}");
+            }
+        }
+    }
+
+    #[test]
+    fn stability_preserved_both_ways() {
+        let sys = cont_sys();
+        assert!(sys.is_stable().unwrap());
+        let d = c2d_tustin(&sys, 1.0).unwrap();
+        assert!(d.is_stable().unwrap());
+        // Unstable continuous pole maps outside the unit circle.
+        let unstable = StateSpace::new(
+            Mat::filled(1, 1, 0.5),
+            Mat::identity(1),
+            Mat::identity(1),
+            Mat::zeros(1, 1),
+            None,
+        )
+        .unwrap();
+        let du = c2d_tustin(&unstable, 1.0).unwrap();
+        assert!(!du.is_stable().unwrap());
+    }
+
+    #[test]
+    fn pole_mapping_is_bilinear() {
+        // Continuous pole p maps to (1 + pT/2)/(1 − pT/2).
+        let p = -2.0;
+        let ts = 0.3;
+        let sys = StateSpace::new(
+            Mat::filled(1, 1, p),
+            Mat::identity(1),
+            Mat::identity(1),
+            Mat::zeros(1, 1),
+            None,
+        )
+        .unwrap();
+        let d = c2d_tustin(&sys, ts).unwrap();
+        let expect = (1.0 + p * ts / 2.0) / (1.0 - p * ts / 2.0);
+        let poles = d.poles().unwrap();
+        assert!((poles[0] - C64::real(expect)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_domain_rejected() {
+        let sys = cont_sys();
+        let d = c2d_tustin(&sys, 0.5).unwrap();
+        assert!(c2d_tustin(&d, 0.5).is_err());
+        assert!(d2c_tustin(&sys).is_err());
+    }
+
+    #[test]
+    fn pole_at_minus_one_rejected_in_d2c() {
+        let d = StateSpace::new(
+            Mat::filled(1, 1, -1.0),
+            Mat::identity(1),
+            Mat::identity(1),
+            Mat::zeros(1, 1),
+            Some(1.0),
+        )
+        .unwrap();
+        assert!(matches!(d2c_tustin(&d), Err(Error::Singular { .. })));
+    }
+}

@@ -1,0 +1,458 @@
+//! Runtime execution of synthesized LTI controllers.
+//!
+//! A deployed SSV controller is exactly the state machine of Equations 3–4
+//! in the paper:
+//!
+//! ```text
+//! x(T+1) = A·x(T) + B·Δy(T)
+//! u(T)   = C·x(T) + D·Δy(T)
+//! ```
+//!
+//! [`LtiRuntime`] executes it with a state-energy clamp (a cheap
+//! anti-windup guard for long saturation episodes), and
+//! [`ControllerCost`] reports the arithmetic/storage footprint that the
+//! paper analyzes in Section VI-D.
+
+use crate::ss::StateSpace;
+
+/// Executes a discrete LTI controller step by step.
+///
+/// # Examples
+///
+/// ```
+/// use yukta_control::runtime::LtiRuntime;
+/// use yukta_control::ss::StateSpace;
+/// use yukta_linalg::Mat;
+///
+/// # fn main() -> Result<(), yukta_linalg::Error> {
+/// let k = StateSpace::new(
+///     Mat::filled(1, 1, 0.5),
+///     Mat::filled(1, 1, 1.0),
+///     Mat::identity(1),
+///     Mat::filled(1, 1, 0.1),
+///     Some(0.5),
+/// )?;
+/// let mut rt = LtiRuntime::new(&k);
+/// let u0 = rt.step(&[1.0]);
+/// assert!((u0[0] - 0.1).abs() < 1e-12); // first step: D·Δy only
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LtiRuntime {
+    sys: StateSpace,
+    x: Vec<f64>,
+    /// Maximum allowed state ∞-norm; beyond it the state is rescaled.
+    state_clamp: f64,
+}
+
+impl LtiRuntime {
+    /// Wraps a discrete controller for execution (initial state zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not discrete.
+    pub fn new(sys: &StateSpace) -> Self {
+        assert!(sys.is_discrete(), "LtiRuntime requires a discrete system");
+        LtiRuntime {
+            x: vec![0.0; sys.order()],
+            sys: sys.clone(),
+            state_clamp: 1e3,
+        }
+    }
+
+    /// Sets the anti-windup clamp on the state ∞-norm.
+    pub fn with_state_clamp(mut self, clamp: f64) -> Self {
+        self.state_clamp = clamp;
+        self
+    }
+
+    /// One controller invocation: consumes the measurement vector `Δy` and
+    /// returns the new actuator command `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy` has the wrong length.
+    pub fn step(&mut self, dy: &[f64]) -> Vec<f64> {
+        let mut u = self.sys.d().matvec(dy).expect("input length");
+        let cx = self.sys.c().matvec(&self.x).expect("state length");
+        for (ui, ci) in u.iter_mut().zip(&cx) {
+            *ui += ci;
+        }
+        let mut xn = self.sys.a().matvec(&self.x).expect("state length");
+        let bu = self.sys.b().matvec(dy).expect("input length");
+        for (xi, bi) in xn.iter_mut().zip(&bu) {
+            *xi += bi;
+        }
+        // Anti-windup: rescale a runaway state rather than letting it
+        // accumulate during long actuator-saturation episodes.
+        let norm = xn.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        if norm > self.state_clamp {
+            let s = self.state_clamp / norm;
+            for v in &mut xn {
+                *v *= s;
+            }
+        }
+        self.x = xn;
+        u
+    }
+
+    /// Resets the controller state to zero.
+    pub fn reset(&mut self) {
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &StateSpace {
+        &self.sys
+    }
+
+    /// Current internal state (for diagnostics).
+    pub fn state(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Runtime for a controller with back-calculation anti-windup.
+///
+/// Actuators take only discrete, bounded values; when the commanded input
+/// is clipped, an uncorrected controller keeps integrating phantom
+/// actuation and winds up. `AwController` applies the classical fix: after
+/// the caller quantizes the command, the state is corrected by
+/// `L_aw·(u_applied − u_cmd)` so the internal observer tracks the input
+/// the plant actually received. With `u_applied == u_cmd` it is exactly
+/// the wrapped controller.
+///
+/// # Examples
+///
+/// ```
+/// use yukta_control::runtime::AwController;
+/// use yukta_control::ss::StateSpace;
+/// use yukta_linalg::Mat;
+///
+/// # fn main() -> Result<(), yukta_linalg::Error> {
+/// let k = StateSpace::new(
+///     Mat::filled(1, 1, 1.0), // integrator
+///     Mat::filled(1, 1, 0.5),
+///     Mat::identity(1),
+///     Mat::zeros(1, 1),
+///     Some(0.5),
+/// )?;
+/// let mut aw = AwController::new(&k, Mat::filled(1, 1, 1.0));
+/// // Saturate hard at 1.0: the state stays bounded.
+/// for _ in 0..100 {
+///     let (_, applied) = aw.step(&[1.0], &|u| vec![u[0].min(1.0)]);
+///     assert!(applied[0] <= 1.0);
+/// }
+/// assert!(aw.state()[0] < 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AwController {
+    sys: StateSpace,
+    l_aw: yukta_linalg::Mat,
+    x: Vec<f64>,
+}
+
+impl AwController {
+    /// Wraps a discrete controller with the given anti-windup gain
+    /// (`n_state × n_outputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not discrete or `l_aw` has the wrong shape.
+    pub fn new(sys: &StateSpace, l_aw: yukta_linalg::Mat) -> Self {
+        assert!(sys.is_discrete(), "AwController requires a discrete system");
+        assert_eq!(
+            l_aw.shape(),
+            (sys.order(), sys.n_outputs()),
+            "anti-windup gain shape"
+        );
+        AwController {
+            x: vec![0.0; sys.order()],
+            sys: sys.clone(),
+            l_aw,
+        }
+    }
+
+    /// One invocation: computes the command `u = C·x + D·meas`, lets
+    /// `quantize` map it onto the legal actuator values, then updates the
+    /// state with the back-calculation correction. Returns
+    /// `(commanded, applied)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meas` has the wrong length or `quantize` changes the
+    /// vector length.
+    pub fn step(
+        &mut self,
+        meas: &[f64],
+        quantize: &dyn Fn(&[f64]) -> Vec<f64>,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut u = self.sys.d().matvec(meas).expect("input length");
+        let cx = self.sys.c().matvec(&self.x).expect("state length");
+        for (ui, ci) in u.iter_mut().zip(&cx) {
+            *ui += ci;
+        }
+        let applied = quantize(&u);
+        assert_eq!(applied.len(), u.len(), "quantizer changed output width");
+        let mut xn = self.sys.a().matvec(&self.x).expect("state length");
+        let bu = self.sys.b().matvec(meas).expect("input length");
+        let mut delta = vec![0.0; u.len()];
+        for i in 0..u.len() {
+            delta[i] = applied[i] - u[i];
+        }
+        let corr = self.l_aw.matvec(&delta).expect("aw gain shape");
+        for ((xi, bi), ci) in xn.iter_mut().zip(&bu).zip(&corr) {
+            *xi += bi + ci;
+        }
+        self.x = xn;
+        (u, applied)
+    }
+
+    /// Resets the controller state to zero.
+    pub fn reset(&mut self) {
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Current internal state (for diagnostics).
+    pub fn state(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &StateSpace {
+        &self.sys
+    }
+}
+
+/// Runtime for an observer-form controller with an applied-input port.
+///
+/// The wrapped system's inputs are `[meas (n_meas); u_applied (n_u)]` and
+/// its output is the commanded input vector, with no feedthrough from the
+/// `u_applied` columns. Each invocation computes the command from the
+/// current state and measurements, lets the caller quantize it onto the
+/// legal actuator values, and propagates the state with the value that was
+/// *actually applied* — so saturation and quantization cannot wind up the
+/// controller even when the underlying H∞ central controller is
+/// internally unstable.
+#[derive(Debug, Clone)]
+pub struct ObsAwController {
+    sys: StateSpace,
+    n_meas: usize,
+    x: Vec<f64>,
+}
+
+impl ObsAwController {
+    /// Wraps a deployed observer-form controller whose last `n_u` inputs
+    /// are the applied-input port (`n_u` = number of outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not discrete or has fewer inputs than
+    /// outputs.
+    pub fn new(sys: &StateSpace) -> Self {
+        assert!(sys.is_discrete(), "ObsAwController requires a discrete system");
+        assert!(
+            sys.n_inputs() > sys.n_outputs(),
+            "system must have measurement inputs plus an applied-input port"
+        );
+        ObsAwController {
+            n_meas: sys.n_inputs() - sys.n_outputs(),
+            x: vec![0.0; sys.order()],
+            sys: sys.clone(),
+        }
+    }
+
+    /// Width of the measurement vector expected by [`ObsAwController::step`].
+    pub fn n_meas(&self) -> usize {
+        self.n_meas
+    }
+
+    /// One invocation: computes `u_cmd = C·x + D_meas·meas`, lets
+    /// `quantize` snap it to the actuator grids, updates the state with
+    /// `[meas; u_applied]`, and returns `(commanded, applied)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meas` has the wrong length or the quantizer changes the
+    /// vector length.
+    pub fn step(
+        &mut self,
+        meas: &[f64],
+        quantize: &dyn Fn(&[f64]) -> Vec<f64>,
+    ) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(meas.len(), self.n_meas, "measurement width");
+        let n_u = self.sys.n_outputs();
+        // Command: feedthrough acts on measurements only (the applied-input
+        // feedthrough columns are zero by construction).
+        let mut full_in = vec![0.0; self.n_meas + n_u];
+        full_in[..self.n_meas].copy_from_slice(meas);
+        let mut u = self.sys.d().matvec(&full_in).expect("input width");
+        let cx = self.sys.c().matvec(&self.x).expect("state width");
+        for (ui, ci) in u.iter_mut().zip(&cx) {
+            *ui += ci;
+        }
+        let applied = quantize(&u);
+        assert_eq!(applied.len(), n_u, "quantizer changed output width");
+        full_in[self.n_meas..].copy_from_slice(&applied);
+        let mut xn = self.sys.a().matvec(&self.x).expect("state width");
+        let bu = self.sys.b().matvec(&full_in).expect("input width");
+        for (xi, bi) in xn.iter_mut().zip(&bu) {
+            *xi += bi;
+        }
+        self.x = xn;
+        (u, applied)
+    }
+
+    /// Resets the controller state to zero.
+    pub fn reset(&mut self) {
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Current internal state (for diagnostics).
+    pub fn state(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &StateSpace {
+        &self.sys
+    }
+}
+
+/// The arithmetic/storage footprint of one controller invocation — the
+/// quantity the paper reports in Section VI-D (≈700 fixed-point ops and
+/// ≈2.6 KB for N=20, I=4, O=4, E=3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerCost {
+    /// State dimension N.
+    pub n_state: usize,
+    /// Inputs I (actuator commands produced).
+    pub n_inputs: usize,
+    /// Measurement vector width O+E.
+    pub n_meas: usize,
+    /// Multiply operations per invocation.
+    pub multiplies: usize,
+    /// Addition operations per invocation.
+    pub additions: usize,
+    /// Bytes of matrix/state storage at 32-bit fixed point.
+    pub storage_bytes: usize,
+}
+
+impl ControllerCost {
+    /// Computes the footprint of a controller realization.
+    pub fn of(sys: &StateSpace) -> Self {
+        let n = sys.order();
+        let i = sys.n_outputs(); // controller outputs = plant inputs
+        let m = sys.n_inputs(); // Δy width = O + E
+        // x⁺ = A x + B Δy : n·n + n·m multiplies, same adds (fused view).
+        // u  = C x + D Δy : i·n + i·m multiplies.
+        let multiplies = n * n + n * m + i * n + i * m;
+        let additions = multiplies; // one accumulate per product term
+        // Storage: A, B, C, D plus the state vector, 4 bytes each.
+        let words = n * n + n * m + i * n + i * m + n;
+        ControllerCost {
+            n_state: n,
+            n_inputs: i,
+            n_meas: m,
+            multiplies,
+            additions,
+            storage_bytes: 4 * words,
+        }
+    }
+
+    /// Total arithmetic operations per invocation.
+    pub fn total_ops(&self) -> usize {
+        self.multiplies + self.additions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yukta_linalg::Mat;
+
+    fn toy() -> StateSpace {
+        StateSpace::new(
+            Mat::from_rows(&[&[0.5, 0.1], &[0.0, 0.4]]),
+            Mat::from_rows(&[&[1.0], &[0.5]]),
+            Mat::from_rows(&[&[1.0, 0.0]]),
+            Mat::zeros(1, 1),
+            Some(0.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runtime_matches_batch_simulation() {
+        let sys = toy();
+        let inputs: Vec<Vec<f64>> = (0..30).map(|t| vec![(t as f64 * 0.37).sin()]).collect();
+        let batch = sys.simulate(&inputs).unwrap();
+        let mut rt = LtiRuntime::new(&sys);
+        for (t, u) in inputs.iter().enumerate() {
+            let y = rt.step(u);
+            assert!((y[0] - batch[t][0]).abs() < 1e-12, "step {t}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let sys = toy();
+        let mut rt = LtiRuntime::new(&sys);
+        let first = rt.step(&[1.0]);
+        rt.step(&[2.0]);
+        rt.reset();
+        let again = rt.step(&[1.0]);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn state_clamp_limits_windup() {
+        // Marginally unstable controller with persistent input would wind
+        // up unboundedly; the clamp bounds it.
+        let sys = StateSpace::new(
+            Mat::filled(1, 1, 1.05),
+            Mat::identity(1),
+            Mat::identity(1),
+            Mat::zeros(1, 1),
+            Some(0.5),
+        )
+        .unwrap();
+        let mut rt = LtiRuntime::new(&sys).with_state_clamp(10.0);
+        for _ in 0..500 {
+            rt.step(&[1.0]);
+        }
+        assert!(rt.state()[0].abs() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn cost_matches_paper_dimensions() {
+        // The paper's hardware controller: N=20, I=4, O+E=7 →
+        // ops = 2(20·20 + 20·7 + 4·20 + 4·7) = 2·648 = 1296 total ops, of
+        // which ~700 are multiplies (648) — matching the "nearly 700
+        // 32-bit fixed-point operations" with ops counted as MACs.
+        let sys = StateSpace::new(
+            Mat::identity(20).scale(0.5),
+            Mat::zeros(20, 7),
+            Mat::zeros(4, 20),
+            Mat::zeros(4, 7),
+            Some(0.5),
+        )
+        .unwrap();
+        let cost = ControllerCost::of(&sys);
+        assert_eq!(cost.n_state, 20);
+        assert_eq!(cost.multiplies, 648);
+        // Storage ≈ 2.6 KB: (400+140+80+28+20)·4 = 2672 bytes.
+        assert_eq!(cost.storage_bytes, 2672);
+    }
+
+    #[test]
+    fn cost_total_ops() {
+        let sys = toy();
+        let c = ControllerCost::of(&sys);
+        assert_eq!(c.total_ops(), c.multiplies + c.additions);
+        assert!(c.total_ops() > 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the control stack's invariants.
+
+use proptest::prelude::*;
+use yukta_control::c2d::{c2d_tustin, d2c_tustin};
+use yukta_control::quant::{InputGrid, SignalScaler};
+use yukta_control::ss::StateSpace;
+use yukta_linalg::Mat;
+
+fn stable_cont_sys(n: usize) -> impl Strategy<Value = StateSpace> {
+    // Random A with eigenvalues shifted left, random B/C.
+    (
+        prop::collection::vec(-1.0..1.0f64, n * n),
+        prop::collection::vec(-1.0..1.0f64, n),
+        prop::collection::vec(-1.0..1.0f64, n),
+    )
+        .prop_map(move |(av, bv, cv)| {
+            let mut a = Mat::from_vec(n, n, av);
+            // Diagonal shift makes it comfortably Hurwitz.
+            for i in 0..n {
+                a[(i, i)] -= 2.5;
+            }
+            let b = Mat::from_vec(n, 1, bv);
+            let c = Mat::from_vec(1, n, cv);
+            StateSpace::new(a, b, c, Mat::zeros(1, 1), None).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tustin_roundtrip_preserves_realization(sys in stable_cont_sys(3), ts in 0.05..1.0f64) {
+        let d = c2d_tustin(&sys, ts).unwrap();
+        let back = d2c_tustin(&d).unwrap();
+        prop_assert!(back.a().approx_eq(sys.a(), 1e-8));
+        prop_assert!(back.b().approx_eq(sys.b(), 1e-8));
+        prop_assert!(back.c().approx_eq(sys.c(), 1e-8));
+        prop_assert!(back.d().approx_eq(sys.d(), 1e-8));
+    }
+
+    #[test]
+    fn tustin_preserves_stability(sys in stable_cont_sys(4), ts in 0.05..1.0f64) {
+        let d = c2d_tustin(&sys, ts).unwrap();
+        prop_assert!(d.is_stable().unwrap());
+    }
+
+    #[test]
+    fn tustin_preserves_dc_gain(sys in stable_cont_sys(3), ts in 0.05..1.0f64) {
+        let d = c2d_tustin(&sys, ts).unwrap();
+        let g_c = sys.dc_gain().unwrap();
+        let g_d = d.dc_gain().unwrap();
+        prop_assert!((g_c[(0, 0)] - g_d[(0, 0)]).abs() < 1e-7 * (1.0 + g_c[(0, 0)].abs()));
+    }
+
+    #[test]
+    fn quantize_returns_grid_member_and_is_idempotent(
+        vals in prop::collection::vec(-10.0..10.0f64, 1..12),
+        x in -20.0..20.0f64,
+    ) {
+        let grid = InputGrid::new(vals);
+        let q = grid.quantize(x);
+        prop_assert!(grid.values().contains(&q));
+        prop_assert_eq!(grid.quantize(q), q);
+        // Nearest: no other grid point is strictly closer.
+        for &v in grid.values() {
+            prop_assert!((x - q).abs() <= (x - v).abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantize_saturates_at_extremes(
+        vals in prop::collection::vec(-5.0..5.0f64, 1..8),
+    ) {
+        let grid = InputGrid::new(vals);
+        prop_assert_eq!(grid.quantize(1e6), grid.max());
+        prop_assert_eq!(grid.quantize(-1e6), grid.min());
+    }
+
+    #[test]
+    fn scaler_roundtrips(lo in -100.0..100.0f64, width in 0.01..200.0f64, x in -500.0..500.0f64) {
+        let s = SignalScaler::from_range(lo, lo + width);
+        let back = s.denormalize(s.normalize(x));
+        prop_assert!((back - x).abs() < 1e-9 * (1.0 + x.abs()));
+        // Range endpoints map to ±1.
+        prop_assert!((s.normalize(lo) + 1.0).abs() < 1e-9);
+        prop_assert!((s.normalize(lo + width) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_order_matters_but_poles_union(sys1 in stable_cont_sys(2), sys2 in stable_cont_sys(2)) {
+        // The series composition's poles are the union of the components'.
+        let s = sys1.series(&sys2).unwrap();
+        prop_assert_eq!(s.order(), 4);
+        prop_assert!(s.is_stable().unwrap());
+    }
+
+    #[test]
+    fn simulate_linear_in_input(sys in stable_cont_sys(3)) {
+        // Discretize, then check superposition on the simulation runtime.
+        let d = c2d_tustin(&sys, 0.2).unwrap();
+        let u1: Vec<Vec<f64>> = (0..20).map(|t| vec![(t as f64 * 0.7).sin()]).collect();
+        let u2: Vec<Vec<f64>> = (0..20).map(|t| vec![(t as f64 * 1.3).cos()]).collect();
+        let sum: Vec<Vec<f64>> = u1.iter().zip(&u2).map(|(a, b)| vec![a[0] + b[0]]).collect();
+        let y1 = d.simulate(&u1).unwrap();
+        let y2 = d.simulate(&u2).unwrap();
+        let ys = d.simulate(&sum).unwrap();
+        for t in 0..20 {
+            prop_assert!((ys[t][0] - y1[t][0] - y2[t][0]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The heuristic baselines of Table IV.
+//!
+//! *Coordinated heuristic* models the industry-standard stack on
+//! big.LITTLE boards: an HMP-style scheduler that places demanding threads
+//! big-first using the number/type/frequency of available cores, plus a
+//! hardware governor that climbs frequency and core count while operation
+//! is safe, sized by the observed thread distribution.
+//!
+//! *Decoupled heuristic* removes all coordination: the OS round-robins
+//! threads over every core, and the hardware governor behaves like the
+//! Linux `performance` governor — everything at maximum until a limit
+//! trips, then a threshold-based backoff that ignores thread placement.
+
+use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::signals::{HwInputs, OsInputs};
+
+/// HMP-style coordinated scheduler (OS half of *Coordinated heuristic*,
+/// also reused by *Yukta: HW SSV + OS heuristic*).
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatedHeuristicOs;
+
+impl CoordinatedHeuristicOs {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        CoordinatedHeuristicOs
+    }
+}
+
+impl OsPolicy for CoordinatedHeuristicOs {
+    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+        let n = sense.active_threads;
+        // Plan against the *physical* cores (HMP sees all CPUs); the
+        // hardware layer then powers exactly the cores the placement
+        // needs. Planning on currently-powered cores instead would
+        // deadlock both layers at one core each.
+        let nbc = 4usize;
+        let nlc = 4usize;
+        if n == 0 {
+            return OsInputs {
+                threads_big: 0.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            };
+        }
+        // Big-first placement over the cores the hardware layer exposes
+        // (the coordination), one thread per core while possible.
+        // E×D awareness: when the big cluster is running slow (deep DVFS
+        // throttle), spill some threads to little instead of stacking big.
+        let f_ratio = (sense.ext.f_big / 2.0).clamp(0.0, 1.0);
+        let big_capacity = if f_ratio < 0.3 { nbc.min(2) } else { nbc };
+        let (tb, pb, pl);
+        if n <= big_capacity {
+            tb = n;
+            pb = 1.0;
+            pl = 1.0;
+        } else if n <= big_capacity + nlc {
+            tb = big_capacity;
+            pb = 1.0;
+            pl = 1.0;
+        } else {
+            // Oversubscribed: pack the big cluster (it is faster) before
+            // overloading little.
+            let spill = n - big_capacity - nlc;
+            let extra_big = spill.min(big_capacity);
+            tb = big_capacity + extra_big;
+            pb = (tb as f64 / big_capacity.max(1) as f64).max(1.0);
+            let tl = n - tb;
+            pl = (tl as f64 / nlc.max(1) as f64).max(1.0);
+        }
+        OsInputs {
+            threads_big: tb as f64,
+            packing_big: pb,
+            packing_little: pl,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "os-coordinated-heuristic"
+    }
+}
+
+/// Safety-margin climbing governor (HW half of *Coordinated heuristic*).
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatedHeuristicHw;
+
+impl CoordinatedHeuristicHw {
+    /// Creates the governor.
+    pub fn new() -> Self {
+        CoordinatedHeuristicHw
+    }
+}
+
+impl HwPolicy for CoordinatedHeuristicHw {
+    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+        let lim = sense.limits;
+        let y = sense.outputs;
+        let cur = sense.current;
+        // Size core counts from the thread distribution (coordination).
+        let tb = sense.ext.threads_big.round() as usize;
+        let tl = sense.active_threads.saturating_sub(tb);
+        let need_big = ((tb as f64 / sense.ext.packing_big.max(1.0)).ceil() as usize).clamp(1, 4);
+        let need_little =
+            ((tl as f64 / sense.ext.packing_little.max(1.0)).ceil() as usize).clamp(1, 4);
+        // Frequency: climb one step while clearly safe, back off
+        // proportionally to the violation.
+        let f_big = step_frequency(cur.f_big, y.p_big, lim.p_big_max, y.temp, lim.temp_max, 2.0);
+        let f_little = step_frequency(
+            cur.f_little,
+            y.p_little,
+            lim.p_little_max,
+            y.temp,
+            lim.temp_max,
+            1.4,
+        );
+        HwInputs {
+            big_cores: need_big as f64,
+            little_cores: need_little as f64,
+            f_big,
+            f_little,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hw-coordinated-heuristic"
+    }
+}
+
+/// One-step-up / proportional-step-down frequency rule shared by the
+/// coordinated governor.
+fn step_frequency(f: f64, p: f64, p_max: f64, t: f64, t_max: f64, f_cap: f64) -> f64 {
+    if p > p_max || t > t_max {
+        let over = ((p / p_max - 1.0).max(0.0) + (t / t_max - 1.0).max(0.0)).max(0.01);
+        let steps = (over / 0.05).ceil().min(5.0);
+        (f - 0.1 * steps).max(0.2)
+    } else {
+        // Climb whenever operation is safe (Table IV(a) verbatim). This is
+        // what makes the heuristic probe the limit and produce the
+        // peaks/valleys of Figure 10(a): the next step up periodically
+        // violates and gets knocked back.
+        (f + 0.1).min(f_cap)
+    }
+}
+
+/// Round-robin scheduler (OS half of *Decoupled heuristic*).
+#[derive(Debug, Clone, Default)]
+pub struct DecoupledHeuristicOs;
+
+impl DecoupledHeuristicOs {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        DecoupledHeuristicOs
+    }
+}
+
+impl OsPolicy for DecoupledHeuristicOs {
+    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+        // Round-robin over all eight cores, blind to core type/frequency:
+        // alternate assignments land half the threads on each cluster.
+        let n = sense.active_threads;
+        let tb = n.div_ceil(2);
+        OsInputs {
+            threads_big: tb as f64,
+            packing_big: 1.0,
+            packing_little: 1.0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "os-decoupled-roundrobin"
+    }
+}
+
+/// Performance-governor-style hardware controller (HW half of *Decoupled
+/// heuristic*): maximum everything while safe; on a violation, threshold
+/// rules reduce frequency first, then core count — irrespective of the
+/// number of threads. Once readings look safe again it snaps straight
+/// back to maximum, which is what makes Figure 10(b) oscillate.
+#[derive(Debug, Clone, Default)]
+pub struct DecoupledHeuristicHw {
+    backoff_freq_steps: usize,
+    backoff_cores: usize,
+    safe_streak: usize,
+}
+
+impl DecoupledHeuristicHw {
+    /// Creates the governor.
+    pub fn new() -> Self {
+        DecoupledHeuristicHw::default()
+    }
+}
+
+impl HwPolicy for DecoupledHeuristicHw {
+    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+        let lim = sense.limits;
+        let y = sense.outputs;
+        let violated = y.p_big > lim.p_big_max || y.p_little > lim.p_little_max || y.temp > lim.temp_max;
+        if violated {
+            self.safe_streak = 0;
+            if self.backoff_freq_steps < 8 {
+                self.backoff_freq_steps += 2; // reduce frequency first…
+            } else if self.backoff_cores < 3 {
+                self.backoff_cores += 1; // …then the number of cores
+            }
+        } else {
+            self.safe_streak += 1;
+            if self.safe_streak >= 2 {
+                // Looks safe: jump straight back to maximum.
+                self.backoff_freq_steps = 0;
+                self.backoff_cores = 0;
+            }
+        }
+        HwInputs {
+            big_cores: (4 - self.backoff_cores).max(1) as f64,
+            little_cores: 4.0,
+            f_big: (2.0 - 0.1 * self.backoff_freq_steps as f64).max(0.2),
+            f_little: (1.4 - 0.1 * self.backoff_freq_steps as f64).max(0.2),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hw-decoupled-performance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::{HwOutputs, Limits, OsOutputs};
+
+    fn hw_sense(p_big: f64, temp: f64, f_big: f64) -> HwSense {
+        HwSense {
+            outputs: HwOutputs {
+                perf: 4.0,
+                p_big,
+                p_little: 0.2,
+                temp,
+            },
+            ext: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            current: HwInputs {
+                big_cores: 4.0,
+                little_cores: 4.0,
+                f_big,
+                f_little: 1.0,
+            },
+            active_threads: 8,
+            limits: Limits::default(),
+        }
+    }
+
+    fn os_sense(n_active: usize, big_cores: f64, f_big: f64) -> OsSense {
+        OsSense {
+            outputs: OsOutputs::default(),
+            ext: HwInputs {
+                big_cores,
+                little_cores: 4.0,
+                f_big,
+                f_little: 1.0,
+            },
+            current: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            active_threads: n_active,
+            system: HwOutputs::default(),
+            limits: Limits::default(),
+        }
+    }
+
+    #[test]
+    fn coordinated_os_prefers_big_cluster() {
+        let mut os = CoordinatedHeuristicOs::new();
+        let u = os.invoke(&os_sense(3, 4.0, 1.5));
+        assert_eq!(u.threads_big, 3.0);
+        assert_eq!(u.packing_big, 1.0);
+    }
+
+    #[test]
+    fn coordinated_os_spills_to_little() {
+        let mut os = CoordinatedHeuristicOs::new();
+        let u = os.invoke(&os_sense(6, 4.0, 1.5));
+        assert_eq!(u.threads_big, 4.0); // 4 big + 2 little
+        assert_eq!(u.packing_little, 1.0);
+    }
+
+    #[test]
+    fn coordinated_os_packs_when_oversubscribed() {
+        let mut os = CoordinatedHeuristicOs::new();
+        let u = os.invoke(&os_sense(12, 4.0, 1.5));
+        assert!(u.threads_big > 4.0);
+        assert!(u.packing_big > 1.0);
+    }
+
+    #[test]
+    fn coordinated_os_reacts_to_throttled_big_cluster() {
+        let mut os = CoordinatedHeuristicOs::new();
+        let normal = os.invoke(&os_sense(4, 4.0, 1.5));
+        let throttled = os.invoke(&os_sense(4, 4.0, 0.3));
+        assert!(throttled.threads_big < normal.threads_big);
+    }
+
+    #[test]
+    fn coordinated_os_idle_workload() {
+        let mut os = CoordinatedHeuristicOs::new();
+        let u = os.invoke(&os_sense(0, 4.0, 1.5));
+        assert_eq!(u.threads_big, 0.0);
+    }
+
+    #[test]
+    fn coordinated_hw_climbs_when_safe() {
+        let mut hw = CoordinatedHeuristicHw::new();
+        let u = hw.invoke(&hw_sense(2.0, 55.0, 1.0));
+        assert!((u.f_big - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordinated_hw_backs_off_proportionally() {
+        let mut hw = CoordinatedHeuristicHw::new();
+        // 20% power overshoot → several steps down at once.
+        let u = hw.invoke(&hw_sense(3.96, 55.0, 1.6));
+        assert!(u.f_big <= 1.3, "f_big {}", u.f_big);
+        // Mild overshoot → one step down.
+        let u2 = hw.invoke(&hw_sense(3.35, 55.0, 1.6));
+        assert!((u2.f_big - 1.5).abs() < 1e-9);
+        // Just under the limit → keeps probing upward (the paper's
+        // "increase while safe"), which is the source of its oscillation.
+        let u3 = hw.invoke(&hw_sense(3.25, 55.0, 1.3));
+        assert!((u3.f_big - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordinated_hw_sizes_cores_from_thread_distribution() {
+        let mut hw = CoordinatedHeuristicHw::new();
+        let mut s = hw_sense(2.0, 55.0, 1.0);
+        s.ext.threads_big = 2.0;
+        s.active_threads = 3; // one thread on little
+        let u = hw.invoke(&s);
+        assert_eq!(u.big_cores, 2.0);
+        assert_eq!(u.little_cores, 1.0);
+    }
+
+    #[test]
+    fn decoupled_os_round_robins() {
+        let mut os = DecoupledHeuristicOs::new();
+        let u = os.invoke(&os_sense(8, 4.0, 2.0));
+        assert_eq!(u.threads_big, 4.0);
+        let u = os.invoke(&os_sense(5, 4.0, 2.0));
+        assert_eq!(u.threads_big, 3.0);
+    }
+
+    #[test]
+    fn decoupled_hw_runs_flat_out_when_safe() {
+        let mut hw = DecoupledHeuristicHw::new();
+        let u = hw.invoke(&hw_sense(2.0, 55.0, 2.0));
+        assert_eq!(u.f_big, 2.0);
+        assert_eq!(u.big_cores, 4.0);
+    }
+
+    #[test]
+    fn decoupled_hw_oscillates_on_violations() {
+        let mut hw = DecoupledHeuristicHw::new();
+        // Violation: backs off two steps.
+        let u1 = hw.invoke(&hw_sense(4.5, 70.0, 2.0));
+        assert!((u1.f_big - 1.8).abs() < 1e-9);
+        // Continued violation: further back-off.
+        let u2 = hw.invoke(&hw_sense(4.0, 70.0, 1.8));
+        assert!((u2.f_big - 1.6).abs() < 1e-9);
+        // Two safe readings: snaps back to max (the oscillation source).
+        hw.invoke(&hw_sense(2.0, 60.0, 1.6));
+        let u4 = hw.invoke(&hw_sense(2.0, 60.0, 1.6));
+        assert_eq!(u4.f_big, 2.0);
+    }
+
+    #[test]
+    fn decoupled_hw_drops_cores_after_frequency_exhausted() {
+        let mut hw = DecoupledHeuristicHw::new();
+        for _ in 0..4 {
+            hw.invoke(&hw_sense(4.5, 88.0, 1.0));
+        }
+        let u = hw.invoke(&hw_sense(4.5, 88.0, 1.0));
+        assert!(u.big_cores < 4.0);
+    }
+}

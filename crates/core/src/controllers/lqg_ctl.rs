@@ -1,0 +1,344 @@
+//! LQG baselines of Section VI-B.
+//!
+//! LQG controllers cannot take external signals, so only two multilayer
+//! arrangements exist: fully decoupled per-layer controllers, or one
+//! monolithic controller spanning both layers (the configuration of the
+//! paper's ISCA'16 predecessor). Both also lack output bounds,
+//! quantization awareness, and uncertainty guardbands — the gap the
+//! evaluation quantifies.
+
+use yukta_control::lqg::LqgTracker;
+
+use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::optimizer::{HwOptimizer, OsOptimizer};
+use crate::signals::{ActuatorGrids, HwInputs, HwOutputs, OsInputs, OsOutputs, SignalRanges};
+
+/// Decoupled hardware-layer LQG controller (no external signals).
+#[derive(Debug, Clone)]
+pub struct LqgHwController {
+    tracker: LqgTracker,
+    ranges: SignalRanges,
+    grids: ActuatorGrids,
+    optimizer: HwOptimizer,
+    targets: HwOutputs,
+}
+
+impl LqgHwController {
+    /// Deploys a tracker designed on the hardware-only model (4 inputs →
+    /// 4 outputs, normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker's plant is not 4×4.
+    pub fn new(tracker: LqgTracker, optimizer: HwOptimizer) -> Self {
+        assert_eq!(tracker.plant().n_inputs(), 4, "hw LQG inputs");
+        assert_eq!(tracker.plant().n_outputs(), 4, "hw LQG outputs");
+        LqgHwController {
+            tracker,
+            ranges: SignalRanges::xu3(),
+            grids: ActuatorGrids::xu3(),
+            optimizer,
+            targets: HwOutputs::default(),
+        }
+    }
+}
+
+impl HwPolicy for LqgHwController {
+    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+        self.targets = self.optimizer.update(&sense.outputs);
+        let r = self.ranges.norm_hw_outputs(&self.targets);
+        let y = self.ranges.norm_hw_outputs(&sense.outputs);
+        let u = self.tracker.step(&r, &y);
+        // LQG is quantization-blind: it emits continuous commands; the
+        // board saturates/snaps them. Feed the snapped values back so the
+        // estimator at least tracks reality.
+        let out = HwInputs {
+            big_cores: self
+                .grids
+                .big_cores
+                .quantize(self.ranges.cores.denormalize(u[0])),
+            little_cores: self
+                .grids
+                .little_cores
+                .quantize(self.ranges.cores.denormalize(u[1])),
+            f_big: self.grids.f_big.quantize(self.ranges.f_big.denormalize(u[2])),
+            f_little: self
+                .grids
+                .f_little
+                .quantize(self.ranges.f_little.denormalize(u[3])),
+        };
+        let applied = self.ranges.norm_hw_inputs(&out);
+        self.tracker.set_applied_input(&applied);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "hw-lqg"
+    }
+}
+
+/// Decoupled software-layer LQG controller (no external signals).
+#[derive(Debug, Clone)]
+pub struct LqgOsController {
+    tracker: LqgTracker,
+    ranges: SignalRanges,
+    grids: ActuatorGrids,
+    optimizer: OsOptimizer,
+    targets: OsOutputs,
+}
+
+impl LqgOsController {
+    /// Deploys a tracker designed on the software-only model (3 inputs →
+    /// 3 outputs, normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker's plant is not 3×3.
+    pub fn new(tracker: LqgTracker, optimizer: OsOptimizer) -> Self {
+        assert_eq!(tracker.plant().n_inputs(), 3, "os LQG inputs");
+        assert_eq!(tracker.plant().n_outputs(), 3, "os LQG outputs");
+        LqgOsController {
+            tracker,
+            ranges: SignalRanges::xu3(),
+            grids: ActuatorGrids::xu3(),
+            optimizer,
+            targets: OsOutputs::default(),
+        }
+    }
+}
+
+impl OsPolicy for LqgOsController {
+    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+        self.targets = self.optimizer.update(&sense.outputs, &sense.system);
+        let r = self.ranges.norm_os_outputs(&self.targets);
+        let y = self.ranges.norm_os_outputs(&sense.outputs);
+        let u = self.tracker.step(&r, &y);
+        let tb = self
+            .grids
+            .threads_big
+            .quantize(self.ranges.threads_big.denormalize(u[0]))
+            .min(sense.active_threads as f64);
+        let out = OsInputs {
+            threads_big: tb,
+            packing_big: self
+                .grids
+                .packing
+                .quantize(self.ranges.packing.denormalize(u[1])),
+            packing_little: self
+                .grids
+                .packing
+                .quantize(self.ranges.packing.denormalize(u[2])),
+        };
+        let applied = self.ranges.norm_os_inputs(&out);
+        self.tracker.set_applied_input(&applied);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "os-lqg"
+    }
+}
+
+/// Monolithic LQG controller spanning both layers: one tracker over the
+/// joint 7-input, 7-output model (the configuration of the paper's reference \[35\]).
+#[derive(Debug, Clone)]
+pub struct MonolithicLqg {
+    tracker: LqgTracker,
+    ranges: SignalRanges,
+    grids: ActuatorGrids,
+    hw_optimizer: HwOptimizer,
+    os_optimizer: OsOptimizer,
+    hw_targets: HwOutputs,
+    os_targets: OsOutputs,
+}
+
+impl MonolithicLqg {
+    /// Deploys a tracker designed on the joint model: inputs
+    /// `[u_hw(4); u_os(3)]`, outputs `[y_hw(4); y_os(3)]`, normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker's plant is not 7×7.
+    pub fn new(tracker: LqgTracker, hw_optimizer: HwOptimizer, os_optimizer: OsOptimizer) -> Self {
+        assert_eq!(tracker.plant().n_inputs(), 7, "monolithic LQG inputs");
+        assert_eq!(tracker.plant().n_outputs(), 7, "monolithic LQG outputs");
+        MonolithicLqg {
+            tracker,
+            ranges: SignalRanges::xu3(),
+            grids: ActuatorGrids::xu3(),
+            hw_optimizer,
+            os_optimizer,
+            hw_targets: HwOutputs::default(),
+            os_targets: OsOutputs::default(),
+        }
+    }
+
+    /// One joint invocation over both layers' sensors; returns the full
+    /// cross-layer actuation.
+    pub fn invoke(&mut self, hw: &HwSense, os: &OsSense) -> (HwInputs, OsInputs) {
+        self.hw_targets = self.hw_optimizer.update(&hw.outputs);
+        self.os_targets = self.os_optimizer.update(&os.outputs, &hw.outputs);
+        let rh = self.ranges.norm_hw_outputs(&self.hw_targets);
+        let ro = self.ranges.norm_os_outputs(&self.os_targets);
+        let yh = self.ranges.norm_hw_outputs(&hw.outputs);
+        let yo = self.ranges.norm_os_outputs(&os.outputs);
+        let r = [rh[0], rh[1], rh[2], rh[3], ro[0], ro[1], ro[2]];
+        let y = [yh[0], yh[1], yh[2], yh[3], yo[0], yo[1], yo[2]];
+        let u = self.tracker.step(&r, &y);
+        let hw_out = HwInputs {
+            big_cores: self
+                .grids
+                .big_cores
+                .quantize(self.ranges.cores.denormalize(u[0])),
+            little_cores: self
+                .grids
+                .little_cores
+                .quantize(self.ranges.cores.denormalize(u[1])),
+            f_big: self.grids.f_big.quantize(self.ranges.f_big.denormalize(u[2])),
+            f_little: self
+                .grids
+                .f_little
+                .quantize(self.ranges.f_little.denormalize(u[3])),
+        };
+        let tb = self
+            .grids
+            .threads_big
+            .quantize(self.ranges.threads_big.denormalize(u[4]))
+            .min(os.active_threads as f64);
+        let os_out = OsInputs {
+            threads_big: tb,
+            packing_big: self
+                .grids
+                .packing
+                .quantize(self.ranges.packing.denormalize(u[5])),
+            packing_little: self
+                .grids
+                .packing
+                .quantize(self.ranges.packing.denormalize(u[6])),
+        };
+        let hwn = self.ranges.norm_hw_inputs(&hw_out);
+        let osn = self.ranges.norm_os_inputs(&os_out);
+        self.tracker
+            .set_applied_input(&[hwn[0], hwn[1], hwn[2], hwn[3], osn[0], osn[1], osn[2]]);
+        (hw_out, os_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::Limits;
+    use yukta_control::lqg::LqgWeights;
+    use yukta_control::ss::StateSpace;
+    use yukta_linalg::Mat;
+
+    /// A stable normalized test model with n inputs and n outputs.
+    fn model(n: usize) -> StateSpace {
+        let mut a = Mat::zeros(n, n);
+        let mut b = Mat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 0.6;
+            b[(i, i)] = 0.3;
+            if i + 1 < n {
+                a[(i, i + 1)] = 0.05;
+                b[(i, (i + 1) % n)] = 0.05;
+            }
+        }
+        StateSpace::new(a, b, Mat::identity(n), Mat::zeros(n, n), Some(0.5)).unwrap()
+    }
+
+    fn hw_sense() -> HwSense {
+        HwSense {
+            outputs: HwOutputs {
+                perf: 3.0,
+                p_big: 2.0,
+                p_little: 0.2,
+                temp: 60.0,
+            },
+            ext: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            current: HwInputs {
+                big_cores: 4.0,
+                little_cores: 4.0,
+                f_big: 1.0,
+                f_little: 1.0,
+            },
+            active_threads: 8,
+            limits: Limits::default(),
+        }
+    }
+
+    fn os_sense() -> OsSense {
+        OsSense {
+            outputs: OsOutputs {
+                perf_little: 0.3,
+                perf_big: 2.0,
+                spare_diff: 0.0,
+            },
+            ext: HwInputs {
+                big_cores: 4.0,
+                little_cores: 4.0,
+                f_big: 1.0,
+                f_little: 1.0,
+            },
+            current: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            active_threads: 8,
+            system: HwOutputs {
+                perf: 3.0,
+                p_big: 2.0,
+                p_little: 0.2,
+                temp: 60.0,
+            },
+            limits: Limits::default(),
+        }
+    }
+
+    #[test]
+    fn hw_lqg_emits_grid_values() {
+        let tracker = LqgTracker::design(&model(4), LqgWeights::default()).unwrap();
+        let mut c = LqgHwController::new(tracker, HwOptimizer::new(Limits::default()));
+        let u = c.invoke(&hw_sense());
+        let g = ActuatorGrids::xu3();
+        assert_eq!(g.f_big.quantize(u.f_big), u.f_big);
+        assert!((0.2..=2.0).contains(&u.f_big));
+    }
+
+    #[test]
+    fn os_lqg_respects_active_thread_count() {
+        let tracker = LqgTracker::design(&model(3), LqgWeights::default()).unwrap();
+        let mut c = LqgOsController::new(tracker, OsOptimizer::new());
+        let mut s = os_sense();
+        s.active_threads = 1;
+        let u = c.invoke(&s);
+        assert!(u.threads_big <= 1.0);
+    }
+
+    #[test]
+    fn monolithic_lqg_actuates_both_layers() {
+        let tracker = LqgTracker::design(&model(7), LqgWeights::default()).unwrap();
+        let mut c = MonolithicLqg::new(
+            tracker,
+            HwOptimizer::new(Limits::default()),
+            OsOptimizer::new(),
+        );
+        let (hw, os) = c.invoke(&hw_sense(), &os_sense());
+        assert!((1.0..=4.0).contains(&hw.big_cores));
+        assert!((0.0..=8.0).contains(&os.threads_big));
+    }
+
+    #[test]
+    fn wrong_model_shape_panics() {
+        let tracker = LqgTracker::design(&model(3), LqgWeights::default()).unwrap();
+        let result = std::panic::catch_unwind(move || {
+            LqgHwController::new(tracker, HwOptimizer::new(Limits::default()))
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Controller interfaces and implementations.
+//!
+//! Each layer's controller sees only its own sensors plus the *external
+//! signals* the other layer exposes through the agreed interface
+//! (Section III-C): the hardware controller reads what the OS actuates
+//! (thread distribution) and vice versa (core counts and frequencies).
+
+pub mod heuristic;
+pub mod lqg_ctl;
+pub mod ssv;
+
+use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs};
+
+/// Everything the hardware-layer controller can observe at one invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct HwSense {
+    /// Measured outputs (Table II).
+    pub outputs: HwOutputs,
+    /// External signals from the OS layer (its actuated inputs).
+    pub ext: OsInputs,
+    /// The hardware operating point currently in force.
+    pub current: HwInputs,
+    /// Active application threads (part of the coordination interface; on
+    /// the real board this is visible to the privileged controller
+    /// process).
+    pub active_threads: usize,
+    /// The constraint limits.
+    pub limits: Limits,
+}
+
+/// Everything the software-layer controller can observe at one invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct OsSense {
+    /// Measured outputs (Table III).
+    pub outputs: OsOutputs,
+    /// External signals from the hardware layer (its actuated inputs).
+    pub ext: HwInputs,
+    /// The placement currently in force.
+    pub current: OsInputs,
+    /// Active application threads.
+    pub active_threads: usize,
+    /// System measurements available to the optimizer (the OS reads the
+    /// same power/temperature sysfs files as the hardware layer).
+    pub system: HwOutputs,
+    /// The constraint limits.
+    pub limits: Limits,
+}
+
+/// A hardware-layer policy: chooses the next operating point every 500 ms.
+pub trait HwPolicy {
+    /// One controller invocation.
+    fn invoke(&mut self, sense: &HwSense) -> HwInputs;
+
+    /// Scheme-facing label.
+    fn name(&self) -> &'static str;
+}
+
+/// A software-layer policy: chooses the next thread placement every 500 ms.
+pub trait OsPolicy {
+    /// One controller invocation.
+    fn invoke(&mut self, sense: &OsSense) -> OsInputs;
+
+    /// Scheme-facing label.
+    fn name(&self) -> &'static str;
+}

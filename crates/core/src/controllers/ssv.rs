@@ -1,0 +1,382 @@
+//! Runtime wrappers deploying the synthesized SSV controllers.
+//!
+//! Each wrapper owns the discrete controller state machine (Equations 3–4),
+//! the signal scalers, the actuator grids, and — unless the experiment
+//! pins fixed targets — an optimizer module (Figure 5).
+
+use yukta_control::dk::SsvSynthesis;
+use yukta_control::runtime::ObsAwController;
+
+use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::optimizer::{HwOptimizer, OsOptimizer};
+use crate::signals::{ActuatorGrids, HwInputs, HwOutputs, OsInputs, OsOutputs, SignalRanges};
+
+/// The hardware-layer SSV controller (Table II) at runtime.
+#[derive(Debug, Clone)]
+pub struct SsvHwController {
+    rt: ObsAwController,
+    ranges: SignalRanges,
+    grids: ActuatorGrids,
+    optimizer: Option<HwOptimizer>,
+    targets: HwOutputs,
+    ignore_external: bool,
+    naive_quantization: bool,
+}
+
+impl SsvHwController {
+    /// Deploys a synthesized controller with an E×D optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller does not have 11 inputs (4 output errors +
+    /// 3 external signals + 4 applied inputs) and 4 outputs.
+    pub fn new(syn: &SsvSynthesis, optimizer: HwOptimizer) -> Self {
+        assert_eq!(syn.controller.n_inputs(), 11, "hw SSV controller inputs");
+        assert_eq!(syn.controller.n_outputs(), 4, "hw SSV controller outputs");
+        SsvHwController {
+            rt: ObsAwController::new(&syn.controller),
+            ranges: SignalRanges::xu3(),
+            grids: ActuatorGrids::xu3(),
+            optimizer: Some(optimizer),
+            targets: HwOutputs::default(),
+            ignore_external: false,
+            naive_quantization: false,
+        }
+    }
+
+    /// Ablation: run without coordination — the external-signal channels
+    /// are zeroed at runtime (the controller was still synthesized with
+    /// them; this measures the value of the information itself).
+    pub fn without_external_signals(mut self) -> Self {
+        self.ignore_external = true;
+        self
+    }
+
+    /// Ablation: quantization-blind deployment — the observer propagates
+    /// with the *commanded* input instead of the applied one, as a naive
+    /// wrapper would. Measures the value of saturation/quantization
+    /// awareness.
+    pub fn with_naive_quantization(mut self) -> Self {
+        self.naive_quantization = true;
+        self
+    }
+
+    /// Deploys with fixed output targets (the Figure 15(a) experiment).
+    pub fn with_fixed_targets(syn: &SsvSynthesis, targets: HwOutputs) -> Self {
+        let mut c = SsvHwController::new(syn, HwOptimizer::new(Default::default()));
+        c.optimizer = None;
+        c.targets = targets;
+        c
+    }
+
+    /// The targets currently being tracked.
+    pub fn targets(&self) -> HwOutputs {
+        self.targets
+    }
+}
+
+impl HwPolicy for SsvHwController {
+    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+        if let Some(opt) = &mut self.optimizer {
+            self.targets = opt.update(&sense.outputs);
+        }
+        let ty = self.ranges.norm_hw_outputs(&self.targets);
+        let my = self.ranges.norm_hw_outputs(&sense.outputs);
+        let mut ext = self.ranges.norm_os_inputs(&sense.ext);
+        if self.ignore_external {
+            ext = [0.0; 3];
+        }
+        let meas = [
+            ty[0] - my[0],
+            ty[1] - my[1],
+            ty[2] - my[2],
+            ty[3] - my[3],
+            ext[0],
+            ext[1],
+            ext[2],
+        ];
+        let ranges = self.ranges.clone();
+        let grids = self.grids.clone();
+        let naive = self.naive_quantization;
+        let quantize = move |u: &[f64]| -> Vec<f64> {
+            if naive {
+                // Quantization-blind: tell the observer the command went
+                // through unchanged (the board still snaps it).
+                return u.to_vec();
+            }
+            vec![
+                ranges
+                    .cores
+                    .normalize(grids.big_cores.quantize(ranges.cores.denormalize(u[0]))),
+                ranges
+                    .cores
+                    .normalize(grids.little_cores.quantize(ranges.cores.denormalize(u[1]))),
+                ranges
+                    .f_big
+                    .normalize(grids.f_big.quantize(ranges.f_big.denormalize(u[2]))),
+                ranges
+                    .f_little
+                    .normalize(grids.f_little.quantize(ranges.f_little.denormalize(u[3]))),
+            ]
+        };
+        let (_, applied) = self.rt.step(&meas, &quantize);
+        // (Under the naive-quantization ablation `applied` is the raw
+        // command; the board's own snapping still applies downstream.)
+        HwInputs {
+            big_cores: self.ranges.cores.denormalize(applied[0]),
+            little_cores: self.ranges.cores.denormalize(applied[1]),
+            f_big: self.ranges.f_big.denormalize(applied[2]),
+            f_little: self.ranges.f_little.denormalize(applied[3]),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hw-ssv"
+    }
+}
+
+/// The software-layer SSV controller (Table III) at runtime.
+#[derive(Debug, Clone)]
+pub struct SsvOsController {
+    rt: ObsAwController,
+    ranges: SignalRanges,
+    grids: ActuatorGrids,
+    optimizer: Option<OsOptimizer>,
+    targets: OsOutputs,
+    ignore_external: bool,
+    naive_quantization: bool,
+}
+
+impl SsvOsController {
+    /// Deploys a synthesized controller with an E×D optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller does not have 10 inputs (3 output errors +
+    /// 4 external signals + 3 applied inputs) and 3 outputs.
+    pub fn new(syn: &SsvSynthesis, optimizer: OsOptimizer) -> Self {
+        assert_eq!(syn.controller.n_inputs(), 10, "os SSV controller inputs");
+        assert_eq!(syn.controller.n_outputs(), 3, "os SSV controller outputs");
+        SsvOsController {
+            rt: ObsAwController::new(&syn.controller),
+            ranges: SignalRanges::xu3(),
+            grids: ActuatorGrids::xu3(),
+            optimizer: Some(optimizer),
+            targets: OsOutputs::default(),
+            ignore_external: false,
+            naive_quantization: false,
+        }
+    }
+
+    /// Ablation: run without coordination (external signals zeroed).
+    pub fn without_external_signals(mut self) -> Self {
+        self.ignore_external = true;
+        self
+    }
+
+    /// Ablation: quantization-blind deployment (see
+    /// [`SsvHwController::with_naive_quantization`]).
+    pub fn with_naive_quantization(mut self) -> Self {
+        self.naive_quantization = true;
+        self
+    }
+
+    /// Deploys with fixed output targets (the Figure 15(a) experiment).
+    pub fn with_fixed_targets(syn: &SsvSynthesis, targets: OsOutputs) -> Self {
+        let mut c = SsvOsController::new(syn, OsOptimizer::new());
+        c.optimizer = None;
+        c.targets = targets;
+        c
+    }
+
+    /// The targets currently being tracked.
+    pub fn targets(&self) -> OsOutputs {
+        self.targets
+    }
+}
+
+impl OsPolicy for SsvOsController {
+    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+        if let Some(opt) = &mut self.optimizer {
+            self.targets = opt.update(&sense.outputs, &sense.system);
+        }
+        let ty = self.ranges.norm_os_outputs(&self.targets);
+        let my = self.ranges.norm_os_outputs(&sense.outputs);
+        let mut ext = self.ranges.norm_hw_inputs(&sense.ext);
+        if self.ignore_external {
+            ext = [0.0; 4];
+        }
+        let meas = [
+            ty[0] - my[0],
+            ty[1] - my[1],
+            ty[2] - my[2],
+            ext[0],
+            ext[1],
+            ext[2],
+            ext[3],
+        ];
+        let n_active = sense.active_threads as f64;
+        let ranges = self.ranges.clone();
+        let grids = self.grids.clone();
+        let naive = self.naive_quantization;
+        let quantize = move |u: &[f64]| -> Vec<f64> {
+            if naive {
+                return u.to_vec();
+            }
+            let tb = grids
+                .threads_big
+                .quantize(ranges.threads_big.denormalize(u[0]))
+                .min(n_active);
+            vec![
+                ranges.threads_big.normalize(tb),
+                ranges
+                    .packing
+                    .normalize(grids.packing.quantize(ranges.packing.denormalize(u[1]))),
+                ranges
+                    .packing
+                    .normalize(grids.packing.quantize(ranges.packing.denormalize(u[2]))),
+            ]
+        };
+        let (_, applied) = self.rt.step(&meas, &quantize);
+        OsInputs {
+            threads_big: self
+                .ranges
+                .threads_big
+                .denormalize(applied[0])
+                .clamp(0.0, n_active),
+            packing_big: self.ranges.packing.denormalize(applied[1]).clamp(1.0, 4.0),
+            packing_little: self.ranges.packing.denormalize(applied[2]).clamp(1.0, 4.0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "os-ssv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::Limits;
+    use yukta_linalg::Mat;
+
+    /// A stand-in synthesis result with the right I/O shape: a small
+    /// static gain from errors to inputs and zero anti-windup gain.
+    fn dummy_hw_synthesis() -> SsvSynthesis {
+        let mut d = Mat::zeros(4, 11);
+        for i in 0..4 {
+            d[(i, i)] = 0.5;
+        }
+        SsvSynthesis {
+            controller: yukta_control::ss::StateSpace::from_gain(d, Some(0.5)),
+            gamma: 1.0,
+            mu_peak: 1.0,
+            scalings: vec![1.0],
+            iterations: 1,
+            guaranteed_bounds: vec![0.2; 4],
+        }
+    }
+
+    fn dummy_os_synthesis() -> SsvSynthesis {
+        let mut d = Mat::zeros(3, 10);
+        for i in 0..3 {
+            d[(i, i)] = 0.5;
+        }
+        SsvSynthesis {
+            controller: yukta_control::ss::StateSpace::from_gain(d, Some(0.5)),
+            gamma: 1.0,
+            mu_peak: 1.0,
+            scalings: vec![1.0],
+            iterations: 1,
+            guaranteed_bounds: vec![0.2; 3],
+        }
+    }
+
+    fn hw_sense() -> HwSense {
+        HwSense {
+            outputs: HwOutputs {
+                perf: 3.0,
+                p_big: 2.0,
+                p_little: 0.2,
+                temp: 60.0,
+            },
+            ext: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            current: HwInputs {
+                big_cores: 4.0,
+                little_cores: 4.0,
+                f_big: 1.0,
+                f_little: 1.0,
+            },
+            active_threads: 8,
+            limits: Limits::default(),
+        }
+    }
+
+    #[test]
+    fn hw_outputs_land_on_actuator_grids() {
+        let mut c = SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
+        let u = c.invoke(&hw_sense());
+        let g = ActuatorGrids::xu3();
+        assert_eq!(g.f_big.quantize(u.f_big), u.f_big);
+        assert_eq!(g.big_cores.quantize(u.big_cores), u.big_cores);
+        assert!((1.0..=4.0).contains(&u.big_cores));
+        assert!((0.2..=2.0).contains(&u.f_big));
+    }
+
+    #[test]
+    fn fixed_targets_skip_the_optimizer() {
+        let t = HwOutputs {
+            perf: 5.5,
+            p_big: 2.5,
+            p_little: 0.2,
+            temp: 70.0,
+        };
+        let mut c = SsvHwController::with_fixed_targets(&dummy_hw_synthesis(), t);
+        c.invoke(&hw_sense());
+        c.invoke(&hw_sense());
+        assert_eq!(c.targets(), t);
+    }
+
+    #[test]
+    fn optimizer_moves_targets_between_invocations() {
+        let mut c = SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
+        c.invoke(&hw_sense());
+        let t1 = c.targets();
+        c.invoke(&hw_sense());
+        let t2 = c.targets();
+        assert!((t2.perf - t1.perf).abs() > 1e-9);
+    }
+
+    #[test]
+    fn os_threads_never_exceed_active() {
+        let mut c = SsvOsController::new(&dummy_os_synthesis(), OsOptimizer::new());
+        let sense = OsSense {
+            outputs: OsOutputs {
+                perf_little: 0.3,
+                perf_big: 2.0,
+                spare_diff: 0.0,
+            },
+            ext: HwInputs {
+                big_cores: 4.0,
+                little_cores: 4.0,
+                f_big: 1.6,
+                f_little: 1.0,
+            },
+            current: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            active_threads: 2,
+            system: HwOutputs::default(),
+            limits: Limits::default(),
+        };
+        let u = c.invoke(&sense);
+        assert!(u.threads_big <= 2.0);
+        assert!((1.0..=4.0).contains(&u.packing_big));
+    }
+}

@@ -1,0 +1,42 @@
+//! # yukta-core
+//!
+//! The paper's contribution: coordinated multilayer SSV resource
+//! controllers for a big.LITTLE system, plus every baseline the
+//! evaluation compares against.
+//!
+//! * [`signals`] — the inputs/outputs/external signals of Tables II/III,
+//!   their ranges, grids, and the 0.33 W / 3.3 W / 79 °C limits.
+//! * [`design`] — the Figure 3 pipeline: excite the board with the
+//!   training workloads, identify black-box models, synthesize the SSV
+//!   controllers by D–K iteration.
+//! * [`controllers`] — the hardware/software SSV controllers at runtime,
+//!   the coordinated and decoupled heuristics (Table IV), and the
+//!   decoupled/monolithic LQG baselines (Section VI-B).
+//! * [`optimizer`] — the E×D target optimizers of Section IV-D.
+//! * [`schemes`] — the named two-layer schemes of the evaluation.
+//! * [`runtime`] — the 500 ms control loop wiring controllers, board, and
+//!   workload; produces [`metrics::Report`]s with full traces.
+//!
+//! ```no_run
+//! use yukta_core::runtime::Experiment;
+//! use yukta_core::schemes::Scheme;
+//! use yukta_workloads::catalog;
+//!
+//! # fn main() -> Result<(), yukta_linalg::Error> {
+//! let report = Experiment::new(Scheme::YuktaHwSsvOsSsv)?
+//!     .run(&catalog::parsec::blackscholes())?;
+//! println!("E×D = {:.1} J·s", report.metrics.exd());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod controllers;
+pub mod design;
+pub mod metrics;
+pub mod optimizer;
+pub mod runtime;
+pub mod schemes;
+pub mod signals;
+
+pub use metrics::{Metrics, Report};
+pub use schemes::Scheme;

@@ -1,0 +1,163 @@
+//! Execution metrics and time-series traces — the raw material of every
+//! figure in the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy/delay metrics of one workload execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Cluster energy consumed (J).
+    pub energy_joules: f64,
+    /// Execution time (s).
+    pub delay_seconds: f64,
+    /// Whether the workload ran to completion (false = timeout).
+    pub completed: bool,
+}
+
+impl Metrics {
+    /// The paper's primary figure of merit: Energy × Delay (J·s).
+    pub fn exd(&self) -> f64 {
+        self.energy_joules * self.delay_seconds
+    }
+}
+
+/// One sampled point of an execution trace (taken at each controller
+/// invocation, every 500 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulated time (s).
+    pub time: f64,
+    /// Big-cluster power from the sensor (W).
+    pub p_big: f64,
+    /// Little-cluster power from the sensor (W).
+    pub p_little: f64,
+    /// Hotspot temperature (°C).
+    pub temp: f64,
+    /// Total BIPS over the last controller period.
+    pub bips: f64,
+    /// Big-cluster BIPS over the last period.
+    pub bips_big: f64,
+    /// Little-cluster BIPS over the last period.
+    pub bips_little: f64,
+    /// Effective big-cluster frequency (GHz).
+    pub f_big: f64,
+    /// Effective little-cluster frequency (GHz).
+    pub f_little: f64,
+    /// Powered big cores.
+    pub big_cores: usize,
+    /// Powered little cores.
+    pub little_cores: usize,
+    /// Threads currently assigned to the big cluster.
+    pub threads_big: usize,
+    /// Active threads in the workload.
+    pub active_threads: usize,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Samples in time order.
+    pub samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, s: TraceSample) {
+        self.samples.push(s);
+    }
+
+    /// Mean of an arbitrary per-sample quantity over the trace.
+    pub fn mean_of(&self, f: impl Fn(&TraceSample) -> f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(&f).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Counts threshold crossings (rising edges) of a quantity — used to
+    /// quantify the power oscillations of Figure 10.
+    pub fn crossings_above(&self, f: impl Fn(&TraceSample) -> f64, threshold: f64) -> usize {
+        let mut count = 0;
+        let mut above = false;
+        for s in &self.samples {
+            let v = f(s);
+            if v > threshold && !above {
+                count += 1;
+                above = true;
+            } else if v <= threshold {
+                above = false;
+            }
+        }
+        count
+    }
+}
+
+/// The outcome of running one scheme on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Aggregate metrics.
+    pub metrics: Metrics,
+    /// Full 500 ms-resolution trace.
+    pub trace: Trace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, p: f64) -> TraceSample {
+        TraceSample {
+            time: t,
+            p_big: p,
+            p_little: 0.0,
+            temp: 50.0,
+            bips: 1.0,
+            bips_big: 0.8,
+            bips_little: 0.2,
+            f_big: 1.0,
+            f_little: 1.0,
+            big_cores: 4,
+            little_cores: 4,
+            threads_big: 4,
+            active_threads: 8,
+        }
+    }
+
+    #[test]
+    fn exd_is_product() {
+        let m = Metrics {
+            energy_joules: 100.0,
+            delay_seconds: 20.0,
+            completed: true,
+        };
+        assert_eq!(m.exd(), 2000.0);
+    }
+
+    #[test]
+    fn trace_mean() {
+        let mut t = Trace::new();
+        t.push(sample(0.0, 1.0));
+        t.push(sample(0.5, 3.0));
+        assert_eq!(t.mean_of(|s| s.p_big), 2.0);
+        assert_eq!(Trace::new().mean_of(|s| s.p_big), 0.0);
+    }
+
+    #[test]
+    fn crossings_count_rising_edges() {
+        let mut t = Trace::new();
+        for &p in &[1.0, 4.0, 4.5, 2.0, 4.2, 1.0, 3.9, 4.1] {
+            t.push(sample(0.0, p));
+        }
+        assert_eq!(t.crossings_above(|s| s.p_big, 4.0), 3);
+        assert_eq!(t.crossings_above(|s| s.p_big, 10.0), 0);
+    }
+}

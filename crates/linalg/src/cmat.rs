@@ -1,0 +1,538 @@
+//! Complex scalars and dense complex matrices.
+//!
+//! Frequency-domain analysis — evaluating a closed loop `N(e^{jωT})`,
+//! computing singular values of a complex response, scaling by diagonal
+//! `D` matrices — all happens on [`CMat`]. The scalar type [`C64`] is a
+//! minimal complex double; we implement it ourselves because the stack is
+//! dependency-free by design.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Mat, Result};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use yukta_linalg::C64;
+///
+/// let i = C64::new(0.0, 1.0);
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — a point on the unit circle.
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`, cheaper than [`C64::abs`].
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns an infinite value if `z == 0`, mirroring `f64` semantics.
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Whether both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Div for C64 {
+    type Output = C64;
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl std::ops::Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl std::ops::Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl std::ops::AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::fmt::Display for C64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// A dense, row-major complex matrix.
+///
+/// ```
+/// use yukta_linalg::{C64, CMat, Mat};
+///
+/// let m = CMat::from_real(&Mat::identity(2));
+/// assert_eq!(m.get(0, 0), C64::ONE);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Creates a `rows × cols` complex matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` complex identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, C64::ONE);
+        }
+        m
+    }
+
+    /// Lifts a real matrix to a complex one.
+    pub fn from_real(m: &Mat) -> Self {
+        let mut out = CMat::zeros(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                out.set(i, j, C64::real(m[(i, j)]));
+            }
+        }
+        out
+    }
+
+    /// Creates a square diagonal complex matrix from real diagonal entries.
+    pub fn diag_real(entries: &[f64]) -> Self {
+        let n = entries.len();
+        let mut m = CMat::zeros(n, n);
+        for (i, &v) in entries.iter().enumerate() {
+            m.set(i, i, C64::real(v));
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if out of range.
+    pub fn get(&self, i: usize, j: usize) -> C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: C64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Conjugate transpose `Mᴴ`.
+    pub fn h(&self) -> CMat {
+        let mut out = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j).conj());
+            }
+        }
+        out
+    }
+
+    /// Matrix product, checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, rhs: &CMat) -> Result<CMat> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                op: "cmatmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + aik * rhs.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entry-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "CMat add shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a = *a + *b;
+        }
+        out
+    }
+
+    /// Entry-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "CMat sub shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a = *a - *b;
+        }
+        out
+    }
+
+    /// Scales every entry by a complex scalar.
+    pub fn scale(&self, s: C64) -> CMat {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v = *v * s;
+        }
+        out
+    }
+
+    /// Multiplies the matrix by a complex vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on length mismatch.
+    pub fn matvec(&self, x: &[C64]) -> Result<Vec<C64>> {
+        if x.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "cmatvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = C64::ZERO;
+            for j in 0..self.cols {
+                acc += self.get(i, j) * x[j];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum entry modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Whether every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Solves `self * X = B` via complex LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Singular`] if the matrix is singular and
+    /// [`Error::DimensionMismatch`] if shapes do not conform.
+    pub fn solve(&self, b: &CMat) -> Result<CMat> {
+        if !self.is_square() {
+            return Err(Error::DimensionMismatch {
+                op: "csolve",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        if self.rows != b.rows {
+            return Err(Error::DimensionMismatch {
+                op: "csolve",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.clone();
+        // Forward elimination with partial pivoting.
+        for k in 0..n {
+            let mut p = k;
+            let mut best = a.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = a.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(Error::Singular { op: "csolve" });
+            }
+            if p != k {
+                for j in 0..n {
+                    let t = a.get(k, j);
+                    a.set(k, j, a.get(p, j));
+                    a.set(p, j, t);
+                }
+                for j in 0..x.cols {
+                    let t = x.get(k, j);
+                    x.set(k, j, x.get(p, j));
+                    x.set(p, j, t);
+                }
+            }
+            let pivot = a.get(k, k);
+            for i in (k + 1)..n {
+                let factor = a.get(i, k) / pivot;
+                if factor == C64::ZERO {
+                    continue;
+                }
+                for j in k..n {
+                    let v = a.get(i, j) - factor * a.get(k, j);
+                    a.set(i, j, v);
+                }
+                for j in 0..x.cols {
+                    let v = x.get(i, j) - factor * x.get(k, j);
+                    x.set(i, j, v);
+                }
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let pivot = a.get(k, k);
+            for j in 0..x.cols {
+                let mut acc = x.get(k, j);
+                for m in (k + 1)..n {
+                    acc = acc - a.get(k, m) * x.get(m, j);
+                }
+                x.set(k, j, acc / pivot);
+            }
+        }
+        Ok(x)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Inverse via [`CMat::solve`] against the identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Singular`] if not invertible.
+    pub fn inverse(&self) -> Result<CMat> {
+        self.solve(&CMat::identity(self.rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_field_axioms() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 3.0);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        let inv = a.recip();
+        let prod = a * inv;
+        assert!((prod.re - 1.0).abs() < 1e-15 && prod.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_on_unit_circle() {
+        for k in 0..8 {
+            let theta = k as f64 * std::f64::consts::PI / 4.0;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn conjugate_transpose() {
+        let mut m = CMat::zeros(1, 2);
+        m.set(0, 0, C64::new(1.0, 2.0));
+        m.set(0, 1, C64::new(3.0, -4.0));
+        let h = m.h();
+        assert_eq!(h.shape(), (2, 1));
+        assert_eq!(h.get(0, 0), C64::new(1.0, -2.0));
+        assert_eq!(h.get(1, 0), C64::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn complex_solve_roundtrip() {
+        let mut a = CMat::identity(3);
+        a.set(0, 1, C64::new(2.0, 1.0));
+        a.set(1, 2, C64::new(-1.0, 0.5));
+        a.set(2, 0, C64::new(0.3, -0.7));
+        let mut b = CMat::zeros(3, 1);
+        b.set(0, 0, C64::new(1.0, 0.0));
+        b.set(1, 0, C64::new(0.0, 1.0));
+        b.set(2, 0, C64::new(2.0, -1.0));
+        let x = a.solve(&b).unwrap();
+        let r = a.matmul(&x).unwrap().sub(&b);
+        assert!(r.fro_norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let i = CMat::identity(4);
+        let inv = i.inverse().unwrap();
+        assert!(inv.sub(&CMat::identity(4)).fro_norm() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let z = CMat::zeros(2, 2);
+        assert!(matches!(
+            z.solve(&CMat::identity(2)),
+            Err(Error::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn from_real_preserves_entries() {
+        let r = Mat::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let c = CMat::from_real(&r);
+        assert_eq!(c.get(1, 0), C64::real(0.5));
+        assert_eq!(c.get(0, 1), C64::real(-2.0));
+    }
+
+    #[test]
+    fn matvec_linear() {
+        let m = CMat::identity(2).scale(C64::new(0.0, 1.0));
+        let y = m.matvec(&[C64::ONE, C64::real(2.0)]).unwrap();
+        assert_eq!(y[0], C64::I);
+        assert_eq!(y[1], C64::new(0.0, 2.0));
+    }
+}

@@ -1,0 +1,415 @@
+//! Eigenvalues of real matrices via Hessenberg reduction and the Francis
+//! implicit double-shift QR iteration.
+//!
+//! The control stack uses eigenvalues for three things: discrete-time
+//! stability checks (spectral radius), continuous-time stability checks
+//! (maximum real part), and validating Riccati solutions (closed-loop
+//! stability). Eigen*vectors* are never needed, which keeps this module
+//! compact.
+
+use crate::{C64, Error, Mat, Result};
+
+/// Reduces a square matrix to upper Hessenberg form by Householder
+/// similarity transforms. Returns the Hessenberg matrix (the orthogonal
+/// factor is not accumulated — eigenvalues are similarity-invariant).
+pub fn hessenberg(a: &Mat) -> Mat {
+    let n = a.rows();
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        let mut norm = 0.0;
+        for i in (k + 1)..n {
+            norm += h[(i, k)] * h[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            continue;
+        }
+        let alpha = if h[(k + 1, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; n];
+        for i in (k + 1)..n {
+            v[i] = h[(i, k)];
+        }
+        v[k + 1] -= alpha;
+        let vnorm_sq: f64 = v[(k + 1)..].iter().map(|x| x * x).sum();
+        if vnorm_sq < 1e-300 {
+            continue;
+        }
+        // H ← P H P with P = I − 2vvᵀ/(vᵀv): apply from the left…
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in (k + 1)..n {
+                dot += v[i] * h[(i, j)];
+            }
+            let s = 2.0 * dot / vnorm_sq;
+            for i in (k + 1)..n {
+                h[(i, j)] -= s * v[i];
+            }
+        }
+        // …and from the right.
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in (k + 1)..n {
+                dot += h[(i, j)] * v[j];
+            }
+            let s = 2.0 * dot / vnorm_sq;
+            for j in (k + 1)..n {
+                h[(i, j)] -= s * v[j];
+            }
+        }
+        // Entries below the first subdiagonal in column k are now zero.
+        for i in (k + 2)..n {
+            h[(i, k)] = 0.0;
+        }
+    }
+    h
+}
+
+/// Computes all eigenvalues of a real square matrix.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] if `a` is not square.
+/// * [`Error::NoConvergence`] if QR iteration stalls (rare; pathological
+///   matrices only).
+///
+/// # Examples
+///
+/// ```
+/// use yukta_linalg::{Mat, eig::eigenvalues};
+///
+/// # fn main() -> Result<(), yukta_linalg::Error> {
+/// // Rotation by 90° has eigenvalues ±i.
+/// let a = Mat::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+/// let mut eigs = eigenvalues(&a)?;
+/// eigs.sort_by(|x, y| x.im.partial_cmp(&y.im).unwrap());
+/// assert!((eigs[0].im + 1.0).abs() < 1e-12);
+/// assert!((eigs[1].im - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigenvalues(a: &Mat) -> Result<Vec<C64>> {
+    if !a.is_square() {
+        return Err(Error::DimensionMismatch {
+            op: "eigenvalues",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut h = hessenberg(a);
+    let mut eigs = Vec::with_capacity(n);
+    let mut hi = n; // active block is h[0..hi, 0..hi]
+    let mut iter_budget = 80 * n.max(1);
+    let mut iters_since_deflation = 0usize;
+
+    while hi > 0 {
+        if iter_budget == 0 {
+            return Err(Error::NoConvergence {
+                op: "eigenvalues",
+                iters: 80 * n,
+            });
+        }
+        iter_budget -= 1;
+
+        // Find the start `lo` of the trailing unreduced block: scan up from
+        // hi-1 for a negligible subdiagonal.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let s = h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs();
+            let s = if s == 0.0 { 1.0 } else { s };
+            if h[(lo, lo - 1)].abs() <= 1e-14 * s {
+                h[(lo, lo - 1)] = 0.0;
+                break;
+            }
+            lo -= 1;
+        }
+
+        if lo == hi - 1 {
+            // 1x1 block: real eigenvalue.
+            eigs.push(C64::real(h[(hi - 1, hi - 1)]));
+            hi -= 1;
+            iters_since_deflation = 0;
+            continue;
+        }
+        if lo == hi - 2 {
+            // 2x2 block: solve its characteristic quadratic.
+            let (e1, e2) = eig2x2(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            );
+            eigs.push(e1);
+            eigs.push(e2);
+            hi -= 2;
+            iters_since_deflation = 0;
+            continue;
+        }
+
+        // Francis implicit double shift on h[lo..hi, lo..hi].
+        iters_since_deflation += 1;
+        let m = hi - 1;
+        let (s, t); // trace and determinant of trailing 2x2
+        if iters_since_deflation % 12 == 0 {
+            // Exceptional ad-hoc shift to break symmetry-induced cycles.
+            let x = h[(m, m - 1)].abs() + h[(m - 1, m - 2)].abs();
+            s = 1.5 * x;
+            t = x * x;
+        } else {
+            s = h[(m - 1, m - 1)] + h[(m, m)];
+            t = h[(m - 1, m - 1)] * h[(m, m)] - h[(m - 1, m)] * h[(m, m - 1)];
+        }
+
+        // First column of (H−aI)(H−bI) where a+b=s, ab=t.
+        let mut x = h[(lo, lo)] * h[(lo, lo)] + h[(lo, lo + 1)] * h[(lo + 1, lo)]
+            - s * h[(lo, lo)]
+            + t;
+        let mut y = h[(lo + 1, lo)] * (h[(lo, lo)] + h[(lo + 1, lo + 1)] - s);
+        let mut z = if lo + 2 < hi {
+            h[(lo + 2, lo + 1)] * h[(lo + 1, lo)]
+        } else {
+            0.0
+        };
+
+        for k in lo..(hi - 2) {
+            // Householder on (x, y, z) to zero y, z.
+            let scale = x.abs() + y.abs() + z.abs();
+            if scale > 1e-300 {
+                let (xs, ys, zs) = (x / scale, y / scale, z / scale);
+                let norm = (xs * xs + ys * ys + zs * zs).sqrt();
+                let alpha = if xs >= 0.0 { -norm } else { norm };
+                let v0 = xs - alpha;
+                let vnorm_sq = v0 * v0 + ys * ys + zs * zs;
+                if vnorm_sq > 1e-300 {
+                    let v = [v0, ys, zs];
+                    let rows = [k, k + 1, (k + 2).min(hi - 1)];
+                    let nrot = if k + 2 < hi { 3 } else { 2 };
+                    // Apply from the left to rows k..k+3.
+                    let jstart = k.saturating_sub(1).max(lo);
+                    for j in jstart..hi.max(k + 4).min(h.cols()) {
+                        let mut dot = 0.0;
+                        for (idx, &r) in rows.iter().enumerate().take(nrot) {
+                            dot += v[idx] * h[(r, j)];
+                        }
+                        let sfac = 2.0 * dot / vnorm_sq;
+                        for (idx, &r) in rows.iter().enumerate().take(nrot) {
+                            h[(r, j)] -= sfac * v[idx];
+                        }
+                    }
+                    // Apply from the right to columns.
+                    let iend = (k + 4).min(hi);
+                    for i in lo..iend {
+                        let mut dot = 0.0;
+                        for (idx, &c) in rows.iter().enumerate().take(nrot) {
+                            dot += h[(i, c)] * v[idx];
+                        }
+                        let sfac = 2.0 * dot / vnorm_sq;
+                        for (idx, &c) in rows.iter().enumerate().take(nrot) {
+                            h[(i, c)] -= sfac * v[idx];
+                        }
+                    }
+                }
+            }
+            // Next bulge column.
+            x = h[(k + 1, k)];
+            y = h[(k + 2, k)];
+            z = if k + 3 < hi { h[(k + 3, k)] } else { 0.0 };
+            if k > lo {
+                h[(k + 1, k - 1)] = 0.0;
+                h[(k + 2, k - 1)] = 0.0;
+                if k + 3 < hi {
+                    h[(k + 3, k - 1)] = 0.0;
+                }
+            }
+        }
+        // Final 2-element Givens to restore Hessenberg in the last column.
+        let k = hi - 2;
+        let (x, y) = (h[(k, k - 1)], h[(k + 1, k - 1)]);
+        let r = x.hypot(y);
+        if r > 1e-300 {
+            let (c, sn) = (x / r, y / r);
+            for j in (k - 1)..h.cols().min(hi.max(k + 2)) {
+                let (a1, a2) = (h[(k, j)], h[(k + 1, j)]);
+                h[(k, j)] = c * a1 + sn * a2;
+                h[(k + 1, j)] = -sn * a1 + c * a2;
+            }
+            for i in lo..hi {
+                let (a1, a2) = (h[(i, k)], h[(i, k + 1)]);
+                h[(i, k)] = c * a1 + sn * a2;
+                h[(i, k + 1)] = -sn * a1 + c * a2;
+            }
+        }
+    }
+    Ok(eigs)
+}
+
+/// Eigenvalues of a 2x2 block `[a b; c d]`.
+fn eig2x2(a: f64, b: f64, c: f64, d: f64) -> (C64, C64) {
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = tr * tr / 4.0 - det;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        // Stable: compute the larger root first, derive the other from det.
+        let r1 = tr / 2.0 + if tr >= 0.0 { sq } else { -sq };
+        let r2 = if r1.abs() > 1e-300 { det / r1 } else { tr - r1 };
+        (C64::real(r1), C64::real(r2))
+    } else {
+        let sq = (-disc).sqrt();
+        (C64::new(tr / 2.0, sq), C64::new(tr / 2.0, -sq))
+    }
+}
+
+/// Spectral radius `max |λᵢ|` of a real square matrix.
+///
+/// # Errors
+///
+/// Propagates eigenvalue failures.
+pub fn spectral_radius(a: &Mat) -> Result<f64> {
+    Ok(eigenvalues(a)?
+        .into_iter()
+        .fold(0.0f64, |acc, e| acc.max(e.abs())))
+}
+
+/// Maximum real part of the spectrum (continuous-time stability margin).
+///
+/// # Errors
+///
+/// Propagates eigenvalue failures.
+pub fn max_real_part(a: &Mat) -> Result<f64> {
+    Ok(eigenvalues(a)?
+        .into_iter()
+        .fold(f64::NEG_INFINITY, |acc, e| acc.max(e.re)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real(mut eigs: Vec<C64>) -> Vec<f64> {
+        eigs.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+        eigs.iter().map(|e| e.re).collect()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigs() {
+        let a = Mat::diag(&[3.0, -1.0, 0.5]);
+        let eigs = eigenvalues(&a).unwrap();
+        let re = sorted_real(eigs.clone());
+        assert!((re[0] + 1.0).abs() < 1e-12);
+        assert!((re[1] - 0.5).abs() < 1e-12);
+        assert!((re[2] - 3.0).abs() < 1e-12);
+        assert!(eigs.iter().all(|e| e.im.abs() < 1e-12));
+    }
+
+    #[test]
+    fn symmetric_matrix_real_eigs() {
+        // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let re = sorted_real(eigenvalues(&a).unwrap());
+        assert!((re[0] - 1.0).abs() < 1e-10);
+        assert!((re[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_pair() {
+        let a = Mat::from_rows(&[&[1.0, -2.0], &[2.0, 1.0]]);
+        let eigs = eigenvalues(&a).unwrap();
+        for e in &eigs {
+            assert!((e.re - 1.0).abs() < 1e-10);
+            assert!((e.im.abs() - 2.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn companion_matrix_of_known_polynomial() {
+        // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
+        let a = Mat::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let re = sorted_real(eigenvalues(&a).unwrap());
+        assert!((re[0] - 1.0).abs() < 1e-8);
+        assert!((re[1] - 2.0).abs() < 1e-8);
+        assert!((re[2] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn trace_and_det_invariants_random() {
+        // Eigenvalue sum = trace, product = det, for a fixed pseudo-random matrix.
+        let a = Mat::from_rows(&[
+            &[0.2, -1.3, 0.7, 0.1],
+            &[1.1, 0.4, -0.2, 0.9],
+            &[-0.5, 0.8, 0.3, -1.0],
+            &[0.6, -0.1, 1.2, -0.7],
+        ]);
+        let eigs = eigenvalues(&a).unwrap();
+        let sum: C64 = eigs.iter().fold(C64::ZERO, |acc, &e| acc + e);
+        assert!((sum.re - a.trace()).abs() < 1e-8);
+        assert!(sum.im.abs() < 1e-8);
+        let prod = eigs.iter().fold(C64::ONE, |acc, &e| acc * e);
+        assert!((prod.re - a.det().unwrap()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn larger_matrix_20x20_converges() {
+        // Deterministic pseudo-random 20x20; checks only invariants.
+        let n = 20;
+        let mut a = Mat::zeros(n, n);
+        let mut seed = 42u64;
+        for i in 0..n {
+            for j in 0..n {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                a[(i, j)] = ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            }
+        }
+        let eigs = eigenvalues(&a).unwrap();
+        assert_eq!(eigs.len(), n);
+        let sum: C64 = eigs.iter().fold(C64::ZERO, |acc, &e| acc + e);
+        assert!((sum.re - a.trace()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spectral_radius_of_stable_system() {
+        let a = Mat::from_rows(&[&[0.5, 0.1], &[0.0, -0.3]]);
+        let r = spectral_radius(&a).unwrap();
+        assert!((r - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn max_real_part_continuous() {
+        let a = Mat::from_rows(&[&[-1.0, 5.0], &[0.0, -2.0]]);
+        assert!((max_real_part(&a).unwrap() + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hessenberg_preserves_eigenvalues_structure() {
+        let a = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[5.0, 6.0, 7.0, 8.0],
+            &[9.0, 1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0, 7.0],
+        ]);
+        let h = hessenberg(&a);
+        // Zero below first subdiagonal.
+        for i in 2..4 {
+            for j in 0..(i - 1) {
+                assert!(h[(i, j)].abs() < 1e-12);
+            }
+        }
+        // Similarity preserves trace.
+        assert!((h.trace() - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(eigenvalues(&Mat::zeros(0, 0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let eigs = eigenvalues(&Mat::filled(1, 1, 7.0)).unwrap();
+        assert_eq!(eigs.len(), 1);
+        assert!((eigs[0].re - 7.0).abs() < 1e-15);
+    }
+}

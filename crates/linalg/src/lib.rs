@@ -1,0 +1,116 @@
+//! # yukta-linalg
+//!
+//! Dense linear algebra for the Yukta robust-control stack.
+//!
+//! This crate implements, from scratch, every numerical kernel that the
+//! controller-synthesis layer (`yukta-control`) needs:
+//!
+//! * [`Mat`] — a dense, row-major `f64` matrix with the usual arithmetic.
+//! * [`CMat`]/[`C64`] — complex matrices for frequency-domain analysis.
+//! * [`lu`] — LU factorization with partial pivoting (real and complex);
+//!   linear solves, inverses, determinants.
+//! * [`qr`] — Householder QR, including the column-pivoted variant used for
+//!   stable-invariant-subspace extraction.
+//! * [`eig`] — eigenvalues via Hessenberg reduction plus Francis
+//!   double-shift QR iteration.
+//! * [`svd`] — one-sided Jacobi SVD for real matrices and a complex largest
+//!   singular value via power iteration (the workhorse of the structured
+//!   singular value upper bound).
+//! * [`symeig`] — symmetric eigendecomposition (cyclic Jacobi), used by
+//!   balanced truncation.
+//! * [`sign`] — the matrix sign function (Newton iteration with determinant
+//!   scaling), used to solve continuous algebraic Riccati equations.
+//! * [`riccati`] — CARE (sign-function method) and DARE
+//!   (structure-preserving doubling).
+//! * [`lyap`] — small discrete Lyapunov solves via Kronecker vectorization.
+//!
+//! Sizes in this domain are small (controller state dimensions of a few
+//! tens), so all algorithms favour robustness and clarity over asymptotic
+//! performance.
+//!
+//! ```
+//! use yukta_linalg::Mat;
+//!
+//! # fn main() -> Result<(), yukta_linalg::Error> {
+//! let a = Mat::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+//! let b = Mat::col(&[1.0, 2.0]);
+//! let x = a.solve(&b)?;
+//! assert!((&(&a * &x) - &b).fro_norm() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cmat;
+pub mod eig;
+pub mod lu;
+pub mod lyap;
+pub mod mat;
+pub mod qr;
+pub mod riccati;
+pub mod sign;
+pub mod svd;
+pub mod symeig;
+
+pub use cmat::{C64, CMat};
+pub use mat::Mat;
+
+/// Errors produced by the numerical routines in this crate.
+///
+/// Every failure carries enough context to diagnose which kernel rejected
+/// the problem and why; synthesis layers typically react by relaxing the
+/// request (e.g. raising an H∞ γ) rather than aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Name of the operation that was attempted.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored
+    /// or inverted.
+    Singular {
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// An iterative algorithm failed to converge within its budget.
+    NoConvergence {
+        /// Name of the algorithm.
+        op: &'static str,
+        /// Number of iterations performed before giving up.
+        iters: usize,
+    },
+    /// The problem is well formed but has no solution with the required
+    /// properties (e.g. no stabilizing Riccati solution).
+    NoSolution {
+        /// Name of the operation.
+        op: &'static str,
+        /// Human-readable explanation.
+        why: &'static str,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::Singular { op } => write!(f, "singular matrix in {op}"),
+            Error::NoConvergence { op, iters } => {
+                write!(f, "{op} did not converge after {iters} iterations")
+            }
+            Error::NoSolution { op, why } => write!(f, "{op} has no valid solution: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,301 @@
+//! LU factorization with partial pivoting, and the solve/inverse/determinant
+//! operations built on it.
+//!
+//! These are the only dense direct solvers in the stack; everything from
+//! Riccati doubling to frequency responses funnels through them.
+
+use crate::{Error, Mat, Result};
+
+/// An LU factorization `P·A = L·U` with partial pivoting.
+///
+/// ```
+/// use yukta_linalg::{Mat, lu::Lu};
+///
+/// # fn main() -> Result<(), yukta_linalg::Error> {
+/// let a = Mat::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let f = Lu::new(&a)?;
+/// let x = f.solve(&Mat::col(&[2.0, 3.0]))?;
+/// assert!((x[(0, 0)] - 2.0).abs() < 1e-12);
+/// assert!((x[(1, 0)] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: unit-lower-triangular L below the diagonal, U on
+    /// and above it.
+    lu: Mat,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of
+    /// the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `a` is not square.
+    /// * [`Error::Singular`] if a pivot underflows.
+    pub fn new(a: &Mat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::DimensionMismatch {
+                op: "lu",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(Error::Singular { op: "lu" });
+            }
+            if p != k {
+                for j in 0..n {
+                    let t = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = t;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    lu[(i, j)] -= factor * lu[(k, j)];
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·X = B` for (possibly multi-column) `B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `B` has the wrong row count.
+    pub fn solve(&self, b: &Mat) -> Result<Mat> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(Error::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let m = b.cols();
+        let mut x = Mat::zeros(n, m);
+        // Apply permutation.
+        for i in 0..n {
+            for j in 0..m {
+                x[(i, j)] = b[(self.perm[i], j)];
+            }
+        }
+        // Forward substitution with unit-lower L.
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.lu[(i, k)];
+                if lik == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    let v = x[(k, j)];
+                    x[(i, j)] -= lik * v;
+                }
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let uik = self.lu[(i, k)];
+                if uik == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    let v = x[(k, j)];
+                    x[(i, j)] -= uik * v;
+                }
+            }
+            let d = self.lu[(i, i)];
+            for j in 0..m {
+                x[(i, j)] /= d;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve failures (should not occur once factored).
+    pub fn inverse(&self) -> Result<Mat> {
+        self.solve(&Mat::identity(self.dim()))
+    }
+}
+
+impl Mat {
+    /// Solves `self · X = b` via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `self` is not square or `b` does
+    ///   not conform.
+    /// * [`Error::Singular`] if `self` is singular.
+    pub fn solve(&self, b: &Mat) -> Result<Mat> {
+        Lu::new(self)?.solve(b)
+    }
+
+    /// Matrix inverse via LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Singular`] if not invertible.
+    pub fn inverse(&self) -> Result<Mat> {
+        Lu::new(self)?.inverse()
+    }
+
+    /// Determinant via LU. Returns `0.0` for singular matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if not square.
+    pub fn det(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(Error::DimensionMismatch {
+                op: "det",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        match Lu::new(self) {
+            Ok(f) => Ok(f.det()),
+            Err(Error::Singular { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let x_true = Mat::col(&[1.0, -2.0, 3.0]);
+        let b = &a * &x_true;
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Mat::col(&[3.0, 4.0]);
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&Mat::col(&[4.0, 3.0]), 1e-14));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Mat::from_rows(&[&[3.0, 0.5, -1.0], &[0.2, 2.0, 0.1], &[-0.4, 0.3, 1.5]]);
+        let inv = a.inverse().unwrap();
+        assert!((&a * &inv).approx_eq(&Mat::identity(3), 1e-12));
+        assert!((&inv * &a).approx_eq(&Mat::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.det().unwrap() - (-2.0)).abs() < 1e-14);
+        // Permutation sign: swapping rows negates determinant.
+        let b = Mat::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]);
+        assert!((b.det().unwrap() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn determinant_of_singular_is_zero() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn singular_solve_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            a.solve(&Mat::col(&[1.0, 1.0])),
+            Err(Error::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&Mat::col(&[1.0, 1.0])),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(a.det().is_err());
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = a.solve(&b).unwrap();
+        assert!((&a * &x).approx_eq(&Mat::identity(2), 1e-13));
+    }
+
+    #[test]
+    fn hilbert_solve_moderate_accuracy() {
+        // 6x6 Hilbert matrix: classic ill-conditioned test.
+        let n = 6;
+        let mut h = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                h[(i, j)] = 1.0 / ((i + j + 1) as f64);
+            }
+        }
+        let x_true = Mat::col(&vec![1.0; n]);
+        let b = &h * &x_true;
+        let x = h.solve(&b).unwrap();
+        // cond(H6) ~ 1.5e7, so expect ~1e-9 accuracy.
+        assert!(x.approx_eq(&x_true, 1e-6));
+    }
+}

@@ -1,0 +1,168 @@
+//! Discrete Lyapunov equations via Kronecker vectorization.
+//!
+//! Controller orders in this stack are a few tens at most, so the dense
+//! `n² × n²` linear solve is perfectly adequate and trivially correct.
+
+use crate::{Error, Mat, Result};
+
+/// Solves the discrete Lyapunov (Stein) equation
+///
+/// ```text
+/// A·X·Aᵀ − X + Q = 0
+/// ```
+///
+/// by vectorizing to `(I − A ⊗ A)·vec(X) = vec(Q)`.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] if the operands do not conform.
+/// * [`Error::Singular`] if `A` has a pair of eigenvalues with product 1
+///   (no unique solution).
+///
+/// # Examples
+///
+/// ```
+/// use yukta_linalg::{Mat, lyap::dlyap};
+///
+/// # fn main() -> Result<(), yukta_linalg::Error> {
+/// // Scalar: a²x − x + q = 0 → x = q/(1 − a²).
+/// let x = dlyap(&Mat::filled(1, 1, 0.5), &Mat::filled(1, 1, 3.0))?;
+/// assert!((x[(0, 0)] - 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dlyap(a: &Mat, q: &Mat) -> Result<Mat> {
+    let n = a.rows();
+    if !a.is_square() || q.shape() != (n, n) {
+        return Err(Error::DimensionMismatch {
+            op: "dlyap",
+            lhs: a.shape(),
+            rhs: q.shape(),
+        });
+    }
+    // Build M = I − A ⊗ A (n² × n²) and solve M·vec(X) = vec(Q).
+    // vec is row-major here: vec(X)[i*n + j] = X[i,j]; then
+    // (A X Aᵀ)[i,j] = Σ_{k,l} A[i,k] X[k,l] A[j,l].
+    let n2 = n * n;
+    let mut m = Mat::zeros(n2, n2);
+    for i in 0..n {
+        for j in 0..n {
+            let row = i * n + j;
+            m[(row, row)] += 1.0;
+            for k in 0..n {
+                let aik = a[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for l in 0..n {
+                    m[(row, k * n + l)] -= aik * a[(j, l)];
+                }
+            }
+        }
+    }
+    let mut qv = Mat::zeros(n2, 1);
+    for i in 0..n {
+        for j in 0..n {
+            qv[(i * n + j, 0)] = q[(i, j)];
+        }
+    }
+    let xv = m.solve(&qv).map_err(|_| Error::Singular { op: "dlyap" })?;
+    let mut x = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            x[(i, j)] = xv[(i * n + j, 0)];
+        }
+    }
+    Ok(x)
+}
+
+/// Controllability Gramian of a discrete system `(A, B)`: the solution of
+/// `A·W·Aᵀ − W + B·Bᵀ = 0`. Finite only for Schur-stable `A`.
+///
+/// # Errors
+///
+/// Propagates [`dlyap`] failures (e.g. unstable `A`).
+pub fn ctrl_gramian(a: &Mat, b: &Mat) -> Result<Mat> {
+    dlyap(a, &(b * &b.t()))
+}
+
+/// Observability Gramian of a discrete system `(A, C)`: the solution of
+/// `Aᵀ·W·A − W + Cᵀ·C = 0`.
+///
+/// # Errors
+///
+/// Propagates [`dlyap`] failures.
+pub fn obs_gramian(a: &Mat, c: &Mat) -> Result<Mat> {
+    dlyap(&a.t(), &(&c.t() * c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlyap_residual() {
+        let a = Mat::from_rows(&[&[0.8, 0.2], &[-0.1, 0.6]]);
+        let q = Mat::identity(2);
+        let x = dlyap(&a, &q).unwrap();
+        let resid = &(&(&a * &x) * &a.t()) - &x;
+        let resid = &resid + &q;
+        assert!(resid.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn dlyap_symmetric_for_symmetric_q() {
+        let a = Mat::from_rows(&[&[0.5, 0.3], &[0.1, -0.4]]);
+        let x = dlyap(&a, &Mat::identity(2)).unwrap();
+        assert!(x.approx_eq(&x.t(), 1e-12));
+    }
+
+    #[test]
+    fn dlyap_positive_definite_for_stable_a() {
+        let a = Mat::from_rows(&[&[0.9, 0.0], &[0.5, 0.2]]);
+        let x = dlyap(&a, &Mat::identity(2)).unwrap();
+        assert!(x[(0, 0)] > 0.0);
+        assert!(x.det().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn dlyap_unstable_a_still_solves_linear_system() {
+        // |a| > 1 with scalar: x = q/(1−a²) is negative but well-defined.
+        let x = dlyap(&Mat::filled(1, 1, 2.0), &Mat::filled(1, 1, 3.0)).unwrap();
+        assert!((x[(0, 0)] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dlyap_eigenvalue_product_one_rejected() {
+        // a = 1 → 1 − a⊗a singular.
+        assert!(matches!(
+            dlyap(&Mat::identity(1), &Mat::identity(1)),
+            Err(Error::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn gramian_energy_interpretation() {
+        // For A = 0, controllability Gramian is B·Bᵀ.
+        let a = Mat::zeros(2, 2);
+        let b = Mat::from_rows(&[&[1.0], &[2.0]]);
+        let w = ctrl_gramian(&a, &b).unwrap();
+        assert!(w.approx_eq(&(&b * &b.t()), 1e-13));
+    }
+
+    #[test]
+    fn obs_gramian_matches_series() {
+        // W = Σ (Aᵀ)^k CᵀC A^k; check first few terms for small A.
+        let a = Mat::from_rows(&[&[0.1, 0.0], &[0.0, 0.2]]);
+        let c = Mat::row(&[1.0, 1.0]);
+        let w = obs_gramian(&a, &c).unwrap();
+        let ctc = &c.t() * &c;
+        let mut series = ctc.clone();
+        let mut ak = a.clone();
+        for _ in 0..30 {
+            series = &series + &(&(&ak.t() * &ctc) * &ak);
+            ak = &ak * &a;
+        }
+        assert!(w.approx_eq(&series, 1e-10));
+    }
+}

@@ -1,0 +1,623 @@
+//! Dense, row-major real matrices.
+//!
+//! [`Mat`] is the fundamental value type of the whole Yukta stack: plant
+//! models, controller realizations, Riccati solutions, and sensor batches
+//! are all `Mat`s. The type is deliberately simple — a `Vec<f64>` plus a
+//! shape — and all the numerical sophistication lives in the factorization
+//! modules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use yukta_linalg::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Mat::identity(2);
+/// assert_eq!(&a * &b, a);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn diag(entries: &[f64]) -> Self {
+        let n = entries.len();
+        let mut m = Mat::zeros(n, n);
+        for (i, &v) in entries.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "inconsistent row length in Mat::from_rows");
+            data.extend_from_slice(row);
+        }
+        Mat { rows: r, cols: c, data }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch in Mat::from_vec");
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a single-column matrix (a column vector).
+    pub fn col(entries: &[f64]) -> Self {
+        Mat {
+            rows: entries.len(),
+            cols: 1,
+            data: entries.to_vec(),
+        }
+    }
+
+    /// Creates a single-row matrix (a row vector).
+    pub fn row(entries: &[f64]) -> Self {
+        Mat {
+            rows: 1,
+            cols: entries.len(),
+            data: entries.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume the matrix and return the underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The transpose of the matrix.
+    pub fn t(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`, checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Mat {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Returns a sub-matrix: rows `r0..r1`, columns `c0..c1` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are out of bounds or reversed.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Mat {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols, "block out of range");
+        let mut out = Mat::zeros(r1 - r0, c1 - c0);
+        for i in r0..r1 {
+            for j in c0..c1 {
+                out[(i - r0, j - c0)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Copies `src` into this matrix with its top-left corner at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Mat) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "set_block out of range"
+        );
+        for i in 0..src.rows {
+            for j in 0..src.cols {
+                self[(r0 + i, c0 + j)] = src[(i, j)];
+            }
+        }
+    }
+
+    /// Stacks `top` above `bottom`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the column counts differ.
+    pub fn vstack(top: &Mat, bottom: &Mat) -> Result<Mat> {
+        if top.cols != bottom.cols {
+            return Err(Error::DimensionMismatch {
+                op: "vstack",
+                lhs: top.shape(),
+                rhs: bottom.shape(),
+            });
+        }
+        let mut out = Mat::zeros(top.rows + bottom.rows, top.cols);
+        out.set_block(0, 0, top);
+        out.set_block(top.rows, 0, bottom);
+        Ok(out)
+    }
+
+    /// Places `left` beside `right`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the row counts differ.
+    pub fn hstack(left: &Mat, right: &Mat) -> Result<Mat> {
+        if left.rows != right.rows {
+            return Err(Error::DimensionMismatch {
+                op: "hstack",
+                lhs: left.shape(),
+                rhs: right.shape(),
+            });
+        }
+        let mut out = Mat::zeros(left.rows, left.cols + right.cols);
+        out.set_block(0, 0, left);
+        out.set_block(0, left.cols, right);
+        Ok(out)
+    }
+
+    /// Assembles a 2×2 block matrix `[a b; c d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the blocks do not conform.
+    pub fn block2x2(a: &Mat, b: &Mat, c: &Mat, d: &Mat) -> Result<Mat> {
+        let top = Mat::hstack(a, b)?;
+        let bottom = Mat::hstack(c, d)?;
+        Mat::vstack(&top, &bottom)
+    }
+
+    /// The block-diagonal matrix `diag(self, other)`.
+    pub fn block_diag(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows + other.rows, self.cols + other.cols);
+        out.set_block(0, 0, self);
+        out.set_block(self.rows, self.cols, other);
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (the max norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Induced infinity norm (maximum absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Induced 1-norm (maximum absolute column sum).
+    pub fn one_norm(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// The symmetric part `(M + Mᵀ)/2`, useful for cleaning up Riccati
+    /// solutions that should be symmetric but have drifted numerically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&self) -> Mat {
+        assert!(self.is_square(), "symmetrize of a non-square matrix");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..i {
+                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                out[(i, j)] = v;
+                out[(j, i)] = v;
+            }
+        }
+        out
+    }
+
+    /// Whether every entry is finite (no NaN/inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Entry-wise approximate equality within `tol` (absolute).
+    pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// The column `j` as a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col_vec(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The row `i` as a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_vec(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.rows, "row index out of range");
+        self.data[i * self.cols..(i + 1) * self.cols].to_vec()
+    }
+
+    /// Multiplies the matrix by a vector, returning a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "Mat index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "Mat index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl std::fmt::Debug for Mat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>12.6} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl std::fmt::Display for Mat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::ops::Add for &Mat {
+    type Output = Mat;
+
+    fn add(self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "Mat add shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        out
+    }
+}
+
+impl std::ops::Sub for &Mat {
+    type Output = Mat;
+
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "Mat sub shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        out
+    }
+}
+
+impl std::ops::Mul for &Mat {
+    type Output = Mat;
+
+    fn mul(self, rhs: &Mat) -> Mat {
+        self.matmul(rhs).expect("Mat mul shape mismatch")
+    }
+}
+
+impl std::ops::Mul<f64> for &Mat {
+    type Output = Mat;
+
+    fn mul(self, rhs: f64) -> Mat {
+        self.scale(rhs)
+    }
+}
+
+impl std::ops::Neg for &Mat {
+    type Output = Mat;
+
+    fn neg(self) -> Mat {
+        self.scale(-1.0)
+    }
+}
+
+impl std::ops::Add for Mat {
+    type Output = Mat;
+    fn add(self, rhs: Mat) -> Mat {
+        &self + &rhs
+    }
+}
+
+impl std::ops::Sub for Mat {
+    type Output = Mat;
+    fn sub(self, rhs: Mat) -> Mat {
+        &self - &rhs
+    }
+}
+
+impl std::ops::Mul for Mat {
+    type Output = Mat;
+    fn mul(self, rhs: Mat) -> Mat {
+        &self * &rhs
+    }
+}
+
+impl Default for Mat {
+    fn default() -> Self {
+        Mat::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_neutral() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i3 = Mat::identity(3);
+        let i2 = Mat::identity(2);
+        assert_eq!(&a * &i3, a);
+        assert_eq!(&i2 * &a, a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.t().t(), a);
+        assert_eq!(a.t().shape(), (3, 2));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = &a * &b;
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_dimension_error() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(Error::DimensionMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn block_and_set_block_roundtrip() {
+        let mut a = Mat::zeros(4, 4);
+        let b = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.set_block(1, 2, &b);
+        assert_eq!(a.block(1, 3, 2, 4), b);
+        assert_eq!(a[(0, 0)], 0.0);
+        assert_eq!(a[(1, 2)], 1.0);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Mat::row(&[1.0, 2.0]);
+        let b = Mat::row(&[3.0, 4.0]);
+        let v = Mat::vstack(&a, &b).unwrap();
+        assert_eq!(v, Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let h = Mat::hstack(&a, &b).unwrap();
+        assert_eq!(h, Mat::row(&[1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn block2x2_assembles() {
+        let a = Mat::identity(2);
+        let z = Mat::zeros(2, 2);
+        let m = Mat::block2x2(&a, &z, &z, &a).unwrap();
+        assert_eq!(m, Mat::identity(4));
+    }
+
+    #[test]
+    fn block_diag_assembles() {
+        let a = Mat::filled(1, 1, 2.0);
+        let b = Mat::filled(2, 2, 3.0);
+        let d = a.block_diag(&b);
+        assert_eq!(d.shape(), (3, 3));
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 3.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Mat::from_rows(&[&[3.0, -4.0], &[0.0, 0.0]]);
+        assert!((a.fro_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.inf_norm(), 7.0);
+        assert_eq!(a.one_norm(), 4.0);
+    }
+
+    #[test]
+    fn trace_and_symmetrize() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[4.0, 3.0]]);
+        assert_eq!(a.trace(), 4.0);
+        let s = a.symmetrize();
+        assert_eq!(s[(0, 1)], 3.0);
+        assert_eq!(s[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Mat::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b[(0, 0)] = 1.0 + 1e-9;
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Mat::zeros(1, 1));
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Needed by balanced truncation (Gramian square roots and Hankel singular
+//! values). Jacobi is unconditionally robust and perfectly accurate at the
+//! controller-sized problems in this stack.
+
+use crate::{Error, Mat, Result};
+
+/// Eigendecomposition of a symmetric matrix: `A = V·diag(λ)·Vᵀ` with
+/// eigenvalues sorted in descending order and orthonormal `V`.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Corresponding eigenvectors as columns.
+    pub vectors: Mat,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// The input is symmetrized (`(A+Aᵀ)/2`) first, so slightly asymmetric
+/// numerical inputs (e.g. Lyapunov solutions) are handled gracefully.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] if not square.
+/// * [`Error::NoConvergence`] if the sweep limit is exhausted (pathological
+///   inputs only).
+///
+/// # Examples
+///
+/// ```
+/// use yukta_linalg::{Mat, symeig::symmetric_eigen};
+///
+/// # fn main() -> Result<(), yukta_linalg::Error> {
+/// let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = symmetric_eigen(&a)?;
+/// assert!((e.values[0] - 3.0).abs() < 1e-12);
+/// assert!((e.values[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Mat) -> Result<SymEig> {
+    if !a.is_square() {
+        return Err(Error::DimensionMismatch {
+            op: "symmetric_eigen",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.symmetrize();
+    let mut v = Mat::identity(n);
+    let max_sweeps = 60;
+    let mut converged = n < 2;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(m[(p, q)].abs());
+            }
+        }
+        let scale = (0..n).map(|i| m[(i, i)].abs()).fold(1e-300, f64::max);
+        if off <= 1e-14 * scale {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let (mkp, mkq) = (m[(k, p)], m[(k, q)]);
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let (mpk, mqk) = (m[(p, k)], m[(q, k)]);
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let (vkp, vkq) = (v[(k, p)], v[(k, q)]);
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        return Err(Error::NoConvergence {
+            op: "symmetric_eigen",
+            iters: max_sweeps,
+        });
+    }
+    // Sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = Mat::zeros(n, n);
+    for (jj, &j) in order.iter().enumerate() {
+        values.push(m[(j, j)]);
+        for i in 0..n {
+            vectors[(i, jj)] = v[(i, j)];
+        }
+    }
+    Ok(SymEig { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstructs_matrix() {
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let d = Mat::diag(&e.values);
+        let recon = &(&e.vectors * &d) * &e.vectors.t();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn vectors_orthonormal() {
+        let a = Mat::from_rows(&[&[2.0, -1.0], &[-1.0, 5.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((&e.vectors.t() * &e.vectors).approx_eq(&Mat::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = Mat::diag(&[1.0, 7.0, -2.0, 4.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![7.0, 4.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = Mat::from_rows(&[&[1.0, 0.3, 0.1], &[0.3, -2.0, 0.7], &[0.1, 0.7, 0.5]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn slightly_asymmetric_input_ok() {
+        let mut a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        a[(0, 1)] += 1e-13;
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(symmetric_eigen(&Mat::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! The benchmark catalog: phase-structured models of every application the
+//! paper evaluates (Section V-A).
+//!
+//! Evaluation set: 8-threaded PARSEC with native inputs (blackscholes,
+//! bodytrack, facesim, fluidanimate, raytrace, x264, canneal,
+//! streamcluster) and 8 copies of SPEC2006 with train inputs (h264ref,
+//! mcf, omnetpp, gamess, gromacs, dealII). Training set (disjoint, used
+//! only for system identification): swaptions, vips, astar, perlbench,
+//! milc, namd. Mixes (Section VI-C): blmc, stga, blst, mcga.
+//!
+//! Work sizes are calibrated so baseline executions take on the order of
+//! 100–300 simulated seconds, matching the timescales in Figures 10–11.
+//! Memory intensities and IPC factors follow the published behaviour of
+//! each code (mcf/canneal memory-bound, gamess/gromacs compute-bound, …).
+
+use crate::app::{App, PhaseSpec, Suite, Workload};
+
+fn phase(
+    name: &str,
+    threads: usize,
+    work_gi: f64,
+    mem: f64,
+    ipc_big: f64,
+    ipc_little: f64,
+) -> PhaseSpec {
+    PhaseSpec {
+        name: name.to_string(),
+        threads,
+        work_gi,
+        mem_intensity: mem,
+        ipc_big,
+        ipc_little,
+    }
+}
+
+fn single_phase(
+    name: &str,
+    suite: Suite,
+    work_gi: f64,
+    mem: f64,
+    ipc_big: f64,
+    ipc_little: f64,
+) -> App {
+    App {
+        name: name.to_string(),
+        suite,
+        slots: 8,
+        phases: vec![phase("parallel", 8, work_gi, mem, ipc_big, ipc_little)],
+    }
+}
+
+/// PARSEC benchmark models.
+pub mod parsec {
+    use super::*;
+
+    /// blackscholes: a short serial prologue, then a steady 8-thread
+    /// parallel pricing phase — the paper's running example (Figures 10,
+    /// 11, 15, 17).
+    pub fn blackscholes() -> Workload {
+        Workload::single(App {
+            name: "blackscholes".into(),
+            suite: Suite::Parsec,
+            slots: 8,
+            phases: vec![
+                phase("serial-init", 1, 60.0, 0.05, 1.10, 1.00),
+                phase("parallel", 8, 1500.0, 0.10, 1.10, 1.00),
+            ],
+        })
+    }
+
+    /// bodytrack: alternating parallel tracking and low-parallelism
+    /// reduction stages.
+    pub fn bodytrack() -> Workload {
+        let mut phases = Vec::new();
+        for i in 0..3 {
+            phases.push(phase(&format!("track{i}"), 8, 420.0, 0.30, 1.00, 0.95));
+            phases.push(phase(&format!("reduce{i}"), 2, 80.0, 0.20, 1.05, 0.95));
+        }
+        Workload::single(App {
+            name: "bodytrack".into(),
+            suite: Suite::Parsec,
+            slots: 8,
+            phases,
+        })
+    }
+
+    /// facesim: long, moderately memory-bound physics solve.
+    pub fn facesim() -> Workload {
+        Workload::single(single_phase("facesim", Suite::Parsec, 1800.0, 0.45, 1.05, 0.95))
+    }
+
+    /// fluidanimate: memory-heavy particle simulation.
+    pub fn fluidanimate() -> Workload {
+        Workload::single(single_phase(
+            "fluidanimate",
+            Suite::Parsec,
+            1600.0,
+            0.50,
+            0.95,
+            0.95,
+        ))
+    }
+
+    /// raytrace: compute-bound with high ILP.
+    pub fn raytrace() -> Workload {
+        Workload::single(App {
+            name: "raytrace".into(),
+            suite: Suite::Parsec,
+            slots: 8,
+            phases: vec![
+                phase("build-bvh", 1, 40.0, 0.30, 1.00, 0.95),
+                phase("render", 8, 1700.0, 0.20, 1.15, 1.00),
+            ],
+        })
+    }
+
+    /// x264: pipelined encoder with fluctuating parallelism.
+    pub fn x264() -> Workload {
+        Workload::single(App {
+            name: "x264".into(),
+            suite: Suite::Parsec,
+            slots: 8,
+            phases: vec![
+                phase("gop0", 8, 500.0, 0.35, 1.05, 0.95),
+                phase("gop1", 6, 300.0, 0.30, 1.05, 0.95),
+                phase("gop2", 8, 500.0, 0.35, 1.05, 0.95),
+                phase("gop3", 6, 300.0, 0.30, 1.05, 0.95),
+            ],
+        })
+    }
+
+    /// canneal: cache-thrashing simulated annealing (strongly memory-bound).
+    pub fn canneal() -> Workload {
+        Workload::single(single_phase("canneal", Suite::Parsec, 1100.0, 0.75, 0.80, 0.90))
+    }
+
+    /// streamcluster: streaming clustering, memory-bound.
+    pub fn streamcluster() -> Workload {
+        Workload::single(single_phase(
+            "streamcluster",
+            Suite::Parsec,
+            1300.0,
+            0.65,
+            0.85,
+            0.90,
+        ))
+    }
+
+    /// All eight PARSEC evaluation workloads, in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            blackscholes(),
+            bodytrack(),
+            facesim(),
+            fluidanimate(),
+            raytrace(),
+            x264(),
+            canneal(),
+            streamcluster(),
+        ]
+    }
+}
+
+/// SPEC CPU2006 models (8 independent copies each).
+pub mod spec {
+    use super::*;
+
+    /// h264ref: video encoder, mildly memory-bound.
+    pub fn h264ref() -> Workload {
+        Workload::single(single_phase("h264ref", Suite::SpecInt, 1600.0, 0.20, 1.20, 1.05))
+    }
+
+    /// mcf: the classic memory-bound pointer chaser.
+    pub fn mcf() -> Workload {
+        Workload::single(single_phase("mcf", Suite::SpecInt, 800.0, 0.90, 0.60, 0.75))
+    }
+
+    /// omnetpp: discrete-event simulation, memory-bound.
+    pub fn omnetpp() -> Workload {
+        Workload::single(single_phase("omnetpp", Suite::SpecInt, 1000.0, 0.70, 0.80, 0.85))
+    }
+
+    /// gamess: quantum chemistry, compute-bound.
+    pub fn gamess() -> Workload {
+        Workload::single(single_phase("gamess", Suite::SpecFp, 1900.0, 0.10, 1.25, 1.00))
+    }
+
+    /// gromacs: molecular dynamics, compute-bound with high ILP.
+    pub fn gromacs() -> Workload {
+        Workload::single(single_phase("gromacs", Suite::SpecFp, 1800.0, 0.15, 1.30, 1.00))
+    }
+
+    /// dealII: finite elements, mixed behaviour.
+    pub fn deal_ii() -> Workload {
+        Workload::single(single_phase("dealII", Suite::SpecFp, 1400.0, 0.40, 1.10, 0.95))
+    }
+
+    /// All six SPEC evaluation workloads, in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        vec![h264ref(), mcf(), omnetpp(), gamess(), gromacs(), deal_ii()]
+    }
+}
+
+/// The disjoint training set used for system identification (Section V-A).
+pub mod training {
+    use super::*;
+
+    /// swaptions (PARSEC): compute-bound Monte Carlo pricing.
+    pub fn swaptions() -> Workload {
+        Workload::single(single_phase("swaptions", Suite::Training, 1200.0, 0.10, 1.15, 1.00))
+    }
+
+    /// vips (PARSEC): image pipeline, moderate memory traffic.
+    pub fn vips() -> Workload {
+        Workload::single(single_phase("vips", Suite::Training, 1300.0, 0.30, 1.05, 0.95))
+    }
+
+    /// astar (SPECINT): path-finding, memory-bound.
+    pub fn astar() -> Workload {
+        Workload::single(single_phase("astar", Suite::Training, 900.0, 0.60, 0.80, 0.85))
+    }
+
+    /// perlbench (SPECINT): interpreter, branchy integer code.
+    pub fn perlbench() -> Workload {
+        Workload::single(single_phase("perlbench", Suite::Training, 1400.0, 0.25, 1.10, 1.00))
+    }
+
+    /// milc (SPECFP): lattice QCD, memory-bandwidth-bound.
+    pub fn milc() -> Workload {
+        Workload::single(single_phase("milc", Suite::Training, 900.0, 0.80, 0.70, 0.80))
+    }
+
+    /// namd (SPECFP): molecular dynamics, compute-bound.
+    pub fn namd() -> Workload {
+        Workload::single(single_phase("namd", Suite::Training, 1800.0, 0.08, 1.30, 1.00))
+    }
+
+    /// The full training set.
+    pub fn all() -> Vec<Workload> {
+        vec![swaptions(), vips(), astar(), perlbench(), milc(), namd()]
+    }
+}
+
+/// Heterogeneous mixes (Section VI-C): 4-thread PARSEC + 4-copy SPEC.
+pub mod mixes {
+    use super::*;
+
+    fn component(w: Workload, threads: usize) -> App {
+        w.apps.into_iter().next().expect("single app").scaled_to(threads)
+    }
+
+    /// blmc: blackscholes + mcf.
+    pub fn blmc() -> Workload {
+        Workload::mix(
+            "blmc",
+            vec![
+                component(parsec::blackscholes(), 4),
+                component(spec::mcf(), 4),
+            ],
+        )
+    }
+
+    /// stga: streamcluster + gamess.
+    pub fn stga() -> Workload {
+        Workload::mix(
+            "stga",
+            vec![
+                component(parsec::streamcluster(), 4),
+                component(spec::gamess(), 4),
+            ],
+        )
+    }
+
+    /// blst: blackscholes + streamcluster.
+    pub fn blst() -> Workload {
+        Workload::mix(
+            "blst",
+            vec![
+                component(parsec::blackscholes(), 4),
+                component(parsec::streamcluster(), 4),
+            ],
+        )
+    }
+
+    /// mcga: mcf + gamess.
+    pub fn mcga() -> Workload {
+        Workload::mix(
+            "mcga",
+            vec![component(spec::mcf(), 4), component(spec::gamess(), 4)],
+        )
+    }
+
+    /// All four mixes, in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        vec![blmc(), stga(), blst(), mcga()]
+    }
+}
+
+/// The full homogeneous evaluation set in the paper's Figure 9 order:
+/// SPEC first, then PARSEC.
+pub fn evaluation_set() -> Vec<Workload> {
+    let mut v = spec::all();
+    v.extend(parsec::all());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_set_matches_paper() {
+        let set = evaluation_set();
+        assert_eq!(set.len(), 14);
+        let names: Vec<&str> = set.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "h264ref",
+                "mcf",
+                "omnetpp",
+                "gamess",
+                "gromacs",
+                "dealII",
+                "blackscholes",
+                "bodytrack",
+                "facesim",
+                "fluidanimate",
+                "raytrace",
+                "x264",
+                "canneal",
+                "streamcluster"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_evaluation_workloads_have_8_slots() {
+        for w in evaluation_set() {
+            assert_eq!(w.n_slots(), 8, "{}", w.name);
+            assert!(w.total_work() > 100.0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn training_set_is_disjoint_from_evaluation() {
+        let eval: Vec<String> = evaluation_set().iter().map(|w| w.name.clone()).collect();
+        for t in training::all() {
+            assert!(!eval.contains(&t.name), "{} leaked into training", t.name);
+        }
+        assert_eq!(training::all().len(), 6);
+    }
+
+    #[test]
+    fn mixes_have_two_components_of_four() {
+        for m in mixes::all() {
+            assert_eq!(m.apps.len(), 2, "{}", m.name);
+            assert_eq!(m.n_slots(), 8, "{}", m.name);
+            for a in &m.apps {
+                assert_eq!(a.slots, 4);
+            }
+        }
+        let names: Vec<String> = mixes::all().iter().map(|m| m.name.clone()).collect();
+        assert_eq!(names, ["blmc", "stga", "blst", "mcga"]);
+    }
+
+    #[test]
+    fn memory_character_is_differentiated() {
+        let mcf = spec::mcf();
+        let gamess = spec::gamess();
+        assert!(mcf.apps[0].phases[0].mem_intensity > 0.8);
+        assert!(gamess.apps[0].phases[0].mem_intensity < 0.2);
+    }
+
+    #[test]
+    fn blackscholes_has_serial_prologue() {
+        let b = parsec::blackscholes();
+        assert_eq!(b.apps[0].phases[0].threads, 1);
+        assert_eq!(b.apps[0].phases[1].threads, 8);
+        // The prologue is a small share of total work.
+        let frac = b.apps[0].phases[0].work_gi / b.apps[0].total_work();
+        assert!(frac < 0.1);
+    }
+}

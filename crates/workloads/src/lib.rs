@@ -1,0 +1,25 @@
+//! # yukta-workloads
+//!
+//! Phase-structured synthetic models of the applications the paper
+//! evaluates: the PARSEC and SPEC2006 workloads, the disjoint training
+//! set used for system identification, and the heterogeneous mixes of
+//! Section VI-C.
+//!
+//! The controllers in the paper never see instructions — they see BIPS,
+//! power, temperature, and thread counts. Each [`app::App`] therefore
+//! models exactly what shapes those signals: how much work each phase
+//! has (giga-instructions), how many threads it runs, how memory-bound it
+//! is, and how much ILP the big cores can extract from it.
+//!
+//! ```
+//! use yukta_workloads::{app::WorkloadRun, catalog};
+//!
+//! let wl = catalog::parsec::blackscholes();
+//! let mut run = WorkloadRun::new(&wl);
+//! assert_eq!(run.active_threads(), 1); // serial prologue
+//! ```
+
+pub mod app;
+pub mod catalog;
+
+pub use app::{App, PhaseSpec, Suite, Workload, WorkloadRun};
