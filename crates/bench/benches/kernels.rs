@@ -20,7 +20,9 @@ fn stable_matrix(n: usize, seed: u64) -> Mat {
     let mut s = seed;
     for i in 0..n {
         for j in 0..n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             m[(i, j)] = (((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5) * 0.4 / n as f64 * 4.0;
         }
     }
@@ -81,13 +83,17 @@ fn bench_mu(c: &mut Criterion) {
     let mut m = CMat::zeros(n, n);
     for i in 0..n {
         for j in 0..n {
-            m.set(i, j, C64::new(0.3 * (i as f64 - j as f64).sin(), 0.1 * (i + j) as f64 % 1.0));
+            m.set(
+                i,
+                j,
+                C64::new(
+                    0.3 * (i as f64 - j as f64).sin(),
+                    0.1 * (i + j) as f64 % 1.0,
+                ),
+            );
         }
     }
-    let blocks = [
-        MuBlock { n_out: 3, n_in: 3 },
-        MuBlock { n_out: 5, n_in: 5 },
-    ];
+    let blocks = [MuBlock { n_out: 3, n_in: 3 }, MuBlock { n_out: 5, n_in: 5 }];
     c.bench_function("mu_upper_bound_8x8", |bch| {
         bch.iter(|| mu_upper_bound(black_box(&m), &blocks).unwrap())
     });

@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the frequency-sweep engine: µ-peak
+//! sweeps across grid sizes and controller orders, and the cache-blocked
+//! matmul kernels at small/medium/large sizes.
+
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use yukta_control::mu::{MuBlock, log_grid, mu_peak};
+use yukta_control::ss::StateSpace;
+use yukta_linalg::{C64, CMat, Mat};
+
+/// Deterministic pseudo-random value in `[-0.5, 0.5)`.
+fn splitmix(s: &mut u64) -> f64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+}
+
+/// A stable discrete 2-in/2-out system of the given order.
+fn stable_sys(n: usize, seed: u64) -> StateSpace {
+    let mut s = seed;
+    let mut a = Mat::from_vec(n, n, (0..n * n).map(|_| splitmix(&mut s)).collect());
+    a = a.scale(0.9 / (a.inf_norm() + 1e-9));
+    let b = Mat::from_vec(n, 2, (0..n * 2).map(|_| splitmix(&mut s)).collect());
+    let c = Mat::from_vec(2, n, (0..2 * n).map(|_| splitmix(&mut s)).collect());
+    let d = Mat::from_vec(2, 2, (0..4).map(|_| 0.2 * splitmix(&mut s)).collect());
+    StateSpace::new(a, b, c, d, Some(0.5)).unwrap()
+}
+
+fn bench_mu_peak(c: &mut Criterion) {
+    let blocks = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
+    let mut group = c.benchmark_group("mu_peak");
+    for &order in &[4usize, 8, 16] {
+        for &points in &[30usize, 60, 120] {
+            let sys = stable_sys(order, order as u64);
+            let grid = log_grid(1e-3, 0.98 * std::f64::consts::PI / 0.5, points);
+            group.bench_function(&format!("n{order}_g{points}"), |bch| {
+                bch.iter(|| black_box(mu_peak(&sys, &blocks, black_box(&grid)).unwrap().peak))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[8usize, 32, 128] {
+        let mut s = n as u64;
+        let a = Mat::from_vec(n, n, (0..n * n).map(|_| splitmix(&mut s)).collect());
+        let b = Mat::from_vec(n, n, (0..n * n).map(|_| splitmix(&mut s)).collect());
+        group.bench_function(&format!("real_{n}"), |bch| {
+            bch.iter(|| black_box(black_box(&a).matmul(&b).unwrap()))
+        });
+        let mut ca = CMat::zeros(n, n);
+        let mut cb = CMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                ca.set(i, j, C64::new(splitmix(&mut s), splitmix(&mut s)));
+                cb.set(i, j, C64::new(splitmix(&mut s), splitmix(&mut s)));
+            }
+        }
+        group.bench_function(&format!("complex_{n}"), |bch| {
+            bch.iter(|| black_box(black_box(&ca).matmul(&cb).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mu_peak, bench_matmul);
+criterion_main!(benches);

@@ -19,7 +19,11 @@ use yukta_workloads::catalog;
 fn controllers(aware: bool) -> Controllers {
     let d = default_design();
     let hw = SsvHwController::new(&d.hw_ssv, HwOptimizer::new(Limits::default()));
-    let hw = if aware { hw } else { hw.with_naive_quantization() };
+    let hw = if aware {
+        hw
+    } else {
+        hw.with_naive_quantization()
+    };
     Controllers::Split {
         hw: Box::new(hw),
         os: Box::new(CoordinatedHeuristicOs::new()),

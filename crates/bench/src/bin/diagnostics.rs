@@ -14,8 +14,14 @@ fn main() {
     let d = default_design();
     println!("=== Yukta design diagnostics ===\n");
     println!("identification fit (1 = perfect, one-step-ahead):");
-    println!("  HW model [perf, p_big, p_little, temp] = {:?}", rounded(&d.hw_fit));
-    println!("  OS model [perf_little, perf_big, dSC]  = {:?}\n", rounded(&d.os_fit));
+    println!(
+        "  HW model [perf, p_big, p_little, temp] = {:?}",
+        rounded(&d.hw_fit)
+    );
+    println!(
+        "  OS model [perf_little, perf_big, dSC]  = {:?}\n",
+        rounded(&d.os_fit)
+    );
 
     for (name, syn) in [("HW", &d.hw_ssv), ("OS", &d.os_ssv)] {
         println!("{name} SSV controller:");
@@ -31,7 +37,12 @@ fn main() {
             spectral_radius(syn.controller.a()).unwrap()
         );
         if let Ok(red) = balanced_truncation(&syn.controller, syn.controller.order()) {
-            let h: Vec<f64> = red.hankel.iter().take(8).map(|v| (v * 1e3).round() / 1e3).collect();
+            let h: Vec<f64> = red
+                .hankel
+                .iter()
+                .take(8)
+                .map(|v| (v * 1e3).round() / 1e3)
+                .collect();
             println!("  leading Hankel sv  = {h:?}");
         }
         println!();
@@ -79,10 +90,7 @@ fn main() {
 
 /// Extracts the w→z block of the generalized plant response (drops the
 /// control/measurement channels) so the µ structure tiles it.
-fn n_block(
-    g: &yukta_linalg::CMat,
-    blocks: &[MuBlock],
-) -> yukta_linalg::CMat {
+fn n_block(g: &yukta_linalg::CMat, blocks: &[MuBlock]) -> yukta_linalg::CMat {
     let nz: usize = blocks.iter().map(|b| b.n_out).sum();
     let nw: usize = blocks.iter().map(|b| b.n_in).sum();
     let mut out = yukta_linalg::CMat::zeros(nz, nw);

@@ -10,7 +10,11 @@ use yukta_workloads::catalog;
 fn main() {
     let workloads = catalog::evaluation_set();
     let schemes = Scheme::figure9();
-    println!("Figure 9: {} workloads x {} schemes", workloads.len(), schemes.len());
+    println!(
+        "Figure 9: {} workloads x {} schemes",
+        workloads.len(),
+        schemes.len()
+    );
     let s: Sweep = sweep(&schemes, &workloads);
 
     s.print_normalized("Figure 9(a): Energy x Delay", |r| r.metrics.exd(), 0, 6);

@@ -7,7 +7,6 @@
 //! to the 3.3 W limit and finish first (paper: 320/270/205/180 s).
 
 use yukta_bench::{run_one, trace_csv, write_results};
-use yukta_core::metrics::TraceSample;
 use yukta_core::schemes::Scheme;
 use yukta_workloads::catalog;
 
@@ -27,7 +26,7 @@ fn main() {
             "{:<28} | {:>9.1} | {:>10.1} | {:>12.2} | {:>12} | {:>10.2}",
             rep.scheme, rep.metrics.delay_seconds, rep.metrics.energy_joules, mean_p, peaks, mean_b
         );
-        let cols: &[(&str, fn(&TraceSample) -> f64)] = &[
+        let cols: &[yukta_bench::TraceColumn<'_>] = &[
             ("p_big", |s| s.p_big),
             ("bips", |s| s.bips),
             ("f_big", |s| s.f_big),

@@ -13,7 +13,6 @@
 use yukta_bench::{eval_options, geomean, run_one, trace_csv, write_results};
 use yukta_core::controllers::ssv::{SsvHwController, SsvOsController};
 use yukta_core::design::{Design, DesignOptions, build_design};
-use yukta_core::metrics::TraceSample;
 use yukta_core::runtime::Experiment;
 use yukta_core::schemes::{Controllers, Scheme};
 use yukta_core::signals::{HwOutputs, OsOutputs};
@@ -42,8 +41,14 @@ fn fixed_target_controllers(design: &Design) -> Controllers {
         spare_diff: 1.0,
     };
     Controllers::Split {
-        hw: Box::new(SsvHwController::with_fixed_targets(&design.hw_ssv, hw_targets)),
-        os: Box::new(SsvOsController::with_fixed_targets(&design.os_ssv, os_targets)),
+        hw: Box::new(SsvHwController::with_fixed_targets(
+            &design.hw_ssv,
+            hw_targets,
+        )),
+        os: Box::new(SsvOsController::with_fixed_targets(
+            &design.os_ssv,
+            os_targets,
+        )),
     }
 }
 
@@ -79,8 +84,7 @@ fn main() {
             mean_d,
             p95
         );
-        let cols: &[(&str, fn(&TraceSample) -> f64)] =
-            &[("bips", |s| s.bips), ("p_big", |s| s.p_big)];
+        let cols: &[yukta_bench::TraceColumn<'_>] = &[("bips", |s| s.bips), ("p_big", |s| s.p_big)];
         write_results(&format!("fig15a_trace_{i}.csv"), &trace_csv(&rep, cols));
     }
 

@@ -35,7 +35,9 @@ fn main() {
                 println!(
                     "±{:>4.0}%: guaranteed bounds (× the ±40% design) = {:?} (µ̂ = {:.2})",
                     g * 100.0,
-                    rel.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+                    rel.iter()
+                        .map(|v| (v * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>(),
                     d.hw_ssv.mu_peak
                 );
                 csv_a.push_str(&format!(
@@ -58,7 +60,7 @@ fn main() {
     println!("\nFigure 16(b): E x D vs guardband (normalized to Coordinated heuristic)\n");
     // A representative subset keeps this sensitivity sweep affordable; the
     // full set is exercised by fig09.
-    let workloads = vec![
+    let workloads = [
         catalog::spec::mcf(),
         catalog::spec::gamess(),
         catalog::parsec::blackscholes(),
@@ -84,7 +86,10 @@ fn main() {
             })
             .collect();
         let avg = geomean(&ratios);
-        println!("guardband ±{:>4.0}%: normalized E x D = {avg:.3}", g * 100.0);
+        println!(
+            "guardband ±{:>4.0}%: normalized E x D = {avg:.3}",
+            g * 100.0
+        );
         csv_b.push_str(&format!("{g},{avg:.4}\n"));
     }
     write_results("fig16b_exd.csv", &csv_b);

@@ -9,7 +9,6 @@
 use yukta_bench::{eval_options, trace_csv, write_results};
 use yukta_core::controllers::ssv::{SsvHwController, SsvOsController};
 use yukta_core::design::{DesignOptions, build_design};
-use yukta_core::metrics::TraceSample;
 use yukta_core::optimizer::OsOptimizer;
 use yukta_core::runtime::Experiment;
 use yukta_core::schemes::{Controllers, Scheme};
@@ -38,7 +37,10 @@ fn main() {
             temp: 70.0,
         };
         let controllers = Controllers::Split {
-            hw: Box::new(SsvHwController::with_fixed_targets(&design.hw_ssv, hw_targets)),
+            hw: Box::new(SsvHwController::with_fixed_targets(
+                &design.hw_ssv,
+                hw_targets,
+            )),
             os: Box::new(SsvOsController::new(&design.os_ssv, OsOptimizer::new())),
         };
         let rep = Experiment::with_design(Scheme::YuktaHwSsvOsSsv, design)
@@ -48,11 +50,8 @@ fn main() {
         let n = rep.trace.samples.len();
         let steady = &rep.trace.samples[n / 5..n - n / 10];
         let mean = steady.iter().map(|s| s.p_big).sum::<f64>() / steady.len() as f64;
-        let var = steady
-            .iter()
-            .map(|s| (s.p_big - mean).powi(2))
-            .sum::<f64>()
-            / steady.len() as f64;
+        let var =
+            steady.iter().map(|s| (s.p_big - mean).powi(2)).sum::<f64>() / steady.len() as f64;
         let crossings = rep.trace.crossings_above(|s| s.p_big, 2.5);
         println!(
             "{:>7.1} | {:>12.2} | {:>14.3} | {:>12}",
@@ -61,7 +60,7 @@ fn main() {
             var.sqrt(),
             crossings
         );
-        let cols: &[(&str, fn(&TraceSample) -> f64)] =
+        let cols: &[yukta_bench::TraceColumn<'_>] =
             &[("p_big", |s| s.p_big), ("f_big", |s| s.f_big)];
         write_results(&format!("fig17_trace_w{i}.csv"), &trace_csv(&rep, cols));
     }

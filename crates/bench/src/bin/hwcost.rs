@@ -24,7 +24,10 @@ fn main() {
         println!("  measurement width O+E(+I)  = {}", cost.n_meas);
         println!("  multiplies / invocation    = {}", cost.multiplies);
         println!("  total MACs / invocation    = {}", cost.total_ops() / 2);
-        println!("  storage (32-bit words)     = {} bytes", cost.storage_bytes);
+        println!(
+            "  storage (32-bit words)     = {} bytes",
+            cost.storage_bytes
+        );
         // Measured latency of one invocation on this machine.
         let mut rt = ObsAwController::new(&syn.controller);
         let meas = vec![0.1; rt.n_meas()];
@@ -35,7 +38,10 @@ fn main() {
             let _ = rt.step(&meas, &ident);
         }
         let per = start.elapsed().as_nanos() as f64 / iters as f64;
-        println!("  measured latency           = {:.2} µs / invocation\n", per / 1000.0);
+        println!(
+            "  measured latency           = {:.2} µs / invocation\n",
+            per / 1000.0
+        );
     }
     let hw_cost = ControllerCost::of(&d.hw_ssv.controller);
     write_results(
@@ -61,7 +67,10 @@ fn main() {
             let cost = ControllerCost::of(&red.sys);
             println!("after balanced truncation to N=20:");
             println!("  multiplies / invocation    = {}", cost.multiplies);
-            println!("  storage                    = {} bytes", cost.storage_bytes);
+            println!(
+                "  storage                    = {} bytes",
+                cost.storage_bytes
+            );
             println!("  H-infinity error bound     = {:.3e}", red.error_bound);
             let tail: f64 = red.hankel.iter().skip(20).sum();
             let total: f64 = red.hankel.iter().sum();

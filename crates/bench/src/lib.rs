@@ -63,7 +63,10 @@ pub fn sweep(schemes: &[Scheme], workloads: &[Workload]) -> Sweep {
                 (wi, per)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     })
     .expect("scope");
     let mut sorted = reports;
@@ -132,8 +135,7 @@ impl Sweep {
             println!();
         }
         let n_schemes = self.schemes.len();
-        let col =
-            |rows: &[Vec<f64>], j: usize| rows.iter().map(|r| r[j]).collect::<Vec<f64>>();
+        let col = |rows: &[Vec<f64>], j: usize| rows.iter().map(|r| r[j]).collect::<Vec<f64>>();
         if n_spec > 0 && n_spec < norm.len() {
             let (spec, parsec) = norm.split_at(n_spec);
             print!("{:<14}", "SAv");
@@ -194,11 +196,11 @@ pub fn write_results(path: &str, contents: &str) {
     println!("[wrote {}]", full.display());
 }
 
+/// A named trace-sample projection used as a CSV column.
+pub type TraceColumn<'a> = (&'a str, fn(&yukta_core::metrics::TraceSample) -> f64);
+
 /// Formats a trace time series as CSV text (`time` plus named columns).
-pub fn trace_csv(
-    report: &Report,
-    columns: &[(&str, fn(&yukta_core::metrics::TraceSample) -> f64)],
-) -> String {
+pub fn trace_csv(report: &Report, columns: &[TraceColumn<'_>]) -> String {
     let mut out = String::from("time");
     for (name, _) in columns {
         out.push(',');

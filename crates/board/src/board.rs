@@ -124,7 +124,12 @@ impl Board {
     /// Powers on a board in its reset state: both clusters at minimum
     /// frequency, all cores on, everything at ambient temperature.
     pub fn new(cfg: BoardConfig) -> Self {
-        let tmu = Tmu::new(cfg.tmu.clone(), cfg.big.f_max, cfg.little.f_max, cfg.big.n_cores);
+        let tmu = Tmu::new(
+            cfg.tmu.clone(),
+            cfg.big.f_max,
+            cfg.little.f_max,
+            cfg.big.n_cores,
+        );
         let thermal = ThermalState::at_ambient(&cfg.thermal);
         let p_period = cfg.sensors.power_period;
         let seed = cfg.seed;
@@ -291,7 +296,11 @@ impl Board {
         }
 
         // Power and thermal.
-        let busy_big = if exec_big > 0.0 { mux_big.cores_used as f64 } else { 0.2 };
+        let busy_big = if exec_big > 0.0 {
+            mux_big.cores_used as f64
+        } else {
+            0.2
+        };
         let busy_little = if exec_little > 0.0 {
             mux_little.cores_used as f64
         } else {

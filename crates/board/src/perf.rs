@@ -51,7 +51,13 @@ impl ThreadLoad {
 /// The model is linear in frequency for compute-bound threads and
 /// saturates for memory-bound ones: effective GIPS =
 /// `ipc·f / (1 + mi·f/f_sat)`, the standard first-order roofline rolloff.
-pub fn thread_gips(cfg: &ClusterConfig, ipc_factor: f64, mem_intensity: f64, freq: f64, share: f64) -> f64 {
+pub fn thread_gips(
+    cfg: &ClusterConfig,
+    ipc_factor: f64,
+    mem_intensity: f64,
+    freq: f64,
+    share: f64,
+) -> f64 {
     let ipc = cfg.ipc_base * ipc_factor;
     let rolloff = 1.0 + mem_intensity.clamp(0.0, 1.0) * freq / cfg.f_mem_sat;
     (ipc * freq / rolloff) * share.clamp(0.0, 1.0)

@@ -83,7 +83,10 @@ mod tests {
         assert!(p_max > 0.42, "max little power {p_max}");
         // …but ~0.9–1.0 GHz is sustainable.
         let p_sus = cluster_power(&c.little, &c.thermal, 4, 4.0, 0.9, 60.0).total();
-        assert!((0.2..0.37).contains(&p_sus), "sustainable little power {p_sus}");
+        assert!(
+            (0.2..0.37).contains(&p_sus),
+            "sustainable little power {p_sus}"
+        );
     }
 
     #[test]

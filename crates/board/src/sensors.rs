@@ -99,11 +99,7 @@ impl BipsReader {
         let di = counter.total() - self.last_total;
         self.last_total = counter.total();
         self.last_time = now;
-        if dt > 1e-12 {
-            di / dt
-        } else {
-            0.0
-        }
+        if dt > 1e-12 { di / dt } else { 0.0 }
     }
 }
 

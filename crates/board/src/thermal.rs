@@ -65,7 +65,12 @@ mod tests {
         let mut s = ThermalState::at_ambient(&c);
         settle(&mut s, &c, 3.3, 3.8, 600.0);
         let expect = ThermalState::steady_hot(&c, 3.3, 3.8);
-        assert!((s.t_hot - expect).abs() < 0.5, "t_hot {} vs {}", s.t_hot, expect);
+        assert!(
+            (s.t_hot - expect).abs() < 0.5,
+            "t_hot {} vs {}",
+            s.t_hot,
+            expect
+        );
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl Tmu {
             self.caps.f_big = Some(self.cfg.f_throttle);
         } else if t_hot > self.cfg.t_throttle {
             let cap = self.cfg.f_throttle;
-            if self.caps.f_big.map_or(true, |c| c > cap) {
+            if self.caps.f_big.is_none_or(|c| c > cap) {
                 self.trips += 1;
             }
             self.caps.f_big = Some(self.caps.f_big.map_or(cap, |c| c.min(cap)));
@@ -103,7 +103,7 @@ impl Tmu {
         // --- Power trips ---
         if self.over_big >= self.cfg.sustain_window {
             let cap = (f_big - 0.4).max(0.2);
-            if self.caps.f_big.map_or(true, |c| c > cap) {
+            if self.caps.f_big.is_none_or(|c| c > cap) {
                 self.trips += 1;
                 self.caps.f_big = Some(self.caps.f_big.map_or(cap, |c| c.min(cap)));
             }
@@ -131,7 +131,11 @@ impl Tmu {
                 }
             } else if let Some(f) = self.caps.f_big {
                 let next = f + 0.1;
-                self.caps.f_big = if next >= self.f_big_max { None } else { Some(next) };
+                self.caps.f_big = if next >= self.f_big_max {
+                    None
+                } else {
+                    Some(next)
+                };
             }
         }
         if p_little < self.cfg.p_little_emergency {

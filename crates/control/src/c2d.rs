@@ -49,7 +49,9 @@ pub fn c2d_tustin(sys: &StateSpace, ts: f64) -> Result<StateSpace> {
     let a = sys.a();
     let half = 0.5 * ts;
     let ima = &Mat::identity(n) - &a.scale(half);
-    let m = ima.inverse().map_err(|_| Error::Singular { op: "c2d_tustin" })?;
+    let m = ima
+        .inverse()
+        .map_err(|_| Error::Singular { op: "c2d_tustin" })?;
     let ad = &m * &(&Mat::identity(n) + &a.scale(half));
     let bd = &m * &sys.b().scale(ts);
     let cd = sys.c() * &m;

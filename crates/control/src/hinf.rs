@@ -123,7 +123,9 @@ impl GenPlant {
         let (np, nk) = (self.sys.order(), k.order());
         // u = (I − Dk D22)⁻¹ (Ck xk + Dk C2 xp + Dk D21 w)
         let loop_m = &Mat::identity(self.n_u) - &(k.d() * &pb.d22);
-        let li = loop_m.inverse().map_err(|_| Error::Singular { op: "lft" })?;
+        let li = loop_m
+            .inverse()
+            .map_err(|_| Error::Singular { op: "lft" })?;
         let u_xk = &li * k.c();
         let u_xp = &li * &(k.d() * &pb.c2);
         let u_w = &li * &(k.d() * &pb.d21);
@@ -159,18 +161,26 @@ pub fn check_dgkf_assumptions(p: &GenPlant, tol: f64) -> Result<()> {
         why,
     };
     if pb.d11.max_abs() > tol {
-        return Err(fail("D11 must be zero (use prefilters on exogenous inputs)"));
+        return Err(fail(
+            "D11 must be zero (use prefilters on exogenous inputs)",
+        ));
     }
     if pb.d22.max_abs() > tol {
-        return Err(fail("D22 must be zero (strictly proper plant→measurement path)"));
+        return Err(fail(
+            "D22 must be zero (strictly proper plant→measurement path)",
+        ));
     }
     let dtd = &pb.d12.t() * &pb.d12;
     if !dtd.approx_eq(&Mat::identity(p.n_u), tol) {
-        return Err(fail("D12ᵀD12 must be the identity (normalize control weights)"));
+        return Err(fail(
+            "D12ᵀD12 must be the identity (normalize control weights)",
+        ));
     }
     let ddt = &pb.d21 * &pb.d21.t();
     if !ddt.approx_eq(&Mat::identity(p.n_y), tol) {
-        return Err(fail("D21D21ᵀ must be the identity (normalize measurement noise)"));
+        return Err(fail(
+            "D21D21ᵀ must be the identity (normalize measurement noise)",
+        ));
     }
     if (&pb.d12.t() * &pb.c1).max_abs() > tol {
         return Err(fail("D12ᵀC1 must be zero (no cross penalty)"));
@@ -240,13 +250,26 @@ pub fn hinf_syn(p: &GenPlant, gamma: f64) -> Result<StateSpace> {
 ///
 /// Same conditions as [`hinf_syn`].
 pub fn hinf_syn_full(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
+    validate_dgkf_plant(p)?;
+    hinf_syn_validated(p, gamma)
+}
+
+/// γ-independent feasibility checks: the plant must be continuous and
+/// satisfy the DGKF assumptions. Hoisted out of [`hinf_syn_validated`] so
+/// γ-searches like [`hinf_bisect`] pay for them once, not per candidate.
+fn validate_dgkf_plant(p: &GenPlant) -> Result<()> {
     if p.sys.is_discrete() {
         return Err(Error::NoSolution {
             op: "hinf_syn",
             why: "generalized plant must be continuous (use d2c_tustin first)",
         });
     }
-    check_dgkf_assumptions(p, 1e-6)?;
+    check_dgkf_assumptions(p, 1e-6)
+}
+
+/// The per-γ synthesis body; callers must have run
+/// [`validate_dgkf_plant`] on `p` first.
+fn hinf_syn_validated(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
     let pb = p.blocks();
     let n = pb.a.rows();
     let g2 = gamma * gamma;
@@ -319,8 +342,11 @@ pub fn hinf_syn_full(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
 ///
 /// Returns [`Error::NoSolution`] if even `g_hi` is infeasible.
 pub fn hinf_bisect(p: &GenPlant, g_lo: f64, g_hi: f64, iters: usize) -> Result<(HinfDesign, f64)> {
+    // The DGKF assumptions do not depend on γ: check once here instead of
+    // on every bisection candidate.
+    validate_dgkf_plant(p)?;
     let mut hi = g_hi;
-    let mut best = match hinf_syn_full(p, hi) {
+    let mut best = match hinf_syn_validated(p, hi) {
         Ok(k) => (k, hi),
         Err(_) => {
             // Try expanding upward a few times before giving up.
@@ -328,7 +354,7 @@ pub fn hinf_bisect(p: &GenPlant, g_lo: f64, g_hi: f64, iters: usize) -> Result<(
             let mut g = g_hi;
             for _ in 0..6 {
                 g *= 4.0;
-                if let Ok(k) = hinf_syn_full(p, g) {
+                if let Ok(k) = hinf_syn_validated(p, g) {
                     expanded = Some((k, g));
                     break;
                 }
@@ -343,7 +369,7 @@ pub fn hinf_bisect(p: &GenPlant, g_lo: f64, g_hi: f64, iters: usize) -> Result<(
     let mut lo = g_lo.min(hi * 0.5);
     for _ in 0..iters {
         let mid = (lo * hi).sqrt(); // geometric bisection suits γ's scale
-        match hinf_syn_full(p, mid) {
+        match hinf_syn_validated(p, mid) {
             Ok(k) => {
                 best = (k, mid);
                 hi = mid;
@@ -390,15 +416,11 @@ mod tests {
             &[2.0, 0.0, 0.0],
         ]);
         let c = Mat::from_rows(&[
-            &[-we, we], // z1
-            &[0.0, 0.0], // z2 = u via D12
+            &[-we, we],   // z1
+            &[0.0, 0.0],  // z2 = u via D12
             &[-1.0, 1.0], // y
         ]);
-        let d = Mat::from_rows(&[
-            &[0.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let d = Mat::from_rows(&[&[0.0, 0.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
         let sys = StateSpace::new(a, b, c, d, None).unwrap();
         GenPlant::new(sys, 2, 1, 2, 1).unwrap()
     }
@@ -415,10 +437,7 @@ mod tests {
         let cl = p.lft(&k.k).unwrap();
         assert!(cl.is_stable().unwrap());
         let norm = cl.hinf_norm_estimate(1e-3, 1e3, 400);
-        assert!(
-            norm <= gamma * 1.05,
-            "‖Tzw‖∞ = {norm} exceeds γ = {gamma}"
-        );
+        assert!(norm <= gamma * 1.05, "‖Tzw‖∞ = {norm} exceeds γ = {gamma}");
     }
 
     #[test]

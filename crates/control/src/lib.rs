@@ -59,6 +59,7 @@ pub mod quant;
 pub mod reduce;
 pub mod runtime;
 pub mod ss;
+pub mod sweep;
 pub mod sysid;
 
 pub use ss::StateSpace;

@@ -14,10 +14,12 @@
 //! it only costs conservatism. This mirrors the paper's use of MATLAB's
 //! `mussv` bounds inside controller synthesis (Section II-C, Equation 1).
 
+use yukta_linalg::freq::FreqEvaluator;
 use yukta_linalg::svd::sigma_max;
-use yukta_linalg::{CMat, Error, Result};
+use yukta_linalg::{C64, CMat, Error, Result};
 
 use crate::ss::StateSpace;
+use crate::sweep;
 
 /// One full complex uncertainty block: `w_i = Δ_i · z_i` with
 /// `Δ_i ∈ ℂ^{n_in × n_out}` and `σ̄(Δ_i) ≤ 1`.
@@ -211,8 +213,16 @@ pub fn mu_lower_bound(n: &CMat, blocks: &[MuBlock]) -> Result<f64> {
             let mut min_gain = f64::INFINITY;
             let mut w_next = vec![yukta_linalg::C64::ZERO; nw];
             for b in blocks {
-                let zn: f64 = z[r0..r0 + b.n_out].iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
-                let wn: f64 = w[c0..c0 + b.n_in].iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
+                let zn: f64 = z[r0..r0 + b.n_out]
+                    .iter()
+                    .map(|v| v.abs_sq())
+                    .sum::<f64>()
+                    .sqrt();
+                let wn: f64 = w[c0..c0 + b.n_in]
+                    .iter()
+                    .map(|v| v.abs_sq())
+                    .sum::<f64>()
+                    .sqrt();
                 if wn > 1e-300 {
                     min_gain = min_gain.min(zn / wn);
                 }
@@ -262,26 +272,35 @@ pub fn log_grid(w_min: f64, w_max: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Sweeps the µ upper bound of a closed-loop system over a frequency grid
-/// and returns the peak.
-///
-/// # Errors
-///
-/// Returns block-structure mismatches; frequencies where the response is
-/// singular are skipped.
-pub fn mu_peak(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Result<MuPeak> {
-    check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+/// Per-point work shared by [`mu_peak`] and [`mu_peak_serial`]: evaluate
+/// the loop at `ω` through the Hessenberg fast path and bound µ there.
+/// Frequencies where the response is singular yield `None`.
+fn mu_at(
+    ev: &mut FreqEvaluator<'_>,
+    ts: Option<f64>,
+    w: f64,
+    blocks: &[MuBlock],
+) -> Option<MuInfo> {
+    let lambda = match ts {
+        Some(t) => C64::cis(w * t),
+        None => C64::new(0.0, w),
+    };
+    let n = ev.eval(lambda).ok()?;
+    Some(mu_upper_bound(&n, blocks).expect("block structure validated before the sweep"))
+}
+
+/// Folds per-frequency results (in grid order) into the peak record.
+fn fold_peak(grid: &[f64], results: Vec<Option<MuInfo>>, blocks: &[MuBlock]) -> MuPeak {
     let mut peak = MuPeak {
         peak: 0.0,
         w_peak: grid.first().copied().unwrap_or(1.0),
         scalings: vec![1.0; blocks.len()],
         curve: Vec::with_capacity(grid.len()),
     };
-    for &w in grid {
-        let Ok(n) = sys.freq_response(w) else {
+    for (&w, info) in grid.iter().zip(results) {
+        let Some(info) = info else {
             continue;
         };
-        let info = mu_upper_bound(&n, blocks)?;
         peak.curve.push((w, info.value));
         if info.value > peak.peak {
             peak.peak = info.value;
@@ -289,7 +308,39 @@ pub fn mu_peak(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Result<MuP
             peak.scalings = info.scalings;
         }
     }
-    Ok(peak)
+    peak
+}
+
+/// Sweeps the µ upper bound of a closed-loop system over a frequency grid
+/// and returns the peak.
+///
+/// The sweep runs on the system's cached Hessenberg form (one O(n²)
+/// solve per point) and fans out across cores on multi-core hosts;
+/// results are bit-identical to [`mu_peak_serial`].
+///
+/// # Errors
+///
+/// Returns block-structure mismatches; frequencies where the response is
+/// singular are skipped.
+pub fn mu_peak(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Result<MuPeak> {
+    check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let ts = sys.ts();
+    let results = sweep::sweep(sys.freq_system(), grid, |_, w, ev| mu_at(ev, ts, w, blocks));
+    Ok(fold_peak(grid, results, blocks))
+}
+
+/// Single-threaded reference for [`mu_peak`]: identical per-point work,
+/// identical fold, no fan-out. Exists so differential tests can pin the
+/// parallel sweep to the serial semantics.
+///
+/// # Errors
+///
+/// Same as [`mu_peak`].
+pub fn mu_peak_serial(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Result<MuPeak> {
+    check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let ts = sys.ts();
+    let results = sweep::sweep_serial(sys.freq_system(), grid, |_, w, ev| mu_at(ev, ts, w, blocks));
+    Ok(fold_peak(grid, results, blocks))
 }
 
 #[cfg(test)]
@@ -312,10 +363,7 @@ mod tests {
         let mut n = CMat::zeros(2, 2);
         n.set(0, 1, C64::real(100.0));
         n.set(1, 0, C64::real(0.01));
-        let blocks = [
-            MuBlock { n_out: 1, n_in: 1 },
-            MuBlock { n_out: 1, n_in: 1 },
-        ];
+        let blocks = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
         let info = mu_upper_bound(&n, &blocks).unwrap();
         assert!(
             (info.value - 1.0).abs() < 1e-3,
@@ -331,10 +379,7 @@ mod tests {
         let mut n = CMat::zeros(2, 2);
         n.set(0, 0, C64::real(3.0));
         n.set(1, 1, C64::real(0.2));
-        let blocks = [
-            MuBlock { n_out: 1, n_in: 1 },
-            MuBlock { n_out: 1, n_in: 1 },
-        ];
+        let blocks = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
         let info = mu_upper_bound(&n, &blocks).unwrap();
         assert!((info.value - 3.0).abs() < 1e-6);
     }
@@ -383,10 +428,7 @@ mod tests {
             &[0.1, -0.7, 0.9],
             &[0.8, 0.2, 0.4],
         ]));
-        let blocks = [
-            MuBlock { n_out: 1, n_in: 1 },
-            MuBlock { n_out: 2, n_in: 2 },
-        ];
+        let blocks = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 2, n_in: 2 }];
         let lb = mu_lower_bound(&m, &blocks).unwrap();
         let ub = mu_upper_bound(&m, &blocks).unwrap().value;
         assert!(lb <= ub + 1e-9, "lb {lb} vs ub {ub}");
@@ -408,10 +450,7 @@ mod tests {
         let mut m = CMat::zeros(2, 2);
         m.set(0, 0, C64::real(3.0));
         m.set(1, 1, C64::real(1.0));
-        let blocks = [
-            MuBlock { n_out: 1, n_in: 1 },
-            MuBlock { n_out: 1, n_in: 1 },
-        ];
+        let blocks = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
         let lb = mu_lower_bound(&m, &blocks).unwrap();
         let ub = mu_upper_bound(&m, &blocks).unwrap().value;
         // µ = 3 exactly here. The upper bound is tight; the simple
@@ -434,10 +473,7 @@ mod tests {
             )
             .unwrap()
         };
-        let blocks = [
-            MuBlock { n_out: 1, n_in: 1 },
-            MuBlock { n_out: 1, n_in: 1 },
-        ];
+        let blocks = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
         let grid = log_grid(1e-2, 1e2, 30);
         let p1 = mu_peak(&mk(1.0), &blocks, &grid).unwrap();
         let p2 = mu_peak(&mk(2.0), &blocks, &grid).unwrap();

@@ -160,7 +160,13 @@ impl SsvPlant {
             }
         }
         let scaled = StateSpace::new(sys.a().clone(), b, c, sys.d().clone(), sys.ts())?;
-        GenPlant::new(scaled, self.gen.n_w, self.gen.n_u, self.gen.n_z, self.gen.n_y)
+        GenPlant::new(
+            scaled,
+            self.gen.n_w,
+            self.gen.n_u,
+            self.gen.n_z,
+            self.gen.n_y,
+        )
     }
 
     /// Wraps an H∞ design into the *deployable observer-form controller*:
@@ -182,10 +188,7 @@ impl SsvPlant {
     ///
     /// Returns [`Error::NoSolution`] if the observer form is unstable
     /// (cannot be deployed safely under saturation).
-    pub fn deploy_anti_windup(
-        &self,
-        design: &crate::hinf::HinfDesign,
-    ) -> Result<StateSpace> {
+    pub fn deploy_anti_windup(&self, design: &crate::hinf::HinfDesign) -> Result<StateSpace> {
         let aw = design.anti_windup()?;
         if !aw.is_stable()? {
             return Err(Error::NoSolution {
@@ -195,7 +198,13 @@ impl SsvPlant {
         }
         let n = aw.order();
         let n_y = self.ny + self.ne;
-        let winv = Mat::diag(&self.input_weights.iter().map(|w| 1.0 / w).collect::<Vec<_>>());
+        let winv = Mat::diag(
+            &self
+                .input_weights
+                .iter()
+                .map(|w| 1.0 / w)
+                .collect::<Vec<_>>(),
+        );
         let weff = Mat::diag(&self.input_weights);
         // Input scaling: measurements ×(1/ε), applied input ×W_eff;
         // output ×W_eff⁻¹.
@@ -332,8 +341,15 @@ pub fn build_ssv_plant(model: &StateSpace, spec: &SsvSpec) -> Result<SsvPlant> {
     // Shaped performance weight: We(s) = (khf·s + kdc·wc)/(s + wc) per
     // output, with khf = 1/(2·bound) and kdc = boost·khf. Realized with
     // one state per output driven by the tracking error.
-    let khf: Vec<f64> = spec.output_bounds.iter().map(|bf| 1.0 / (2.0 * bf)).collect();
-    let kdc: Vec<f64> = khf.iter().map(|k| k * spec.perf_dc_boost.max(1.0)).collect();
+    let khf: Vec<f64> = spec
+        .output_bounds
+        .iter()
+        .map(|bf| 1.0 / (2.0 * bf))
+        .collect();
+    let kdc: Vec<f64> = khf
+        .iter()
+        .map(|k| k * spec.perf_dc_boost.max(1.0))
+        .collect();
     let wc = spec.perf_corner.max(1e-3);
 
     // State layout: [xg(ng) | xr(ny) | xe(ne) | xd(ny) | xw(ny)].

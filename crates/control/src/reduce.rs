@@ -89,7 +89,13 @@ pub fn balanced_truncation(sys: &StateSpace, r: usize) -> Result<Reduced> {
     let me = symmetric_eigen(&m)?;
     let hankel: Vec<f64> = me.values.iter().map(|v| v.max(0.0).sqrt()).collect();
     // Guard against truncating into numerically-zero directions.
-    let r_eff = r.min(hankel.iter().take_while(|&&h| h > 1e-12 * hankel[0].max(1e-300)).count().max(1));
+    let r_eff = r.min(
+        hankel
+            .iter()
+            .take_while(|&&h| h > 1e-12 * hankel[0].max(1e-300))
+            .count()
+            .max(1),
+    );
     // Balancing transform T = L·U·Σ^(-1/2) on the kept directions.
     let u_kept = me.vectors.block(0, n, 0, r_eff);
     let inv_sqrt: Vec<f64> = hankel[..r_eff].iter().map(|h| 1.0 / h.sqrt()).collect();

@@ -253,7 +253,10 @@ impl ObsAwController {
     /// Panics if the system is not discrete or has fewer inputs than
     /// outputs.
     pub fn new(sys: &StateSpace) -> Self {
-        assert!(sys.is_discrete(), "ObsAwController requires a discrete system");
+        assert!(
+            sys.is_discrete(),
+            "ObsAwController requires a discrete system"
+        );
         assert!(
             sys.n_inputs() > sys.n_outputs(),
             "system must have measurement inputs plus an applied-input port"

@@ -5,8 +5,11 @@
 //! for continuous systems. All of Yukta's plants, weights, and controllers
 //! are `StateSpace` values; synthesis is a pipeline of compositions on them.
 
+use std::sync::{Arc, OnceLock};
+
 use serde::{Deserialize, Serialize};
 use yukta_linalg::eig::{eigenvalues, max_real_part, spectral_radius};
+use yukta_linalg::freq::FreqSystem;
 use yukta_linalg::{C64, CMat, Error, Mat, Result};
 
 /// A (possibly non-minimal) state-space realization
@@ -35,13 +38,28 @@ use yukta_linalg::{C64, CMat, Error, Mat, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StateSpace {
     a: Mat,
     b: Mat,
     c: Mat,
     d: Mat,
     ts: Option<f64>,
+    /// Lazily built Hessenberg preprocessing for fast frequency sweeps.
+    /// Derived entirely from `(a, b, c, d)`, so it is excluded from
+    /// equality and serialization; clones share the built value.
+    #[serde(skip)]
+    freq_cache: OnceLock<Arc<FreqSystem>>,
+}
+
+impl PartialEq for StateSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.a == other.a
+            && self.b == other.b
+            && self.c == other.c
+            && self.d == other.d
+            && self.ts == other.ts
+    }
 }
 
 impl StateSpace {
@@ -60,7 +78,14 @@ impl StateSpace {
                 rhs: (c.rows(), b.cols()),
             });
         }
-        Ok(StateSpace { a, b, c, d, ts })
+        Ok(StateSpace {
+            a,
+            b,
+            c,
+            d,
+            ts,
+            freq_cache: OnceLock::new(),
+        })
     }
 
     /// A static (memoryless) gain `y = D·u`.
@@ -73,6 +98,7 @@ impl StateSpace {
             c: Mat::zeros(p, 0),
             d,
             ts,
+            freq_cache: OnceLock::new(),
         }
     }
 
@@ -161,12 +187,46 @@ impl StateSpace {
         self.eval_at(lambda)
     }
 
+    /// The Hessenberg-preconditioned form of this realization, built
+    /// lazily on first use and cached (clones made after that share it).
+    ///
+    /// Sweep loops should grab this once and evaluate through
+    /// [`yukta_linalg::freq::FreqEvaluator`]s; one-shot evaluations can
+    /// just call [`StateSpace::eval_at`].
+    pub fn freq_system(&self) -> &Arc<FreqSystem> {
+        self.freq_cache.get_or_init(|| {
+            Arc::new(
+                FreqSystem::new(&self.a, &self.b, &self.c, &self.d)
+                    .expect("StateSpace dimensions are validated on construction"),
+            )
+        })
+    }
+
     /// Evaluates the transfer matrix at an arbitrary complex point `λ`.
+    ///
+    /// Uses the cached Hessenberg form ([`StateSpace::freq_system`]):
+    /// after the first call on a realization, each evaluation costs one
+    /// O(n²) structured solve instead of an O(n³) dense LU.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Singular`] if `λI − A` is singular.
     pub fn eval_at(&self, lambda: C64) -> Result<CMat> {
+        if self.order() == 0 {
+            return Ok(CMat::from_real(&self.d));
+        }
+        self.freq_system().evaluator().eval(lambda)
+    }
+
+    /// Reference implementation of [`StateSpace::eval_at`]: a dense
+    /// complex LU on the original `(A, B, C, D)`, one fresh factorization
+    /// per call. Kept as the ground truth the Hessenberg fast path is
+    /// differentially tested against; prefer `eval_at` everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Singular`] if `λI − A` is singular.
+    pub fn eval_at_reference(&self, lambda: C64) -> Result<CMat> {
         let n = self.order();
         if n == 0 {
             return Ok(CMat::from_real(&self.d));
@@ -365,15 +425,23 @@ impl StateSpace {
     /// `σ̄(G(e^{jωT}))`) over a log-spaced frequency grid of `n_grid`
     /// points between `w_min` and `w_max` rad/s.
     pub fn hinf_norm_estimate(&self, w_min: f64, w_max: f64, n_grid: usize) -> f64 {
-        let mut peak: f64 = 0.0;
-        for k in 0..n_grid {
-            let t = k as f64 / (n_grid - 1).max(1) as f64;
-            let w = w_min * (w_max / w_min).powf(t);
-            if let Ok(g) = self.freq_response(w) {
-                peak = peak.max(yukta_linalg::svd::sigma_max(&g));
-            }
-        }
-        peak
+        let grid: Vec<f64> = (0..n_grid)
+            .map(|k| {
+                let t = k as f64 / (n_grid - 1).max(1) as f64;
+                w_min * (w_max / w_min).powf(t)
+            })
+            .collect();
+        let ts = self.ts;
+        let gains = crate::sweep::sweep(self.freq_system(), &grid, |_, w, ev| {
+            let lambda = match ts {
+                Some(t) => C64::cis(w * t),
+                None => C64::new(0.0, w),
+            };
+            ev.eval(lambda)
+                .map(|g| yukta_linalg::svd::sigma_max(&g))
+                .ok()
+        });
+        gains.into_iter().flatten().fold(0.0f64, f64::max)
     }
 }
 
@@ -457,7 +525,8 @@ mod tests {
         let g2 = lp(0.8, 1.0);
         let s = g1.series(&g2).unwrap();
         let w = 0.7;
-        let expect = g1.freq_response(w).unwrap().get(0, 0) * g2.freq_response(w).unwrap().get(0, 0);
+        let expect =
+            g1.freq_response(w).unwrap().get(0, 0) * g2.freq_response(w).unwrap().get(0, 0);
         let got = s.freq_response(w).unwrap().get(0, 0);
         assert!((expect - got).abs() < 1e-12);
     }
@@ -468,7 +537,8 @@ mod tests {
         let g2 = lp(0.8, 1.0);
         let p = g1.parallel(&g2).unwrap();
         let w = 1.3;
-        let expect = g1.freq_response(w).unwrap().get(0, 0) + g2.freq_response(w).unwrap().get(0, 0);
+        let expect =
+            g1.freq_response(w).unwrap().get(0, 0) + g2.freq_response(w).unwrap().get(0, 0);
         let got = p.freq_response(w).unwrap().get(0, 0);
         assert!((expect - got).abs() < 1e-12);
     }

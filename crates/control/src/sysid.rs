@@ -206,21 +206,21 @@ fn build_regression(
     for (row, t) in (lag..t_total).enumerate() {
         let mut col = 0;
         for k in 1..=na {
-            for j in 0..ny {
-                phi[(row, col)] = y[t - k][j];
+            for &yj in y[t - k].iter().take(ny) {
+                phi[(row, col)] = yj;
                 col += 1;
             }
         }
         for k in 1..=nb {
-            for j in 0..nu {
-                phi[(row, col)] = u[t - k][j];
+            for &uj in u[t - k].iter().take(nu) {
+                phi[(row, col)] = uj;
                 col += 1;
             }
         }
         if let Some(r) = resid {
             for k in 1..=nc {
-                for j in 0..ny {
-                    phi[(row, col)] = r[t - k][j];
+                for &rj in r[t - k].iter().take(ny) {
+                    phi[(row, col)] = rj;
                     col += 1;
                 }
             }
@@ -389,16 +389,16 @@ pub fn calibrate_dc_gains(sys: &StateSpace, measured_dc: &Mat) -> Result<StateSp
     let n = sys.order();
     // M = C (I − A)⁻¹.
     let ima = &Mat::identity(n) - sys.a();
-    let ima_inv = ima
-        .inverse()
-        .map_err(|_| Error::Singular { op: "calibrate_dc_gains" })?;
+    let ima_inv = ima.inverse().map_err(|_| Error::Singular {
+        op: "calibrate_dc_gains",
+    })?;
     let m = sys.c() * &ima_inv;
     let resid = measured_dc - &(&m * sys.b());
     // Least-norm ΔB = Mᵀ (M Mᵀ)⁻¹ resid.
     let mmt = &m * &m.t();
-    let mmt_inv = mmt
-        .inverse()
-        .map_err(|_| Error::Singular { op: "calibrate_dc_gains" })?;
+    let mmt_inv = mmt.inverse().map_err(|_| Error::Singular {
+        op: "calibrate_dc_gains",
+    })?;
     let delta_b = &m.t() * &(&mmt_inv * &resid);
     let b = sys.b() + &delta_b;
     StateSpace::new(
@@ -423,7 +423,9 @@ mod tests {
         let (mut u1p, mut u2p) = (0.0f64, 0.0f64);
         let mut seed = 7u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for _ in 0..n {
@@ -493,7 +495,9 @@ mod tests {
         let mut e_prev = 0.0f64;
         let mut seed = 99u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         let mut up = 0.0f64;
@@ -515,7 +519,11 @@ mod tests {
         };
         let armax = fit_armax(&u, &y, cfg).unwrap();
         // ARMAX should still find the pole near 0.7.
-        assert!((armax.theta[(0, 0)] - 0.7).abs() < 0.1, "pole {}", armax.theta[(0, 0)]);
+        assert!(
+            (armax.theta[(0, 0)] - 0.7).abs() < 0.1,
+            "pole {}",
+            armax.theta[(0, 0)]
+        );
     }
 
     #[test]

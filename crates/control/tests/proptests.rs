@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use yukta_control::c2d::{c2d_tustin, d2c_tustin};
+use yukta_control::mu::{MuBlock, log_grid, mu_peak, mu_peak_serial};
 use yukta_control::quant::{InputGrid, SignalScaler};
 use yukta_control::ss::StateSpace;
 use yukta_linalg::Mat;
@@ -22,6 +23,34 @@ fn stable_cont_sys(n: usize) -> impl Strategy<Value = StateSpace> {
             let b = Mat::from_vec(n, 1, bv);
             let c = Mat::from_vec(1, n, cv);
             StateSpace::new(a, b, c, Mat::zeros(1, 1), None).unwrap()
+        })
+}
+
+/// Random stable MIMO system (continuous when `ts` is `None`), with a
+/// nonzero feedthrough so the D path of the fast evaluator is exercised.
+fn stable_mimo_sys(n: usize, io: usize, ts: Option<f64>) -> impl Strategy<Value = StateSpace> {
+    (
+        prop::collection::vec(-1.0..1.0f64, n * n),
+        prop::collection::vec(-1.0..1.0f64, n * io),
+        prop::collection::vec(-1.0..1.0f64, io * n),
+        prop::collection::vec(-0.5..0.5f64, io * io),
+    )
+        .prop_map(move |(av, bv, cv, dv)| {
+            let mut a = Mat::from_vec(n, n, av);
+            match ts {
+                // Discrete: scale into the unit disk (row sums < 1).
+                Some(_) => a = a.scale(0.9 / (a.inf_norm() + 1e-9)),
+                // Continuous: shift comfortably Hurwitz.
+                None => {
+                    for i in 0..n {
+                        a[(i, i)] -= 2.5;
+                    }
+                }
+            }
+            let b = Mat::from_vec(n, io, bv);
+            let c = Mat::from_vec(io, n, cv);
+            let d = Mat::from_vec(io, io, dv);
+            StateSpace::new(a, b, c, d, ts).unwrap()
         })
 }
 
@@ -92,6 +121,51 @@ proptest! {
         let s = sys1.series(&sys2).unwrap();
         prop_assert_eq!(s.order(), 4);
         prop_assert!(s.is_stable().unwrap());
+    }
+
+    #[test]
+    fn fast_eval_matches_reference_continuous(
+        sys in stable_mimo_sys(6, 2, None),
+        wexp in -2.0..2.0f64,
+    ) {
+        let g_fast = sys.freq_response(10f64.powf(wexp)).unwrap();
+        let lambda = yukta_linalg::C64::new(0.0, 10f64.powf(wexp));
+        let g_ref = sys.eval_at_reference(lambda).unwrap();
+        let err = g_fast.sub(&g_ref).max_abs();
+        prop_assert!(err < 1e-9, "fast vs reference mismatch: {err}");
+    }
+
+    #[test]
+    fn fast_eval_matches_reference_discrete(
+        sys in stable_mimo_sys(5, 2, Some(0.25)),
+        theta in 0.0..std::f64::consts::PI,
+    ) {
+        let lambda = yukta_linalg::C64::cis(theta);
+        let g_fast = sys.eval_at(lambda).unwrap();
+        let g_ref = sys.eval_at_reference(lambda).unwrap();
+        let err = g_fast.sub(&g_ref).max_abs();
+        prop_assert!(err < 1e-9, "fast vs reference mismatch: {err}");
+    }
+
+    #[test]
+    fn parallel_mu_peak_bit_identical_to_serial(sys in stable_mimo_sys(4, 2, Some(0.5))) {
+        let blocks = [
+            MuBlock { n_out: 1, n_in: 1 },
+            MuBlock { n_out: 1, n_in: 1 },
+        ];
+        let grid = log_grid(1e-3, 0.98 * std::f64::consts::PI / 0.5, 120);
+        let par = mu_peak(&sys, &blocks, &grid).unwrap();
+        let ser = mu_peak_serial(&sys, &blocks, &grid).unwrap();
+        prop_assert_eq!(par.peak.to_bits(), ser.peak.to_bits());
+        prop_assert_eq!(par.w_peak.to_bits(), ser.w_peak.to_bits());
+        prop_assert_eq!(par.curve.len(), ser.curve.len());
+        for ((wp, vp), (ws, vs)) in par.curve.iter().zip(&ser.curve) {
+            prop_assert_eq!(wp.to_bits(), ws.to_bits());
+            prop_assert_eq!(vp.to_bits(), vs.to_bits());
+        }
+        for (a, b) in par.scalings.iter().zip(&ser.scalings) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -193,7 +193,8 @@ impl HwPolicy for DecoupledHeuristicHw {
     fn invoke(&mut self, sense: &HwSense) -> HwInputs {
         let lim = sense.limits;
         let y = sense.outputs;
-        let violated = y.p_big > lim.p_big_max || y.p_little > lim.p_little_max || y.temp > lim.temp_max;
+        let violated =
+            y.p_big > lim.p_big_max || y.p_little > lim.p_little_max || y.temp > lim.temp_max;
         if violated {
             self.safe_streak = 0;
             if self.backoff_freq_steps < 8 {

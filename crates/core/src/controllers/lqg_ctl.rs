@@ -61,7 +61,10 @@ impl HwPolicy for LqgHwController {
                 .grids
                 .little_cores
                 .quantize(self.ranges.cores.denormalize(u[1])),
-            f_big: self.grids.f_big.quantize(self.ranges.f_big.denormalize(u[2])),
+            f_big: self
+                .grids
+                .f_big
+                .quantize(self.ranges.f_big.denormalize(u[2])),
             f_little: self
                 .grids
                 .f_little
@@ -194,7 +197,10 @@ impl MonolithicLqg {
                 .grids
                 .little_cores
                 .quantize(self.ranges.cores.denormalize(u[1])),
-            f_big: self.grids.f_big.quantize(self.ranges.f_big.denormalize(u[2])),
+            f_big: self
+                .grids
+                .f_big
+                .quantize(self.ranges.f_big.denormalize(u[2])),
             f_little: self
                 .grids
                 .f_little

@@ -318,7 +318,8 @@ mod tests {
 
     #[test]
     fn hw_outputs_land_on_actuator_grids() {
-        let mut c = SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
+        let mut c =
+            SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
         let u = c.invoke(&hw_sense());
         let g = ActuatorGrids::xu3();
         assert_eq!(g.f_big.quantize(u.f_big), u.f_big);
@@ -343,7 +344,8 @@ mod tests {
 
     #[test]
     fn optimizer_moves_targets_between_invocations() {
-        let mut c = SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
+        let mut c =
+            SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
         c.invoke(&hw_sense());
         let t1 = c.targets();
         c.invoke(&hw_sense());

@@ -192,8 +192,7 @@ pub fn collect_excitation(opts: &DesignOptions) -> ExcitationData {
                 for (k, i) in idx.iter_mut().enumerate() {
                     let g = grid_of(k);
                     let delta: i64 = rng.gen_range(-3..=3);
-                    let next =
-                        (*i as i64 + delta).clamp(idx_lo[k] as i64, g.len() as i64 - 1);
+                    let next = (*i as i64 + delta).clamp(idx_lo[k] as i64, g.len() as i64 - 1);
                     *i = next as usize;
                 }
             }
@@ -318,8 +317,8 @@ pub fn measure_dc_gains(opts: &DesignOptions) -> yukta_linalg::Mat {
             let st = board.state();
             let n_active = run.active_threads();
             let tb = st.placement.threads_big.min(n_active);
-            let sc = spare_capacity(st.big_cores, tb)
-                - spare_capacity(st.little_cores, n_active - tb);
+            let sc =
+                spare_capacity(st.big_cores, tb) - spare_capacity(st.little_cores, n_active - tb);
             [
                 ranges.perf.normalize(bips_big + bips_little),
                 ranges.p_big.normalize(board.read_power(Cluster::Big)),
@@ -421,19 +420,13 @@ pub fn build_design(opts: &DesignOptions) -> Result<Design> {
     let mut hw_id = fit_arx(&u_hwf, &y_hwf, sysid_cfg)?
         .stabilized(0.97)?
         .with_sample_period(0.5)?;
-    hw_id.sys = calibrate_dc_gains(
-        &hw_id.sys,
-        &pick(&[0, 1, 2, 3], &[0, 1, 2, 3, 4, 5, 6]),
-    )?;
+    hw_id.sys = calibrate_dc_gains(&hw_id.sys, &pick(&[0, 1, 2, 3], &[0, 1, 2, 3, 4, 5, 6]))?;
     let u_os_full = concat(&data.u_os, &data.u_hw);
     let (u_osf, y_osf) = align_for_arx(&u_os_full, &data.y_os);
     let mut os_id = fit_arx(&u_osf, &y_osf, sysid_cfg)?
         .stabilized(0.97)?
         .with_sample_period(0.5)?;
-    os_id.sys = calibrate_dc_gains(
-        &os_id.sys,
-        &pick(&[4, 5, 6], &[4, 5, 6, 0, 1, 2, 3]),
-    )?;
+    os_id.sys = calibrate_dc_gains(&os_id.sys, &pick(&[4, 5, 6], &[4, 5, 6, 0, 1, 2, 3]))?;
     // Solo and joint models for the LQG baselines.
     let (u_hws, y_hws) = align_for_arx(&data.u_hw, &data.y_hw);
     let mut hw_solo = fit_arx(&u_hws, &y_hws, sysid_cfg)?
@@ -558,11 +551,7 @@ mod tests {
         assert!(d.os_ssv.controller.is_stable().unwrap());
         // Identification succeeded meaningfully on at least the power
         // outputs (index 1, 2 of the HW model).
-        assert!(
-            d.hw_fit[1] > 0.3,
-            "big power fit too poor: {:?}",
-            d.hw_fit
-        );
+        assert!(d.hw_fit[1] > 0.3, "big power fit too poor: {:?}", d.hw_fit);
         // The models have the right shapes for the LQG baselines.
         assert_eq!(d.hw_model_solo.n_inputs(), 4);
         assert_eq!(d.os_model_solo.n_inputs(), 3);

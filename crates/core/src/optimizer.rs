@@ -195,12 +195,11 @@ impl OsOptimizer {
         }
         // Every few invocations probe the spare-capacity balance; keep the
         // probe direction while it pays off.
-        if self.ticks % 4 == 0 {
+        if self.ticks.is_multiple_of(4) {
             if !improved {
                 self.spare_step = -self.spare_step;
             }
-            self.targets.spare_diff =
-                (self.targets.spare_diff + self.spare_step).clamp(-4.0, 4.0);
+            self.targets.spare_diff = (self.targets.spare_diff + self.spare_step).clamp(-4.0, 4.0);
         }
         self.targets.perf_big = self.targets.perf_big.min(12.0);
         self.targets.perf_little = self.targets.perf_little.min(1.6);
@@ -270,8 +269,14 @@ mod tests {
         for _ in 0..6 {
             t = opt.update(&outputs(0.8, 3.0));
         }
-        assert!(t.perf < before.perf + 6.0 * 0.40, "perf target kept climbing");
-        assert!(t.p_big < before.p_big + 6.0 * 0.08, "power target kept climbing");
+        assert!(
+            t.perf < before.perf + 6.0 * 0.40,
+            "perf target kept climbing"
+        );
+        assert!(
+            t.p_big < before.p_big + 6.0 * 0.08,
+            "power target kept climbing"
+        );
     }
 
     #[test]

@@ -181,10 +181,7 @@ impl Scheme {
                     &design.hw_ssv,
                     HwOptimizer::new(limits),
                 )),
-                os: Box::new(SsvOsController::new(
-                    &design.os_ssv,
-                    OsOptimizer::new(),
-                )),
+                os: Box::new(SsvOsController::new(&design.os_ssv, OsOptimizer::new())),
             },
             Scheme::DecoupledLqg => Controllers::Split {
                 hw: Box::new(LqgHwController::new(

@@ -13,6 +13,28 @@ use crate::{C64, Error, Mat, Result};
 /// similarity transforms. Returns the Hessenberg matrix (the orthogonal
 /// factor is not accumulated — eigenvalues are similarity-invariant).
 pub fn hessenberg(a: &Mat) -> Mat {
+    hessenberg_impl(a, None)
+}
+
+/// Like [`hessenberg`] but also accumulates the orthogonal factor:
+/// returns `(H, Q)` with `A = Q·H·Qᵀ` and `QᵀQ = I`.
+///
+/// The frequency-sweep fast path ([`crate::freq`]) uses `Q` to transform
+/// the input/output matrices of a state-space system once, after which
+/// every transfer-matrix evaluation costs one O(n²) Hessenberg solve
+/// instead of an O(n³) dense LU.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn hessenberg_q(a: &Mat) -> (Mat, Mat) {
+    assert!(a.is_square(), "hessenberg_q requires a square matrix");
+    let mut q = Mat::identity(a.rows());
+    let h = hessenberg_impl(a, Some(&mut q));
+    (h, q)
+}
+
+fn hessenberg_impl(a: &Mat, mut q: Option<&mut Mat>) -> Mat {
     let n = a.rows();
     let mut h = a.clone();
     for k in 0..n.saturating_sub(2) {
@@ -59,6 +81,19 @@ pub fn hessenberg(a: &Mat) -> Mat {
         // Entries below the first subdiagonal in column k are now zero.
         for i in (k + 2)..n {
             h[(i, k)] = 0.0;
+        }
+        // Accumulate Q ← Q·P (P symmetric), so that A = Q·H·Qᵀ.
+        if let Some(q) = q.as_deref_mut() {
+            for i in 0..n {
+                let mut dot = 0.0;
+                for j in (k + 1)..n {
+                    dot += q[(i, j)] * v[j];
+                }
+                let s = 2.0 * dot / vnorm_sq;
+                for j in (k + 1)..n {
+                    q[(i, j)] -= s * v[j];
+                }
+            }
         }
     }
     h
@@ -153,7 +188,7 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<C64>> {
         iters_since_deflation += 1;
         let m = hi - 1;
         let (s, t); // trace and determinant of trailing 2x2
-        if iters_since_deflation % 12 == 0 {
+        if iters_since_deflation.is_multiple_of(12) {
             // Exceptional ad-hoc shift to break symmetry-induced cycles.
             let x = h[(m, m - 1)].abs() + h[(m - 1, m - 2)].abs();
             s = 1.5 * x;
@@ -164,9 +199,8 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<C64>> {
         }
 
         // First column of (H−aI)(H−bI) where a+b=s, ab=t.
-        let mut x = h[(lo, lo)] * h[(lo, lo)] + h[(lo, lo + 1)] * h[(lo + 1, lo)]
-            - s * h[(lo, lo)]
-            + t;
+        let mut x =
+            h[(lo, lo)] * h[(lo, lo)] + h[(lo, lo + 1)] * h[(lo + 1, lo)] - s * h[(lo, lo)] + t;
         let mut y = h[(lo + 1, lo)] * (h[(lo, lo)] + h[(lo + 1, lo + 1)] - s);
         let mut z = if lo + 2 < hi {
             h[(lo + 2, lo + 1)] * h[(lo + 1, lo)]
@@ -359,7 +393,9 @@ mod tests {
         let mut seed = 42u64;
         for i in 0..n {
             for j in 0..n {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 a[(i, j)] = ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             }
         }
@@ -399,6 +435,24 @@ mod tests {
         }
         // Similarity preserves trace.
         assert!((h.trace() - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hessenberg_q_reconstructs() {
+        let a = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[5.0, 6.0, 7.0, 8.0],
+            &[9.0, 1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0, 7.0],
+        ]);
+        let (h, q) = hessenberg_q(&a);
+        // Q orthogonal.
+        assert!((&q.t() * &q).approx_eq(&Mat::identity(4), 1e-12));
+        // A = Q H Qᵀ.
+        let recon = &(&q * &h) * &q.t();
+        assert!(recon.approx_eq(&a, 1e-10));
+        // H matches the plain reduction.
+        assert!(h.approx_eq(&hessenberg(&a), 1e-12));
     }
 
     #[test]

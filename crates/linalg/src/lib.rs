@@ -13,6 +13,9 @@
 //!   stable-invariant-subspace extraction.
 //! * [`eig`] — eigenvalues via Hessenberg reduction plus Francis
 //!   double-shift QR iteration.
+//! * [`freq`] — Hessenberg-preconditioned fast evaluation of
+//!   `C (λI − A)⁻¹ B + D` for frequency sweeps: O(n²) per grid point
+//!   after a one-time O(n³) reduction.
 //! * [`svd`] — one-sided Jacobi SVD for real matrices and a complex largest
 //!   singular value via power iteration (the workhorse of the structured
 //!   singular value upper bound).
@@ -42,6 +45,7 @@
 
 pub mod cmat;
 pub mod eig;
+pub mod freq;
 pub mod lu;
 pub mod lyap;
 pub mod mat;

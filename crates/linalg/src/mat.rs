@@ -79,7 +79,11 @@ impl Mat {
             assert_eq!(row.len(), c, "inconsistent row length in Mat::from_rows");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -88,7 +92,11 @@ impl Mat {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length mismatch in Mat::from_vec");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length mismatch in Mat::from_vec"
+        );
         Mat { rows, cols, data }
     }
 
@@ -165,17 +173,14 @@ impl Mat {
             });
         }
         let mut out = Mat::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += aik * rhs[(k, j)];
-                }
-            }
-        }
+        matmul_kernel(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         Ok(out)
     }
 
@@ -194,7 +199,10 @@ impl Mat {
     ///
     /// Panics if the ranges are out of bounds or reversed.
     pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Mat {
-        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols, "block out of range");
+        assert!(
+            r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols,
+            "block out of range"
+        );
         let mut out = Mat::zeros(r1 - r0, c1 - c0);
         for i in r0..r1 {
             for j in c0..c1 {
@@ -391,6 +399,39 @@ impl Mat {
     }
 }
 
+/// Cache-blocked row-major product accumulating `out += a · b`, where `a`
+/// is `m × k`, `b` is `k × n`, and `out` is `m × n`.
+///
+/// Tiles over the `k` and `n` dimensions so a `BK × BN` panel of `b` stays
+/// resident in cache while every row of `a` streams past it. For each
+/// output entry the `k`-terms still accumulate in ascending order — the
+/// same order as the textbook triple loop — and exact zeros in `a` are
+/// still skipped, so results are bit-identical to the naive kernel.
+fn matmul_kernel(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    const BK: usize = 64;
+    const BN: usize = 128;
+    for k0 in (0..k).step_by(BK) {
+        let k1 = (k0 + BK).min(k);
+        for j0 in (0..n).step_by(BN) {
+            let j1 = (j0 + BN).min(n);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n + j0..i * n + j1];
+                for kk in k0..k1 {
+                    let aik = arow[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n + j0..kk * n + j1];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for Mat {
     type Output = f64;
 
@@ -530,6 +571,39 @@ mod tests {
         let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = &a * &b;
         assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_naive() {
+        // Sizes straddling the tile boundaries, pseudo-random entries.
+        let mut s = 42u64;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (7, 5, 9),
+            (64, 64, 64),
+            (65, 130, 129),
+            (33, 3, 200),
+        ] {
+            let a = Mat::from_vec(m, k, (0..m * k).map(|_| next()).collect());
+            let b = Mat::from_vec(k, n, (0..k * n).map(|_| next()).collect());
+            let fast = a.matmul(&b).unwrap();
+            let mut naive = Mat::zeros(m, n);
+            for i in 0..m {
+                for kk in 0..k {
+                    let aik = a[(i, kk)];
+                    for j in 0..n {
+                        naive[(i, j)] += aik * b[(kk, j)];
+                    }
+                }
+            }
+            assert_eq!(fast, naive, "({m},{k},{n})");
+        }
     }
 
     #[test]

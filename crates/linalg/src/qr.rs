@@ -253,7 +253,11 @@ mod tests {
 
     #[test]
     fn qr_reconstructs() {
-        let a = Mat::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
+        let a = Mat::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ]);
         let f = Qr::new(&a);
         assert!(orthonormal(&f.q(), 1e-12));
         assert!((&f.q() * &f.r()).approx_eq(&a, 1e-10));

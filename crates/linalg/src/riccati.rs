@@ -68,7 +68,7 @@ pub fn care(a: &Mat, g: &Mat, q: &Mat) -> Result<Mat> {
             return Err(Error::NoSolution {
                 op: "care",
                 why: "stable subspace basis is not graph-like (U1 singular)",
-            })
+            });
         }
     };
     // Residual check: ‖AᵀX + XA − XGX + Q‖ small relative to the data.
@@ -189,7 +189,12 @@ mod tests {
     #[test]
     fn care_scalar_known() {
         // aᵀx + xa − xgx + q = 0, a=0, g=1, q=4 → x = 2 (stabilizing: −gx<0).
-        let x = care(&Mat::zeros(1, 1), &Mat::identity(1), &Mat::filled(1, 1, 4.0)).unwrap();
+        let x = care(
+            &Mat::zeros(1, 1),
+            &Mat::identity(1),
+            &Mat::filled(1, 1, 4.0),
+        )
+        .unwrap();
         assert!((x[(0, 0)] - 2.0).abs() < 1e-9);
     }
 

@@ -41,7 +41,9 @@ pub fn matrix_sign(a: &Mat) -> Result<Mat> {
     let mut z = a.clone();
     let max_iters = 100;
     for iter in 0..max_iters {
-        let zinv = z.inverse().map_err(|_| Error::Singular { op: "matrix_sign" })?;
+        let zinv = z
+            .inverse()
+            .map_err(|_| Error::Singular { op: "matrix_sign" })?;
         // Determinant scaling accelerates convergence: c = |det Z|^(-1/n).
         let det = z.det()?.abs();
         let c = if det > 1e-300 && det.is_finite() {

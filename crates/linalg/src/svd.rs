@@ -143,13 +143,14 @@ pub fn sigma_max_real(a: &Mat) -> Result<f64> {
     Ok(svd(a)?.sigma.first().copied().unwrap_or(0.0))
 }
 
-/// Largest singular value of a complex matrix via power iteration on
-/// `AᴴA`, with deterministic multi-start to avoid orthogonal-start stalls.
+/// Largest singular value of a complex matrix.
 ///
-/// The result is accurate to ~1e-10 relative for well-separated leading
-/// singular values, and always a *lower* bound that is then certified by a
-/// residual check; for SSV upper bounds a small underestimate is guarded by
-/// the caller's tolerance margin.
+/// Shapes with a rank-2-or-less Gram matrix — vectors and anything with
+/// two rows or two columns — are solved in closed form (exact up to
+/// rounding, allocation-free). This matters because SSV frequency sweeps
+/// call `sigma_max` on small response matrices hundreds of times per
+/// grid point inside the D-scaling optimization. Larger matrices fall
+/// back to the iterative [`sigma_max_power`].
 ///
 /// # Examples
 ///
@@ -162,6 +163,52 @@ pub fn sigma_max_real(a: &Mat) -> Result<f64> {
 /// assert!((sigma_max(&a) - 3.0).abs() < 1e-9);
 /// ```
 pub fn sigma_max(a: &CMat) -> f64 {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    // A vector's largest singular value is its 2-norm.
+    if m == 1 || n == 1 {
+        return a.fro_norm();
+    }
+    // With two rows (columns), the Gram matrix A·Aᴴ (AᴴA) is Hermitian
+    // 2×2; σ₁² is its largest eigenvalue, available in closed form.
+    if m == 2 || n == 2 {
+        let (mut g00, mut g11) = (0.0f64, 0.0f64);
+        let mut g01 = C64::ZERO;
+        if m == 2 {
+            for j in 0..n {
+                let (x, y) = (a.get(0, j), a.get(1, j));
+                g00 += x.abs_sq();
+                g11 += y.abs_sq();
+                g01 += x * y.conj();
+            }
+        } else {
+            for i in 0..m {
+                let (x, y) = (a.get(i, 0), a.get(i, 1));
+                g00 += x.abs_sq();
+                g11 += y.abs_sq();
+                g01 += x.conj() * y;
+            }
+        }
+        let mid = 0.5 * (g00 + g11);
+        let half_gap = 0.5 * (g00 - g11);
+        let disc = (half_gap * half_gap + g01.abs_sq()).sqrt();
+        return (mid + disc).max(0.0).sqrt();
+    }
+    sigma_max_power(a)
+}
+
+/// Largest singular value via power iteration on `AᴴA`, with
+/// deterministic multi-start to avoid orthogonal-start stalls. This is
+/// the general-shape workhorse behind [`sigma_max`] and the iterative
+/// reference its closed-form small-shape paths are tested against.
+///
+/// The result is accurate to ~1e-10 relative for well-separated leading
+/// singular values, and always a *lower* bound that is then certified by a
+/// residual check; for SSV upper bounds a small underestimate is guarded by
+/// the caller's tolerance margin.
+pub fn sigma_max_power(a: &CMat) -> f64 {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return 0.0;
@@ -284,5 +331,47 @@ mod tests {
     fn sigma_max_zero_matrix() {
         assert_eq!(sigma_max(&CMat::zeros(3, 3)), 0.0);
         assert_eq!(sigma_max(&CMat::zeros(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_power_iteration() {
+        // Every closed-form shape class, pseudo-random entries.
+        let mut s = 11u64;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for &(m, n) in &[(1, 1), (1, 6), (5, 1), (2, 2), (2, 9), (7, 2)] {
+            for _ in 0..20 {
+                let mut a = CMat::zeros(m, n);
+                for i in 0..m {
+                    for j in 0..n {
+                        a.set(i, j, C64::new(next(), next()));
+                    }
+                }
+                let exact = sigma_max(&a);
+                let iterative = sigma_max_power(&a);
+                assert!(
+                    (exact - iterative).abs() < 1e-8 * exact.max(1.0),
+                    "({m},{n}): closed form {exact} vs power {iterative}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_known_values() {
+        // Column vector: 2-norm.
+        let mut v = CMat::zeros(3, 1);
+        v.set(0, 0, C64::real(3.0));
+        v.set(2, 0, C64::new(0.0, 4.0));
+        assert!((sigma_max(&v) - 5.0).abs() < 1e-14);
+        // 2×2 diagonal.
+        let mut d = CMat::zeros(2, 2);
+        d.set(0, 0, C64::real(-7.0));
+        d.set(1, 1, C64::new(0.0, 2.0));
+        assert!((sigma_max(&d) - 7.0).abs() < 1e-14);
     }
 }

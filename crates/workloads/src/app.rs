@@ -192,14 +192,12 @@ impl WorkloadRun {
             let phase = app.phases.get(run.phase);
             for slot in 0..app.slots {
                 match phase {
-                    Some(p) if slot < p.threads && run.remaining_gi > 0.0 => {
-                        out.push(ThreadLoad {
-                            active: true,
-                            mem_intensity: p.mem_intensity,
-                            ipc_factor_big: p.ipc_big,
-                            ipc_factor_little: p.ipc_little,
-                        })
-                    }
+                    Some(p) if slot < p.threads && run.remaining_gi > 0.0 => out.push(ThreadLoad {
+                        active: true,
+                        mem_intensity: p.mem_intensity,
+                        ipc_factor_big: p.ipc_big,
+                        ipc_factor_little: p.ipc_little,
+                    }),
                     _ => out.push(ThreadLoad::idle()),
                 }
             }
@@ -236,11 +234,9 @@ impl WorkloadRun {
 
     /// Whether every component has exhausted all its phases.
     pub fn is_done(&self) -> bool {
-        self.workload
-            .apps
-            .iter()
-            .zip(&self.runs)
-            .all(|(a, r)| r.phase >= a.phases.len() || (r.phase == a.phases.len() - 1 && r.remaining_gi <= 0.0))
+        self.workload.apps.iter().zip(&self.runs).all(|(a, r)| {
+            r.phase >= a.phases.len() || (r.phase == a.phases.len() - 1 && r.remaining_gi <= 0.0)
+        })
     }
 
     /// Fraction of total work completed, in `[0, 1]`.

@@ -86,7 +86,14 @@ pub mod parsec {
 
     /// facesim: long, moderately memory-bound physics solve.
     pub fn facesim() -> Workload {
-        Workload::single(single_phase("facesim", Suite::Parsec, 1800.0, 0.45, 1.05, 0.95))
+        Workload::single(single_phase(
+            "facesim",
+            Suite::Parsec,
+            1800.0,
+            0.45,
+            1.05,
+            0.95,
+        ))
     }
 
     /// fluidanimate: memory-heavy particle simulation.
@@ -131,7 +138,14 @@ pub mod parsec {
 
     /// canneal: cache-thrashing simulated annealing (strongly memory-bound).
     pub fn canneal() -> Workload {
-        Workload::single(single_phase("canneal", Suite::Parsec, 1100.0, 0.75, 0.80, 0.90))
+        Workload::single(single_phase(
+            "canneal",
+            Suite::Parsec,
+            1100.0,
+            0.75,
+            0.80,
+            0.90,
+        ))
     }
 
     /// streamcluster: streaming clustering, memory-bound.
@@ -167,7 +181,14 @@ pub mod spec {
 
     /// h264ref: video encoder, mildly memory-bound.
     pub fn h264ref() -> Workload {
-        Workload::single(single_phase("h264ref", Suite::SpecInt, 1600.0, 0.20, 1.20, 1.05))
+        Workload::single(single_phase(
+            "h264ref",
+            Suite::SpecInt,
+            1600.0,
+            0.20,
+            1.20,
+            1.05,
+        ))
     }
 
     /// mcf: the classic memory-bound pointer chaser.
@@ -177,22 +198,50 @@ pub mod spec {
 
     /// omnetpp: discrete-event simulation, memory-bound.
     pub fn omnetpp() -> Workload {
-        Workload::single(single_phase("omnetpp", Suite::SpecInt, 1000.0, 0.70, 0.80, 0.85))
+        Workload::single(single_phase(
+            "omnetpp",
+            Suite::SpecInt,
+            1000.0,
+            0.70,
+            0.80,
+            0.85,
+        ))
     }
 
     /// gamess: quantum chemistry, compute-bound.
     pub fn gamess() -> Workload {
-        Workload::single(single_phase("gamess", Suite::SpecFp, 1900.0, 0.10, 1.25, 1.00))
+        Workload::single(single_phase(
+            "gamess",
+            Suite::SpecFp,
+            1900.0,
+            0.10,
+            1.25,
+            1.00,
+        ))
     }
 
     /// gromacs: molecular dynamics, compute-bound with high ILP.
     pub fn gromacs() -> Workload {
-        Workload::single(single_phase("gromacs", Suite::SpecFp, 1800.0, 0.15, 1.30, 1.00))
+        Workload::single(single_phase(
+            "gromacs",
+            Suite::SpecFp,
+            1800.0,
+            0.15,
+            1.30,
+            1.00,
+        ))
     }
 
     /// dealII: finite elements, mixed behaviour.
     pub fn deal_ii() -> Workload {
-        Workload::single(single_phase("dealII", Suite::SpecFp, 1400.0, 0.40, 1.10, 0.95))
+        Workload::single(single_phase(
+            "dealII",
+            Suite::SpecFp,
+            1400.0,
+            0.40,
+            1.10,
+            0.95,
+        ))
     }
 
     /// All six SPEC evaluation workloads, in the paper's order.
@@ -207,32 +256,74 @@ pub mod training {
 
     /// swaptions (PARSEC): compute-bound Monte Carlo pricing.
     pub fn swaptions() -> Workload {
-        Workload::single(single_phase("swaptions", Suite::Training, 1200.0, 0.10, 1.15, 1.00))
+        Workload::single(single_phase(
+            "swaptions",
+            Suite::Training,
+            1200.0,
+            0.10,
+            1.15,
+            1.00,
+        ))
     }
 
     /// vips (PARSEC): image pipeline, moderate memory traffic.
     pub fn vips() -> Workload {
-        Workload::single(single_phase("vips", Suite::Training, 1300.0, 0.30, 1.05, 0.95))
+        Workload::single(single_phase(
+            "vips",
+            Suite::Training,
+            1300.0,
+            0.30,
+            1.05,
+            0.95,
+        ))
     }
 
     /// astar (SPECINT): path-finding, memory-bound.
     pub fn astar() -> Workload {
-        Workload::single(single_phase("astar", Suite::Training, 900.0, 0.60, 0.80, 0.85))
+        Workload::single(single_phase(
+            "astar",
+            Suite::Training,
+            900.0,
+            0.60,
+            0.80,
+            0.85,
+        ))
     }
 
     /// perlbench (SPECINT): interpreter, branchy integer code.
     pub fn perlbench() -> Workload {
-        Workload::single(single_phase("perlbench", Suite::Training, 1400.0, 0.25, 1.10, 1.00))
+        Workload::single(single_phase(
+            "perlbench",
+            Suite::Training,
+            1400.0,
+            0.25,
+            1.10,
+            1.00,
+        ))
     }
 
     /// milc (SPECFP): lattice QCD, memory-bandwidth-bound.
     pub fn milc() -> Workload {
-        Workload::single(single_phase("milc", Suite::Training, 900.0, 0.80, 0.70, 0.80))
+        Workload::single(single_phase(
+            "milc",
+            Suite::Training,
+            900.0,
+            0.80,
+            0.70,
+            0.80,
+        ))
     }
 
     /// namd (SPECFP): molecular dynamics, compute-bound.
     pub fn namd() -> Workload {
-        Workload::single(single_phase("namd", Suite::Training, 1800.0, 0.08, 1.30, 1.00))
+        Workload::single(single_phase(
+            "namd",
+            Suite::Training,
+            1800.0,
+            0.08,
+            1.30,
+            1.00,
+        ))
     }
 
     /// The full training set.
@@ -246,7 +337,11 @@ pub mod mixes {
     use super::*;
 
     fn component(w: Workload, threads: usize) -> App {
-        w.apps.into_iter().next().expect("single app").scaled_to(threads)
+        w.apps
+            .into_iter()
+            .next()
+            .expect("single app")
+            .scaled_to(threads)
     }
 
     /// blmc: blackscholes + mcf.

@@ -5,8 +5,8 @@ use yukta_workloads::app::{App, PhaseSpec, Suite, Workload, WorkloadRun};
 
 fn app_strategy() -> impl Strategy<Value = App> {
     (
-        1usize..=4,                     // phases
-        1usize..=8,                     // slots
+        1usize..=4, // phases
+        1usize..=8, // slots
         prop::collection::vec((1usize..=8, 1.0..50.0f64, 0.0..1.0f64), 1..=4),
     )
         .prop_map(|(n_phases, slots, specs)| App {

@@ -150,7 +150,9 @@ fn run_command(args: &[String]) -> ExitCode {
             .fold(0.0f64, f64::max)
     );
     if let Some(path) = flag_value(args, "--trace") {
-        let mut csv = String::from("time,p_big,p_little,temp,bips,f_big,f_little,big_cores,little_cores,threads_big\n");
+        let mut csv = String::from(
+            "time,p_big,p_little,temp,bips,f_big,f_little,big_cores,little_cores,threads_big\n",
+        );
         for s in &report.trace.samples {
             csv.push_str(&format!(
                 "{:.2},{:.3},{:.3},{:.2},{:.3},{:.2},{:.2},{},{},{}\n",

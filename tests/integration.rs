@@ -42,8 +42,7 @@ fn every_scheme_completes_blackscholes() {
         assert!(
             rep.metrics.completed,
             "{} timed out at {:.0}s",
-            scheme,
-            rep.metrics.delay_seconds
+            scheme, rep.metrics.delay_seconds
         );
         assert!(rep.metrics.energy_joules > 10.0);
         assert!(!rep.trace.samples.is_empty());

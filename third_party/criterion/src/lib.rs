@@ -1,0 +1,168 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `Criterion`/`Bencher`/group API surface and the
+//! `criterion_group!`/`criterion_main!` macros on plain wall-clock timing:
+//! each benchmark is auto-calibrated to a target measurement window, run
+//! `sample_size` times, and reported as median / mean / min ns-per-iter on
+//! stdout. No statistics beyond that, no HTML reports, no comparisons —
+//! but `cargo bench` compiles and produces usable numbers offline.
+
+// Stub crate: linted for correctness by its tests, not for idiom.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_time: Duration::from_millis(60),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+        self.samples.push(ns);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{:.1} ns", ns)
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, target: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: find an iteration count that fills the target window.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let ns = *b.samples.first().expect("bench closure must call iter()");
+        if ns * iters as f64 >= target.as_nanos() as f64 / 4.0 || iters >= 1 << 30 {
+            let per_sample = (target.as_nanos() as f64 / sample_size as f64 / ns).max(1.0);
+            iters = per_sample as u64;
+            break;
+        }
+        iters = iters.saturating_mul(8);
+    }
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut s = b.samples.clone();
+    s.sort_by(|a, c| a.partial_cmp(c).unwrap());
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "{name:<40} median {:>12}  mean {:>12}  min {:>12}  ({} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(s[0]),
+        s.len(),
+        iters,
+    );
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, self.target_time, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints a closing line (hook for `criterion_main!`).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+/// A named group with its own sample-size override.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Registers and runs one benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_bench(&full, samples, self.parent.target_time, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for `cargo bench` with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

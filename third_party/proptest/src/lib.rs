@@ -1,0 +1,342 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace's property
+//! tests use: range strategies, tuple strategies, `prop::collection::vec`,
+//! `prop_map`, the `proptest!` macro with `#![proptest_config(...)]`, and
+//! the `prop_assert*`/`prop_assume!` macros. Sampling is seeded from the
+//! test name, so runs are deterministic. Failing cases are reported by
+//! panic with the sampled inputs' debug representation where available;
+//! there is no shrinking.
+
+// Stub crate: linted for correctness by its tests, not for idiom.
+#![allow(clippy::all)]
+
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+pub use rand::RngCore;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted samples.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned (via `Err`) by `prop_assume!` when a sample is rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// The deterministic source used by the `proptest!` runner.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from the test's name (FNV-1a hash).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use rand::RngCore;
+
+    /// A recipe for generating values of a given type (no shrinking).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty int range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty int range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+    /// Always produces a clone of the given value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident . $idx:tt),+ ) ),+ $(,)?) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+    );
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::TestRng;
+    use super::strategy::Strategy;
+    use rand::RngCore;
+
+    /// A length specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len)` — a vector strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace mirror (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{ProptestConfig, Rejected, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])+ fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases * 50 + 200,
+                        "{}: too many rejected samples ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::Rejected> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Rejects the current sample (the runner draws a replacement).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in -1.0..1.0f64, v in prop::collection::vec(0usize..5, 2..=4)) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0.0..1.0f64) {
+            prop_assume!(x > 0.1);
+            prop_assert!(x > 0.1);
+        }
+
+        #[test]
+        fn tuples_and_map(t in (0usize..=3, -2.0..2.0f64).prop_map(|(n, f)| (n * 2, f.abs()))) {
+            prop_assert!(t.0 % 2 == 0 && t.0 <= 6);
+            prop_assert!(t.1 >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait and derive-macro
+//! namespaces) so that `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without network access.
+//! No actual serialization machinery exists — nothing in the workspace
+//! performs serialization yet. Replace with the real crate by editing the
+//! workspace `[workspace.dependencies]` once a registry is reachable.
+
+// Stub crate: linted for correctness by its tests, not for idiom.
+#![allow(clippy::all)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real derive
+//! macros cannot be compiled. Nothing in this workspace actually
+//! serializes values yet (there is no `serde_json`-style backend); the
+//! derives only need to *parse*. These macros accept the same syntax —
+//! including `#[serde(...)]` helper attributes — and expand to nothing.
+//! Swapping the real serde back in is a one-line change in the workspace
+//! manifest.
+
+// Stub crate: linted for correctness by its tests, not for idiom.
+#![allow(clippy::all)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
