@@ -43,7 +43,7 @@ fn bench_controller_step(c: &mut Criterion) {
     let ident = |u: &[f64]| u.to_vec();
     c.bench_function("controller_step_n20", |bch| {
         bch.iter(|| {
-            let (cmd, _) = rt.step(black_box(&meas), &ident);
+            let (cmd, _) = rt.step(black_box(&meas), &ident).unwrap();
             black_box(cmd)
         })
     });

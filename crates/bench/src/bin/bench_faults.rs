@@ -1,0 +1,166 @@
+//! Fault-injection campaign: every scheme × workload × fault severity,
+//! run under the runtime supervisor.
+//!
+//! The campaign asserts three robustness properties end to end:
+//!
+//! 1. **No panics.** Every cell of the severity grid runs inside
+//!    `catch_unwind`; any escaped panic aborts the campaign with a
+//!    non-zero exit status.
+//! 2. **Zero-severity transparency.** At severity 0 the supervised run
+//!    must reproduce the unsupervised baseline E×D *bit-identically*.
+//! 3. **Reported degradation.** Each row records raw E×D relative to the
+//!    fault-free baseline plus a monotone (running-max over severity)
+//!    degradation envelope, alongside the supervisor's fallback
+//!    entry/exit counts and time in degraded mode.
+//!
+//! `--quick` runs a reduced grid (heuristic schemes, one workload, short
+//! timeout) for CI smoke coverage. Output: `results/BENCH_faults.json`.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use yukta_bench::{eval_options, write_results};
+use yukta_board::FaultPlan;
+use yukta_core::runtime::{Experiment, RunOptions};
+use yukta_core::schemes::Scheme;
+use yukta_core::supervisor::SupervisorConfig;
+use yukta_workloads::{Workload, catalog};
+
+const SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let schemes: Vec<Scheme> = if quick {
+        vec![Scheme::CoordinatedHeuristic, Scheme::DecoupledHeuristic]
+    } else {
+        vec![
+            Scheme::CoordinatedHeuristic,
+            Scheme::DecoupledHeuristic,
+            Scheme::YuktaHwSsvOsSsv,
+            Scheme::MonolithicLqg,
+        ]
+    };
+    let workloads: Vec<Workload> = if quick {
+        vec![catalog::parsec::blackscholes()]
+    } else {
+        vec![
+            catalog::parsec::blackscholes(),
+            catalog::spec::mcf(),
+            catalog::spec::gamess(),
+        ]
+    };
+    let options = RunOptions {
+        timeout_s: if quick { 300.0 } else { 1200.0 },
+        ..eval_options()
+    };
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut cells = 0usize;
+    for (ci, scheme) in schemes.iter().enumerate() {
+        for (wi, wl) in workloads.iter().enumerate() {
+            let exp = Experiment::new(*scheme)
+                .expect("experiment construction")
+                .with_options(options);
+            let baseline = exp.run(wl).expect("fault-free baseline run");
+            let base_exd = baseline.metrics.exd();
+            println!(
+                "[{}] {} baseline E×D = {:.1} J·s",
+                scheme.label(),
+                wl.name,
+                base_exd
+            );
+            let mut reported_degradation = 1.0f64;
+            for (si, &severity) in SEVERITIES.iter().enumerate() {
+                let seed = ((ci * 10 + wi) * 100 + si) as u64 + 0xFA;
+                let plan = FaultPlan::uniform(seed, severity);
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    exp.run_supervised(wl, SupervisorConfig::default(), Some(plan))
+                }));
+                let rep = match outcome {
+                    Ok(Ok(rep)) => rep,
+                    Ok(Err(e)) => {
+                        eprintln!(
+                            "FAIL: controller error escaped the supervisor \
+                             ({} / {} @ severity {severity}): {e}",
+                            scheme.label(),
+                            wl.name
+                        );
+                        std::process::exit(1);
+                    }
+                    Err(_) => {
+                        eprintln!(
+                            "FAIL: panic in supervised run ({} / {} @ severity {severity})",
+                            scheme.label(),
+                            wl.name
+                        );
+                        std::process::exit(1);
+                    }
+                };
+                cells += 1;
+                let exd = rep.metrics.exd();
+                if severity == 0.0 && exd.to_bits() != base_exd.to_bits() {
+                    eprintln!(
+                        "FAIL: zero-severity supervised E×D {exd} is not bit-identical \
+                         to baseline {base_exd} ({} / {})",
+                        scheme.label(),
+                        wl.name
+                    );
+                    std::process::exit(1);
+                }
+                let ratio = exd / base_exd;
+                reported_degradation = reported_degradation.max(ratio);
+                let sup = rep.supervisor.expect("supervised run carries stats");
+                let faults = rep.faults.expect("plan recorded");
+                println!(
+                    "  severity {severity:.2}: E×D {exd:.1} ({ratio:.3}x), \
+                     {} faults injected, {} fallback entries, {:.1}s degraded",
+                    faults.stats.total(),
+                    sup.fallback_entries,
+                    sup.degraded_seconds()
+                );
+                rows.push(format!(
+                    "    {{\"scheme\": \"{}\", \"workload\": \"{}\", \
+                     \"severity\": {severity}, \"seed\": {seed}, \
+                     \"completed\": {}, \"energy_j\": {:.4}, \"delay_s\": {:.4}, \
+                     \"exd\": {:.4}, \"baseline_exd\": {:.4}, \
+                     \"exd_over_baseline\": {:.6}, \
+                     \"exd_degradation_monotone\": {:.6}, \
+                     \"faults_total\": {}, \"sensor_faults\": {}, \
+                     \"dvfs_rejections\": {}, \"hotplug_ignored\": {}, \
+                     \"actuation_lags\": {}, \"fallback_entries\": {}, \
+                     \"fallback_exits\": {}, \"safe_entries\": {}, \
+                     \"degraded_seconds\": {:.1}, \"controller_errors\": {}, \
+                     \"sensor_faults_seen\": {}}}",
+                    scheme.label(),
+                    wl.name,
+                    rep.metrics.completed,
+                    rep.metrics.energy_joules,
+                    rep.metrics.delay_seconds,
+                    exd,
+                    base_exd,
+                    ratio,
+                    reported_degradation,
+                    faults.stats.total(),
+                    faults.stats.sensor_faults,
+                    faults.stats.dvfs_rejections,
+                    faults.stats.hotplug_ignored,
+                    faults.stats.actuation_lags,
+                    sup.fallback_entries,
+                    sup.fallback_exits,
+                    sup.safe_entries,
+                    sup.degraded_seconds(),
+                    sup.controller_errors,
+                    sup.sensor_faults_seen(),
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"severities\": {:?},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        quick,
+        SEVERITIES,
+        rows.join(",\n")
+    );
+    write_results("BENCH_faults.json", &json);
+    println!("campaign complete: {cells} cells, zero panics");
+}

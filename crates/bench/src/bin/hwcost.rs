@@ -35,7 +35,7 @@ fn main() {
         let iters = 20_000;
         let start = Instant::now();
         for _ in 0..iters {
-            let _ = rt.step(&meas, &ident);
+            let _ = rt.step(&meas, &ident).unwrap();
         }
         let per = start.elapsed().as_nanos() as f64 / iters as f64;
         println!(

@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{BoardConfig, Cluster};
+use crate::faults::{FaultEvent, FaultInjector, FaultPlan, FaultStats};
 use crate::perf::{ThreadLoad, multiplex, thread_gips};
 use crate::power::cluster_power;
 use crate::sensors::{PerfCounter, PowerSensor};
@@ -118,6 +119,9 @@ pub struct Board {
     hmp_factor_big: f64,
     hmp_factor_little: f64,
     hmp_timer: f64,
+    /// Fault injector sitting between the plant and every observer
+    /// (sensors) / requester (actuations). `None` = fault-free board.
+    faults: Option<FaultInjector>,
 }
 
 impl Board {
@@ -154,7 +158,17 @@ impl Board {
             hmp_timer: 0.0,
             time: 0.0,
             cfg,
+            faults: None,
         }
+    }
+
+    /// Powers on a board with a fault plan installed at the sensor/actuator
+    /// seams. The injector draws from its own seeded RNG, so a plan with
+    /// zero severity and no schedule is bit-identical to [`Board::new`].
+    pub fn with_faults(cfg: BoardConfig, plan: FaultPlan) -> Self {
+        let mut b = Board::new(cfg);
+        b.faults = Some(FaultInjector::new(plan));
+        b
     }
 
     /// The configuration the board was built with.
@@ -162,9 +176,28 @@ impl Board {
         &self.cfg
     }
 
+    /// Aggregate fault-injection counters (`None` on a fault-free board).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// The recorded fault trace (`None` on a fault-free board).
+    pub fn fault_trace(&self) -> Option<&[FaultEvent]> {
+        self.faults.as_ref().map(|f| f.trace())
+    }
+
     /// Applies an actuation request, snapping frequencies to the DVFS grid,
     /// clamping core counts to 1..=n, and charging the transition stalls.
+    ///
+    /// With a fault plan installed the request first passes through the
+    /// injector, which may reject the DVFS part, ignore the hotplug part,
+    /// or hold the whole request back for one invocation.
     pub fn actuate(&mut self, act: &Actuation) {
+        let act = match &mut self.faults {
+            Some(inj) => inj.filter_actuation(self.time, act),
+            None => *act,
+        };
+        let act = &act;
         if let Some(f) = act.f_big {
             let snapped = self.snap_freq(Cluster::Big, f);
             if (snapped - self.req_f_big).abs() > 1e-9 {
@@ -369,18 +402,41 @@ impl Board {
         }
     }
 
-    /// Last completed power-sensor reading for a cluster (W).
-    pub fn read_power(&self, c: Cluster) -> f64 {
-        match c {
+    /// Last completed power-sensor reading for a cluster (W), as seen
+    /// through the fault injector when one is installed.
+    pub fn read_power(&mut self, c: Cluster) -> f64 {
+        let truth = match c {
             Cluster::Big => self.p_sensor_big.read(),
             Cluster::Little => self.p_sensor_little.read(),
+        };
+        match (&mut self.faults, c) {
+            (Some(inj), Cluster::Big) => inj.filter_power_big(self.time, truth),
+            (Some(inj), Cluster::Little) => inj.filter_power_little(self.time, truth),
+            (None, _) => truth,
         }
     }
 
-    /// Temperature-sensor reading: hotspot plus sensor noise (°C).
+    /// Whether a cluster's power sensor has completed its first window
+    /// (readings before that are a hard zero, not a measurement).
+    pub fn power_ready(&self, c: Cluster) -> bool {
+        match c {
+            Cluster::Big => self.p_sensor_big.has_reading(),
+            Cluster::Little => self.p_sensor_little.has_reading(),
+        }
+    }
+
+    /// Temperature-sensor reading: hotspot plus sensor noise (°C), as seen
+    /// through the fault injector when one is installed.
+    ///
+    /// The board's own RNG is always consumed identically, so installing a
+    /// zero-severity injector never perturbs the plant's noise stream.
     pub fn read_temp(&mut self) -> f64 {
         let noise = self.cfg.sensors.temp_noise;
-        self.thermal.t_hot + self.rng.gen_range(-noise..=noise)
+        let truth = self.thermal.t_hot + self.rng.gen_range(-noise..=noise);
+        match &mut self.faults {
+            Some(inj) => inj.filter_temp(self.time, truth),
+            None => truth,
+        }
     }
 
     /// Cumulative retired giga-instructions on a cluster.
@@ -634,6 +690,74 @@ mod tests {
         });
         run(&mut b, &eight_threads(), 30.0);
         assert!(b.state().t_hot > 40.0);
+    }
+
+    #[test]
+    fn zero_severity_fault_plan_is_bit_transparent() {
+        use crate::faults::FaultPlan;
+        let drive = |mut b: Board| {
+            b.actuate(&Actuation {
+                f_big: Some(1.5),
+                placement: Some(Placement {
+                    threads_big: 6,
+                    packing_big: 2.0,
+                    packing_little: 1.0,
+                }),
+                ..Default::default()
+            });
+            let loads = eight_threads();
+            let mut sig = Vec::new();
+            for _ in 0..10 {
+                run(&mut b, &loads, 0.5);
+                sig.push(b.read_power(Cluster::Big).to_bits());
+                sig.push(b.read_power(Cluster::Little).to_bits());
+                sig.push(b.read_temp().to_bits());
+            }
+            sig.push(b.energy().to_bits());
+            sig.push(b.total_instructions().to_bits());
+            sig
+        };
+        let plain = drive(Board::new(BoardConfig::odroid_xu3()));
+        let faulted = drive(Board::with_faults(
+            BoardConfig::odroid_xu3(),
+            FaultPlan::none(),
+        ));
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn full_severity_faults_surface_in_stats() {
+        use crate::faults::FaultPlan;
+        let mut b = Board::with_faults(BoardConfig::odroid_xu3(), FaultPlan::uniform(9, 1.0));
+        b.actuate(&Actuation {
+            f_big: Some(1.4),
+            ..Default::default()
+        });
+        let loads = eight_threads();
+        for _ in 0..40 {
+            run(&mut b, &loads, 0.5);
+            b.read_power(Cluster::Big);
+            b.read_power(Cluster::Little);
+            b.read_temp();
+            b.actuate(&Actuation {
+                f_big: Some(1.4),
+                f_little: Some(1.0),
+                big_cores: Some(4),
+                ..Default::default()
+            });
+        }
+        let stats = b.fault_stats().unwrap();
+        assert!(stats.sensor_faults > 0, "expected sensor faults: {stats:?}");
+        assert!(!b.fault_trace().unwrap().is_empty());
+    }
+
+    #[test]
+    fn power_ready_tracks_first_window() {
+        let mut b = board();
+        assert!(!b.power_ready(Cluster::Big));
+        run(&mut b, &eight_threads(), 0.3);
+        assert!(b.power_ready(Cluster::Big));
+        assert!(b.power_ready(Cluster::Little));
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct TmuConfig {
     pub sustain_window: f64,
     /// TMU evaluation period (s).
     pub period: f64,
+    /// How much a frequency cap rises per period while releasing (GHz).
+    pub release_step: f64,
+    /// How far below the current frequency a power emergency caps (GHz).
+    pub power_backoff: f64,
+    /// Big cores left powered by the hotplug trip.
+    pub hotplug_cores: usize,
 }
 
 /// Sensor timing constants.
@@ -192,6 +198,9 @@ impl BoardConfig {
                 p_little_emergency: 0.40,
                 sustain_window: 1.0,
                 period: 0.1,
+                release_step: 0.1,
+                power_backoff: 0.4,
+                hotplug_cores: 2,
             },
             sensors: SensorConfig {
                 power_period: 0.26,

@@ -1,0 +1,688 @@
+//! Deterministic fault injection at the board interface.
+//!
+//! The paper's pitch is robustness: SSV controllers are chosen because
+//! they tolerate model inaccuracy, and the motivating failure is
+//! destructive interference between layered managers. This module gives
+//! the reproduction the machinery to *prove* that robustness: a seeded
+//! [`FaultPlan`] corrupts exactly what the controllers can observe
+//! (sensor reads) and request (actuations), while the physics underneath
+//! stays truthful. No controller code can peek at ground truth — the
+//! corruption happens inside [`crate::Board`]'s sensor/actuator seams.
+//!
+//! Faults are drawn from an RNG that is independent of the board's own
+//! stochastic effects, so enabling a plan never perturbs the plant's
+//! random stream: a plan with zero severity and no schedule is exactly
+//! the fault-free board, bit for bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The sensor/actuator channels that faults can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultChannel {
+    /// Big-cluster INA231 power reading.
+    PowerBig,
+    /// Little-cluster INA231 power reading.
+    PowerLittle,
+    /// TMU hotspot temperature reading.
+    Temp,
+    /// DVFS actuation (both clusters' frequency requests).
+    Dvfs,
+    /// Hotplug actuation (both clusters' core-count requests).
+    Hotplug,
+    /// Whole-actuation lag (applied one controller period late).
+    Actuation,
+}
+
+impl FaultChannel {
+    /// Short label used in traces and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultChannel::PowerBig => "power_big",
+            FaultChannel::PowerLittle => "power_little",
+            FaultChannel::Temp => "temp",
+            FaultChannel::Dvfs => "dvfs",
+            FaultChannel::Hotplug => "hotplug",
+            FaultChannel::Actuation => "actuation",
+        }
+    }
+}
+
+/// The fault taxonomy (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Sensor latches its current value for a drawn duration.
+    StuckAt,
+    /// One sample is lost; the reader sees the previous value again.
+    DroppedSample,
+    /// One sample is replaced by a large outlier.
+    Spike,
+    /// Persistent additive bias plus per-read noise.
+    BiasNoise,
+    /// The read returns a stale value from at least half a second ago
+    /// (INA231-style: an old completed window instead of the fresh one).
+    DelayedRead,
+    /// A DVFS transition request is silently rejected.
+    DvfsRejected,
+    /// A hotplug (core count) request is silently ignored.
+    HotplugIgnored,
+    /// The whole actuation is applied one controller period late.
+    ActuationLag,
+}
+
+impl FaultKind {
+    /// Short label used in traces and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::StuckAt => "stuck_at",
+            FaultKind::DroppedSample => "dropped_sample",
+            FaultKind::Spike => "spike",
+            FaultKind::BiasNoise => "bias_noise",
+            FaultKind::DelayedRead => "delayed_read",
+            FaultKind::DvfsRejected => "dvfs_rejected",
+            FaultKind::HotplugIgnored => "hotplug_ignored",
+            FaultKind::ActuationLag => "actuation_lag",
+        }
+    }
+
+    /// Every kind, in taxonomy order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::StuckAt,
+        FaultKind::DroppedSample,
+        FaultKind::Spike,
+        FaultKind::BiasNoise,
+        FaultKind::DelayedRead,
+        FaultKind::DvfsRejected,
+        FaultKind::HotplugIgnored,
+        FaultKind::ActuationLag,
+    ];
+}
+
+/// A fault forced on for a time window, independent of the probabilistic
+/// draws — the deterministic half of a plan's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// Fault class to force.
+    pub kind: FaultKind,
+    /// Channel it applies to.
+    pub channel: FaultChannel,
+    /// Window start (simulated seconds).
+    pub t_start: f64,
+    /// Window end (simulated seconds, exclusive).
+    pub t_end: f64,
+}
+
+/// Per-read/per-actuation fault probabilities, all scaled by a single
+/// severity knob in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// RNG seed for the (plant-independent) fault stream.
+    pub seed: u64,
+    /// Master severity in `[0, 1]`; `0.0` injects nothing.
+    pub severity: f64,
+    /// Probability per sensor read of entering a stuck-at episode
+    /// (before severity scaling).
+    pub p_stuck: f64,
+    /// Probability per sensor read of a dropped sample.
+    pub p_drop: f64,
+    /// Probability per sensor read of a spike/outlier.
+    pub p_spike: f64,
+    /// Magnitude of the persistent sensor bias at severity 1, as a
+    /// fraction of the channel's full scale; also scales the read noise.
+    pub bias_frac: f64,
+    /// Probability per sensor read of serving a delayed (stale) value.
+    pub p_delay: f64,
+    /// Probability per actuation of a rejected DVFS transition.
+    pub p_dvfs_reject: f64,
+    /// Probability per actuation of an ignored hotplug request.
+    pub p_hotplug_ignore: f64,
+    /// Probability per actuation of one-period actuation lag.
+    pub p_act_lag: f64,
+    /// Deterministically scheduled fault windows.
+    pub schedule: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — byte-for-byte transparent.
+    pub fn none() -> Self {
+        FaultPlan::uniform(0, 0.0)
+    }
+
+    /// The default campaign plan: every fault class enabled with rates
+    /// proportional to `severity` (clamped to `[0, 1]`).
+    pub fn uniform(seed: u64, severity: f64) -> Self {
+        FaultPlan {
+            seed,
+            severity: severity.clamp(0.0, 1.0),
+            p_stuck: 0.02,
+            p_drop: 0.05,
+            p_spike: 0.05,
+            bias_frac: 0.10,
+            p_delay: 0.08,
+            p_dvfs_reject: 0.10,
+            p_hotplug_ignore: 0.10,
+            p_act_lag: 0.08,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Adds a deterministic fault window to the schedule.
+    pub fn with_scheduled(mut self, s: ScheduledFault) -> Self {
+        self.schedule.push(s);
+        self
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        (self.severity > 0.0
+            && (self.p_stuck > 0.0
+                || self.p_drop > 0.0
+                || self.p_spike > 0.0
+                || self.bias_frac > 0.0
+                || self.p_delay > 0.0
+                || self.p_dvfs_reject > 0.0
+                || self.p_hotplug_ignore > 0.0
+                || self.p_act_lag > 0.0))
+            || !self.schedule.is_empty()
+    }
+}
+
+/// One injected fault, as recorded in the deterministic fault trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulated time of the injection (s).
+    pub time: f64,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Channel affected.
+    pub channel: FaultChannel,
+    /// The corrupted value handed to the observer (sensor faults) or the
+    /// rejected/ignored request value (actuator faults).
+    pub value: f64,
+}
+
+/// Aggregate injection counters, suitable for `Report`s and JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Sensor reads corrupted (any sensor fault class).
+    pub sensor_faults: u64,
+    /// Stuck-at episodes entered.
+    pub stuck_episodes: u64,
+    /// Dropped samples served.
+    pub dropped_samples: u64,
+    /// Spikes injected.
+    pub spikes: u64,
+    /// Delayed (stale) reads served.
+    pub delayed_reads: u64,
+    /// DVFS transitions rejected.
+    pub dvfs_rejections: u64,
+    /// Hotplug requests ignored.
+    pub hotplug_ignored: u64,
+    /// Actuations applied with one period of lag.
+    pub actuation_lags: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults across all classes.
+    pub fn total(&self) -> u64 {
+        self.sensor_faults + self.dvfs_rejections + self.hotplug_ignored + self.actuation_lags
+    }
+}
+
+/// Per-sensor corruption state.
+#[derive(Debug, Clone)]
+struct SensorState {
+    /// Stuck-at latch: `Some((held_value, release_time))`.
+    stuck_until: Option<(f64, f64)>,
+    /// Persistent bias (drawn once, severity-scaled).
+    bias: f64,
+    /// Last value served to a reader (for dropped samples).
+    last_served: f64,
+    /// Short ring of true readings for delayed reads: (time, value).
+    history: Vec<(f64, f64)>,
+}
+
+impl SensorState {
+    fn new(bias: f64) -> Self {
+        SensorState {
+            stuck_until: None,
+            bias,
+            last_served: 0.0,
+            history: Vec::new(),
+        }
+    }
+
+    fn remember(&mut self, time: f64, value: f64) {
+        self.history.push((time, value));
+        // Keep ~30 s of history at the 500 ms controller cadence.
+        if self.history.len() > 64 {
+            self.history.remove(0);
+        }
+    }
+
+    /// The newest remembered value at least `delay` seconds old.
+    fn delayed(&self, now: f64, delay: f64) -> Option<f64> {
+        self.history
+            .iter()
+            .rev()
+            .find(|(t, _)| now - *t >= delay)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Cap on the recorded fault trace; counters keep counting past it.
+const TRACE_CAP: usize = 100_000;
+
+fn push_event(
+    trace: &mut Vec<FaultEvent>,
+    time: f64,
+    kind: FaultKind,
+    channel: FaultChannel,
+    value: f64,
+) {
+    if trace.len() < TRACE_CAP {
+        trace.push(FaultEvent {
+            time,
+            kind,
+            channel,
+            value: if value.is_finite() { value } else { 0.0 },
+        });
+    }
+}
+
+/// The runtime fault injector owned by a [`crate::Board`].
+///
+/// All randomness comes from its own seeded RNG, so the board's plant
+/// stream is untouched and two boards with identical configs + plans
+/// produce bit-identical fault traces.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    power_big: SensorState,
+    power_little: SensorState,
+    temp: SensorState,
+    /// Actuation held back by a lag fault, applied on the next request.
+    lagged: Option<crate::board::Actuation>,
+    stats: FaultStats,
+    trace: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a plan (drawing the persistent biases).
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xFA17_FA17_FA17_FA17);
+        let sev = plan.severity;
+        let mut bias = |scale: f64| -> f64 {
+            if plan.bias_frac > 0.0 && sev > 0.0 {
+                sev * plan.bias_frac * scale * rng.gen_range(-1.0..=1.0)
+            } else {
+                0.0
+            }
+        };
+        let power_big = SensorState::new(bias(4.0));
+        let power_little = SensorState::new(bias(0.4));
+        let temp = SensorState::new(bias(60.0));
+        FaultInjector {
+            plan,
+            rng,
+            power_big,
+            power_little,
+            temp,
+            lagged: None,
+            stats: FaultStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Aggregate injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The recorded fault trace (capped at 100 000 events).
+    pub fn trace(&self) -> &[FaultEvent] {
+        &self.trace
+    }
+
+    fn scheduled(&self, time: f64, kind: FaultKind, channel: FaultChannel) -> bool {
+        self.plan
+            .schedule
+            .iter()
+            .any(|s| s.kind == kind && s.channel == channel && s.t_start <= time && time < s.t_end)
+    }
+
+    /// Corrupts one sensor read. `scale` is the channel's full-scale value
+    /// (sets spike floors and bias/noise magnitude).
+    fn filter_sensor(&mut self, channel: FaultChannel, time: f64, truth: f64, scale: f64) -> f64 {
+        let sev = self.plan.severity;
+        // Always consume the same number of draws per read so one fault
+        // class firing never shifts the stream seen by the others.
+        let d_stuck = self.rng.next_f64();
+        let d_stuck_len = self.rng.gen_range(1.0..=5.0);
+        let d_drop = self.rng.next_f64();
+        let d_spike = self.rng.next_f64();
+        let d_spike_mag = self.rng.gen_range(1.5..=6.0);
+        let d_delay = self.rng.next_f64();
+        let d_noise = self.rng.gen_range(-1.0..=1.0);
+
+        let sched_stuck = self.scheduled(time, FaultKind::StuckAt, channel);
+        let sched_drop = self.scheduled(time, FaultKind::DroppedSample, channel);
+        let sched_spike = self.scheduled(time, FaultKind::Spike, channel);
+        let sched_delay = self.scheduled(time, FaultKind::DelayedRead, channel);
+        let (p_stuck, p_drop, p_spike, p_delay, bias_frac) = (
+            self.plan.p_stuck,
+            self.plan.p_drop,
+            self.plan.p_spike,
+            self.plan.p_delay,
+            self.plan.bias_frac,
+        );
+
+        // Disjoint field borrows: `state` aliases one sensor field while
+        // stats/trace are touched directly.
+        let stats = &mut self.stats;
+        let trace = &mut self.trace;
+        let state = match channel {
+            FaultChannel::PowerBig => &mut self.power_big,
+            FaultChannel::PowerLittle => &mut self.power_little,
+            _ => &mut self.temp,
+        };
+        state.remember(time, truth);
+        let prev_served = state.last_served;
+
+        // An active stuck-at latch overrides everything else.
+        if let Some((held, until)) = state.stuck_until {
+            if time < until {
+                state.last_served = held;
+                stats.sensor_faults += 1;
+                push_event(trace, time, FaultKind::StuckAt, channel, held);
+                return held;
+            }
+            state.stuck_until = None;
+        }
+        if (sev > 0.0 && d_stuck < sev * p_stuck) || sched_stuck {
+            state.stuck_until = Some((truth, time + d_stuck_len));
+            state.last_served = truth;
+            stats.stuck_episodes += 1;
+            stats.sensor_faults += 1;
+            push_event(trace, time, FaultKind::StuckAt, channel, truth);
+            return truth;
+        }
+
+        let mut value = truth;
+        let mut faulted = false;
+        if (sev > 0.0 && d_drop < sev * p_drop) || sched_drop {
+            value = prev_served;
+            faulted = true;
+            stats.dropped_samples += 1;
+            stats.sensor_faults += 1;
+            push_event(trace, time, FaultKind::DroppedSample, channel, value);
+        } else if (sev > 0.0 && d_spike < sev * p_spike) || sched_spike {
+            value = truth * d_spike_mag + 0.5 * scale;
+            faulted = true;
+            stats.spikes += 1;
+            stats.sensor_faults += 1;
+            push_event(trace, time, FaultKind::Spike, channel, value);
+        } else if (sev > 0.0 && d_delay < sev * p_delay) || sched_delay {
+            if let Some(stale) = state.delayed(time, 0.5) {
+                value = stale;
+                faulted = true;
+                stats.delayed_reads += 1;
+                stats.sensor_faults += 1;
+                push_event(trace, time, FaultKind::DelayedRead, channel, value);
+            }
+        }
+        // Persistent bias + read noise ride on top of whatever happened.
+        if sev > 0.0 && bias_frac > 0.0 {
+            let noisy = value + state.bias + sev * bias_frac * scale * 0.25 * d_noise;
+            if noisy != value {
+                if !faulted {
+                    stats.sensor_faults += 1;
+                    push_event(trace, time, FaultKind::BiasNoise, channel, noisy);
+                }
+                value = noisy;
+            }
+        }
+        state.last_served = value;
+        value
+    }
+
+    /// Corrupts a big-cluster power read.
+    pub(crate) fn filter_power_big(&mut self, time: f64, truth: f64) -> f64 {
+        self.filter_sensor(FaultChannel::PowerBig, time, truth, 4.0)
+    }
+
+    /// Corrupts a little-cluster power read.
+    pub(crate) fn filter_power_little(&mut self, time: f64, truth: f64) -> f64 {
+        self.filter_sensor(FaultChannel::PowerLittle, time, truth, 0.4)
+    }
+
+    /// Corrupts a temperature read.
+    pub(crate) fn filter_temp(&mut self, time: f64, truth: f64) -> f64 {
+        self.filter_sensor(FaultChannel::Temp, time, truth, 60.0)
+    }
+
+    /// Filters one actuation request, possibly rejecting the DVFS part,
+    /// ignoring the hotplug part, or delaying the whole request by one
+    /// invocation. Returns the actuation the plant actually receives.
+    pub(crate) fn filter_actuation(
+        &mut self,
+        time: f64,
+        act: &crate::board::Actuation,
+    ) -> crate::board::Actuation {
+        let sev = self.plan.severity;
+        let d_reject = self.rng.next_f64();
+        let d_ignore = self.rng.next_f64();
+        let d_lag = self.rng.next_f64();
+        let mut act = *act;
+
+        // Lag: hold this request back; the previously held one (if any)
+        // lands now, one controller period late.
+        if (sev > 0.0 && d_lag < sev * self.plan.p_act_lag)
+            || self.scheduled(time, FaultKind::ActuationLag, FaultChannel::Actuation)
+        {
+            self.stats.actuation_lags += 1;
+            push_event(
+                &mut self.trace,
+                time,
+                FaultKind::ActuationLag,
+                FaultChannel::Actuation,
+                act.f_big.unwrap_or(0.0),
+            );
+            let held = self.lagged.take();
+            self.lagged = Some(act);
+            act = held.unwrap_or_default();
+        } else if let Some(held) = self.lagged.take() {
+            // A previously lagged request finally lands, merged under the
+            // fresh one (fresh fields win, like repeated sysfs writes).
+            act = crate::board::Actuation {
+                f_big: act.f_big.or(held.f_big),
+                f_little: act.f_little.or(held.f_little),
+                big_cores: act.big_cores.or(held.big_cores),
+                little_cores: act.little_cores.or(held.little_cores),
+                placement: act.placement.or(held.placement),
+            };
+        }
+        if (sev > 0.0 && d_reject < sev * self.plan.p_dvfs_reject)
+            || self.scheduled(time, FaultKind::DvfsRejected, FaultChannel::Dvfs)
+        {
+            if act.f_big.is_some() || act.f_little.is_some() {
+                self.stats.dvfs_rejections += 1;
+                push_event(
+                    &mut self.trace,
+                    time,
+                    FaultKind::DvfsRejected,
+                    FaultChannel::Dvfs,
+                    act.f_big.unwrap_or(0.0),
+                );
+            }
+            act.f_big = None;
+            act.f_little = None;
+        }
+        if (sev > 0.0 && d_ignore < sev * self.plan.p_hotplug_ignore)
+            || self.scheduled(time, FaultKind::HotplugIgnored, FaultChannel::Hotplug)
+        {
+            if act.big_cores.is_some() || act.little_cores.is_some() {
+                self.stats.hotplug_ignored += 1;
+                push_event(
+                    &mut self.trace,
+                    time,
+                    FaultKind::HotplugIgnored,
+                    FaultChannel::Hotplug,
+                    act.big_cores.map(|c| c as f64).unwrap_or(0.0),
+                );
+            }
+            act.big_cores = None;
+            act.little_cores = None;
+        }
+        act
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_n(inj: &mut FaultInjector, n: usize, truth: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| inj.filter_power_big(i as f64 * 0.5, truth))
+            .collect()
+    }
+
+    #[test]
+    fn zero_severity_is_transparent() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(7, 0.0));
+        for i in 0..200 {
+            let t = i as f64 * 0.5;
+            let truth = 2.0 + (i as f64) * 0.001;
+            assert_eq!(inj.filter_power_big(t, truth).to_bits(), truth.to_bits());
+            let temp = 60.0 + truth;
+            assert_eq!(inj.filter_temp(t, temp).to_bits(), temp.to_bits());
+        }
+        let act = crate::board::Actuation {
+            f_big: Some(1.5),
+            ..Default::default()
+        };
+        let filtered = inj.filter_actuation(0.0, &act);
+        assert_eq!(filtered, act);
+        assert_eq!(inj.stats().total(), 0);
+        assert!(inj.trace().is_empty());
+    }
+
+    #[test]
+    fn severity_one_injects_faults() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(3, 1.0));
+        let out = read_n(&mut inj, 400, 2.5);
+        assert!(inj.stats().sensor_faults > 0, "no sensor faults injected");
+        assert!(out.iter().any(|v| (v - 2.5).abs() > 1e-12));
+    }
+
+    #[test]
+    fn identical_seed_identical_trace() {
+        let run = || {
+            let mut inj = FaultInjector::new(FaultPlan::uniform(11, 0.8));
+            let mut vals = read_n(&mut inj, 300, 3.0);
+            for i in 0..50 {
+                let act = crate::board::Actuation {
+                    f_big: Some(1.0 + 0.01 * i as f64),
+                    big_cores: Some(3),
+                    ..Default::default()
+                };
+                let f = inj.filter_actuation(150.0 + i as f64 * 0.5, &act);
+                vals.push(f.f_big.unwrap_or(-1.0));
+            }
+            (vals, inj.trace().to_vec(), inj.stats())
+        };
+        let (v1, t1, s1) = run();
+        let (v2, t2, s2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(t1.len(), t2.len());
+        for (a, b) in t1.iter().zip(&t2) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.channel, b.channel);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        for (a, b) in v1.iter().zip(&v2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scheduled_stuck_window_latches_reading() {
+        let plan = FaultPlan::uniform(5, 0.0).with_scheduled(ScheduledFault {
+            kind: FaultKind::StuckAt,
+            channel: FaultChannel::PowerBig,
+            t_start: 1.0,
+            t_end: 3.0,
+        });
+        let mut inj = FaultInjector::new(plan);
+        // Before the window: truth passes through.
+        assert_eq!(inj.filter_power_big(0.5, 2.0), 2.0);
+        // Window start: latches the current truth...
+        assert_eq!(inj.filter_power_big(1.0, 2.5), 2.5);
+        // ...and serves it while the latch holds, regardless of truth.
+        assert_eq!(inj.filter_power_big(1.5, 9.9), 2.5);
+        assert!(inj.stats().stuck_episodes >= 1);
+    }
+
+    #[test]
+    fn scheduled_dvfs_rejection_strips_frequency() {
+        let plan = FaultPlan::uniform(5, 0.0).with_scheduled(ScheduledFault {
+            kind: FaultKind::DvfsRejected,
+            channel: FaultChannel::Dvfs,
+            t_start: 0.0,
+            t_end: 10.0,
+        });
+        let mut inj = FaultInjector::new(plan);
+        let act = crate::board::Actuation {
+            f_big: Some(1.8),
+            big_cores: Some(2),
+            ..Default::default()
+        };
+        let f = inj.filter_actuation(1.0, &act);
+        assert_eq!(f.f_big, None);
+        assert_eq!(f.big_cores, Some(2), "hotplug untouched");
+        assert_eq!(inj.stats().dvfs_rejections, 1);
+    }
+
+    #[test]
+    fn actuation_lag_delays_by_one_call() {
+        let plan = FaultPlan::uniform(5, 0.0).with_scheduled(ScheduledFault {
+            kind: FaultKind::ActuationLag,
+            channel: FaultChannel::Actuation,
+            t_start: 0.0,
+            t_end: 0.75,
+        });
+        let mut inj = FaultInjector::new(plan);
+        let first = crate::board::Actuation {
+            f_big: Some(1.0),
+            ..Default::default()
+        };
+        // Lagged: nothing applied this call.
+        let applied = inj.filter_actuation(0.5, &first);
+        assert_eq!(applied.f_big, None);
+        // Next call (outside the window): the held request lands.
+        let second = crate::board::Actuation::default();
+        let applied = inj.filter_actuation(1.0, &second);
+        assert_eq!(applied.f_big, Some(1.0));
+    }
+
+    #[test]
+    fn stats_total_sums_classes() {
+        let s = FaultStats {
+            sensor_faults: 3,
+            dvfs_rejections: 2,
+            hotplug_ignored: 1,
+            actuation_lags: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.total(), 10);
+    }
+}

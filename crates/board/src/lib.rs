@@ -41,6 +41,7 @@
 
 pub mod board;
 pub mod config;
+pub mod faults;
 pub mod perf;
 pub mod power;
 pub mod sensors;
@@ -49,4 +50,7 @@ pub mod tmu;
 
 pub use board::{Actuation, Board, BoardState, Placement, StepReport};
 pub use config::{BoardConfig, Cluster};
+pub use faults::{
+    FaultChannel, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats, ScheduledFault,
+};
 pub use perf::ThreadLoad;

@@ -24,6 +24,7 @@ pub struct PowerSensor {
     acc_energy: f64,
     acc_time: f64,
     last: f64,
+    windows_completed: u64,
 }
 
 impl PowerSensor {
@@ -34,6 +35,7 @@ impl PowerSensor {
             acc_energy: 0.0,
             acc_time: 0.0,
             last: 0.0,
+            windows_completed: 0,
         }
     }
 
@@ -46,6 +48,7 @@ impl PowerSensor {
             self.last = self.acc_energy / self.acc_time;
             self.acc_energy = 0.0;
             self.acc_time = 0.0;
+            self.windows_completed += 1;
         }
     }
 
@@ -53,6 +56,15 @@ impl PowerSensor {
     /// window completes.
     pub fn read(&self) -> f64 {
         self.last
+    }
+
+    /// Whether at least one window has completed — i.e. whether [`read`]
+    /// returns a measurement rather than the startup zero. Watchdogs must
+    /// not treat the startup zero as a stuck sensor.
+    ///
+    /// [`read`]: PowerSensor::read
+    pub fn has_reading(&self) -> bool {
+        self.windows_completed > 0
     }
 }
 
@@ -112,6 +124,11 @@ mod tests {
         let mut s = PowerSensor::new(0.26);
         s.integrate(5.0, 0.1);
         assert_eq!(s.read(), 0.0);
+        assert!(!s.has_reading());
+        for _ in 0..20 {
+            s.integrate(5.0, 0.01);
+        }
+        assert!(s.has_reading());
     }
 
     #[test]

@@ -87,10 +87,11 @@ impl Tmu {
 
         // --- Thermal trips ---
         if t_hot > self.cfg.t_hotplug {
-            if self.caps.big_cores != Some(2) {
+            let keep = self.cfg.hotplug_cores.clamp(1, self.n_big_cores);
+            if self.caps.big_cores != Some(keep) {
                 self.trips += 1;
             }
-            self.caps.big_cores = Some(2);
+            self.caps.big_cores = Some(keep);
             self.caps.f_big = Some(self.cfg.f_throttle);
         } else if t_hot > self.cfg.t_throttle {
             let cap = self.cfg.f_throttle;
@@ -102,7 +103,7 @@ impl Tmu {
 
         // --- Power trips ---
         if self.over_big >= self.cfg.sustain_window {
-            let cap = (f_big - 0.4).max(0.2);
+            let cap = (f_big - self.cfg.power_backoff).max(0.2);
             if self.caps.f_big.is_none_or(|c| c > cap) {
                 self.trips += 1;
                 self.caps.f_big = Some(self.caps.f_big.map_or(cap, |c| c.min(cap)));
@@ -113,7 +114,9 @@ impl Tmu {
             let cap = self
                 .caps
                 .f_little
-                .map_or(self.f_little_max - 0.4, |c| (c - 0.2).max(0.2))
+                .map_or(self.f_little_max - self.cfg.power_backoff, |c| {
+                    (c - 0.2).max(0.2)
+                })
                 .max(0.2);
             self.caps.f_little = Some(cap);
             self.over_little = 0.0;
@@ -130,7 +133,7 @@ impl Tmu {
                     self.caps.big_cores = None;
                 }
             } else if let Some(f) = self.caps.f_big {
-                let next = f + 0.1;
+                let next = f + self.cfg.release_step;
                 self.caps.f_big = if next >= self.f_big_max {
                     None
                 } else {
@@ -140,7 +143,7 @@ impl Tmu {
         }
         if p_little < self.cfg.p_little_emergency {
             if let Some(f) = self.caps.f_little {
-                let next = f + 0.1;
+                let next = f + self.cfg.release_step;
                 self.caps.f_little = if next >= self.f_little_max {
                     None
                 } else {
@@ -249,5 +252,64 @@ mod tests {
         let mut t = tmu();
         let caps = run(&mut t, 1.5, 60.0, 2.0, 0.6, 1.4);
         assert!(caps.f_little.is_some());
+    }
+
+    #[test]
+    fn engage_release_race_holds_cap_inside_hysteresis_band() {
+        // The race the paper describes: the TMU throttles, the governor
+        // immediately re-requests max frequency, and the temperature
+        // settles between t_release and t_throttle. Without hysteresis the
+        // cap would flap every period; with it, the cap must hold exactly.
+        let mut t = tmu();
+        let cfg = BoardConfig::odroid_xu3().tmu;
+        // Engage: above t_throttle.
+        let caps = run(&mut t, 0.5, cfg.t_throttle + 3.0, 3.0, 0.2, 2.0);
+        assert_eq!(caps.f_big, Some(cfg.f_throttle));
+        let trips_at_engage = t.trips();
+        // Inside the band (t_release < T < t_throttle) with the governor
+        // still pushing max frequency: the cap neither releases nor
+        // re-trips, however long we wait.
+        let mid = 0.5 * (cfg.t_release + cfg.t_throttle);
+        let caps = run(&mut t, 5.0, mid, 3.0, 0.2, 2.0);
+        assert_eq!(caps.f_big, Some(cfg.f_throttle), "cap must hold in band");
+        assert_eq!(t.trips(), trips_at_engage, "no re-trips inside the band");
+        // Below t_release: gradual release at release_step per period.
+        let caps_mid = run(&mut t, 2.0 * cfg.period, cfg.t_release - 2.0, 1.0, 0.1, 0.9);
+        let released = caps_mid.f_big.expect("still releasing");
+        assert!(
+            released > cfg.f_throttle && released <= cfg.f_throttle + 2.5 * cfg.release_step,
+            "gradual release, got {released}"
+        );
+        let caps_end = run(&mut t, 3.0, cfg.t_release - 2.0, 1.0, 0.1, 0.9);
+        assert!(caps_end.f_big.is_none(), "cap fully released");
+    }
+
+    #[test]
+    fn custom_tmu_config_is_respected() {
+        let mut cfg = BoardConfig::odroid_xu3();
+        cfg.tmu.hotplug_cores = 1;
+        cfg.tmu.release_step = 0.3;
+        cfg.tmu.power_backoff = 1.0;
+        let mut t = Tmu::new(
+            cfg.tmu.clone(),
+            cfg.big.f_max,
+            cfg.little.f_max,
+            cfg.big.n_cores,
+        );
+        // Hotplug trip keeps exactly `hotplug_cores` big cores.
+        let caps = run(&mut t, 0.5, cfg.tmu.t_hotplug + 2.0, 3.0, 0.2, 2.0);
+        assert_eq!(caps.big_cores, Some(1));
+        // Power emergency backs off by `power_backoff` from 2.0 GHz.
+        let mut t2 = Tmu::new(
+            cfg.tmu.clone(),
+            cfg.big.f_max,
+            cfg.little.f_max,
+            cfg.big.n_cores,
+        );
+        let caps = run(&mut t2, 1.5, 60.0, 5.5, 0.2, 2.0);
+        assert_eq!(caps.f_big, Some(1.0));
+        // Release climbs by `release_step` per period once safe.
+        let caps2 = run(&mut t2, cfg.tmu.period, 60.0, 1.0, 0.1, 1.0);
+        assert!((caps2.f_big.unwrap() - 1.3).abs() < 1e-9);
     }
 }

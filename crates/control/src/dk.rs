@@ -227,7 +227,7 @@ mod tests {
         for _ in 0..400 {
             let meas = vec![target[0] - y[0], target[1] - y[1], 0.0];
             let clamp = |u: &[f64]| vec![u[0].clamp(-1.5, 1.5)];
-            let (_, u) = aw.step(&meas, &clamp);
+            let (_, u) = aw.step(&meas, &clamp).unwrap();
             // plant step with [u, e=0]
             let uin = vec![u[0], 0.0];
             let mut xgn = model.a().matvec(&xg).unwrap();

@@ -43,7 +43,7 @@
 //! let mut k = ObsAwController::new(&syn.controller);
 //! // Δy = 0.3, external = 0; actuator snaps to tenths in [-1, 1].
 //! let snap = |u: &[f64]| vec![(u[0].clamp(-1.0, 1.0) * 10.0).round() / 10.0];
-//! let (_, applied) = k.step(&[0.3, 0.0], &snap);
+//! let (_, applied) = k.step(&[0.3, 0.0], &snap)?;
 //! assert_eq!(applied.len(), 1);
 //! # Ok(())
 //! # }

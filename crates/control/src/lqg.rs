@@ -61,7 +61,7 @@ impl Default for LqgWeights {
 /// let mut y = 0.0;
 /// let mut x = 0.0;
 /// for _ in 0..200 {
-///     let u = ctl.step(&[1.0], &[y]);
+///     let u = ctl.step(&[1.0], &[y])?;
 ///     x = 0.8 * x + 0.5 * u[0];
 ///     y = x;
 /// }
@@ -161,60 +161,81 @@ impl LqgTracker {
     /// One control step: given the current targets `r` and measured outputs
     /// `y`, returns the plant input to apply until the next invocation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `r`/`y` lengths do not match the plant output count.
-    pub fn step(&mut self, r: &[f64], y: &[f64]) -> Vec<f64> {
+    /// [`Error::DimensionMismatch`] if `r`/`y` lengths do not match the
+    /// plant output count. Estimator and integrator state are untouched on
+    /// error.
+    pub fn step(&mut self, r: &[f64], y: &[f64]) -> Result<Vec<f64>> {
         let ny = self.plant.n_outputs();
-        assert_eq!(r.len(), ny, "target vector length");
-        assert_eq!(y.len(), ny, "measurement vector length");
+        if r.len() != ny || y.len() != ny {
+            return Err(Error::DimensionMismatch {
+                op: "lqg_step",
+                lhs: (ny, 1),
+                rhs: (r.len(), y.len()),
+            });
+        }
         // Measurement update: x̂(k|k) = x̂(k|k−1) + L (y − C x̂(k|k−1)).
-        let ypred = self.plant.c().matvec(&self.xhat).expect("shape");
+        let ypred = self.plant.c().matvec(&self.xhat)?;
         let mut innov = vec![0.0; ny];
         for j in 0..ny {
             innov[j] = y[j] - ypred[j];
         }
-        let corr = self.l.matvec(&innov).expect("shape");
+        let corr = self.l.matvec(&innov)?;
         let mut xfilt = self.xhat.clone();
         for (xf, c) in xfilt.iter_mut().zip(&corr) {
             *xf += c;
         }
-        // Integrate tracking error.
+        // u = −Kx x̂(k|k) − Ki xi (with the error freshly integrated).
+        let ux = self.kx.matvec(&xfilt)?;
+        let mut xi = self.xi.clone();
         for j in 0..ny {
-            self.xi[j] += r[j] - y[j];
+            xi[j] += r[j] - y[j];
         }
-        // u = −Kx x̂(k|k) − Ki xi.
-        let ux = self.kx.matvec(&xfilt).expect("shape");
-        let ui = self.ki.matvec(&self.xi).expect("shape");
+        let ui = self.ki.matvec(&xi)?;
         let nu = self.plant.n_inputs();
         let mut u = vec![0.0; nu];
         for i in 0..nu {
             u[i] = -ux[i] - ui[i];
         }
-        // Time update with the input we are about to apply:
+        // All fallible work done: commit the state updates, then the time
+        // update with the input we are about to apply:
         // x̂(k+1|k) = A x̂(k|k) + B u(k).
+        self.xi = xi;
         self.xfilt = xfilt;
-        self.apply_time_update(&u);
+        self.apply_time_update(&u)?;
         self.u_prev = u.clone();
-        u
+        Ok(u)
     }
 
     /// Overrides the input the estimator assumes was applied — call after
     /// external saturation/quantization so the filter tracks reality. The
     /// one-step prediction is recomputed from the filtered estimate.
-    pub fn set_applied_input(&mut self, u: &[f64]) {
-        assert_eq!(u.len(), self.u_prev.len(), "input vector length");
-        self.apply_time_update(u);
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if `u` has the wrong length.
+    pub fn set_applied_input(&mut self, u: &[f64]) -> Result<()> {
+        if u.len() != self.u_prev.len() {
+            return Err(Error::DimensionMismatch {
+                op: "lqg_set_applied_input",
+                lhs: (self.u_prev.len(), 1),
+                rhs: (u.len(), 1),
+            });
+        }
+        self.apply_time_update(u)?;
         self.u_prev = u.to_vec();
+        Ok(())
     }
 
-    fn apply_time_update(&mut self, u: &[f64]) {
-        let mut xpred = self.plant.a().matvec(&self.xfilt).expect("shape");
-        let bu = self.plant.b().matvec(u).expect("shape");
+    fn apply_time_update(&mut self, u: &[f64]) -> Result<()> {
+        let mut xpred = self.plant.a().matvec(&self.xfilt)?;
+        let bu = self.plant.b().matvec(u)?;
         for (xp, b) in xpred.iter_mut().zip(&bu) {
             *xp += b;
         }
         self.xhat = xpred;
+        Ok(())
     }
 
     /// Resets all internal state (estimate, integrator, input memory).
@@ -268,7 +289,7 @@ mod tests {
         let mut x = vec![0.0; n];
         let mut y = vec![0.0; plant.n_outputs()];
         for _ in 0..steps {
-            let u = ctl.step(r, &y);
+            let u = ctl.step(r, &y).unwrap();
             let mut xn = plant.a().matvec(&x).unwrap();
             let bu = plant.b().matvec(&u).unwrap();
             for (xi, bi) in xn.iter_mut().zip(&bu) {
@@ -321,7 +342,7 @@ mod tests {
         let mut ctl = LqgTracker::design(&plant, LqgWeights::default()).unwrap();
         run_loop(&plant, &mut ctl, &[5.0], 50);
         ctl.reset();
-        let u = ctl.step(&[0.0], &[0.0]);
+        let u = ctl.step(&[0.0], &[0.0]).unwrap();
         assert!(u[0].abs() < 1e-12);
     }
 
@@ -360,14 +381,31 @@ mod tests {
         let mut x = 0.0f64;
         let mut y = 0.0f64;
         for _ in 0..200 {
-            let u_raw = ctl.step(&[10.0], &[y])[0];
+            let u_raw = ctl.step(&[10.0], &[y]).unwrap()[0];
             let u_applied = u_raw.clamp(-1.0, 1.0);
-            ctl.set_applied_input(&[u_applied]);
+            ctl.set_applied_input(&[u_applied]).unwrap();
             x = 0.9 * x + 0.2 * u_applied;
             y = x;
         }
         // The plant saturates near u=1 → y ≈ 0.2/(1−0.9) = 2.0.
         assert!((y - 2.0).abs() < 0.1, "y = {y}");
+    }
+
+    #[test]
+    fn wrong_vector_lengths_are_typed_errors() {
+        let plant = siso_plant();
+        let mut ctl = LqgTracker::design(&plant, LqgWeights::default()).unwrap();
+        assert!(matches!(
+            ctl.step(&[1.0, 2.0], &[0.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            ctl.set_applied_input(&[1.0, 2.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        // The failed calls must not have perturbed the controller state.
+        let u = ctl.step(&[0.0], &[0.0]).unwrap();
+        assert!(u[0].abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! [`ControllerCost`] reports the arithmetic/storage footprint that the
 //! paper analyzes in Section VI-D.
 
+use yukta_linalg::{Error, Result};
+
 use crate::ss::StateSpace;
 
 /// Executes a discrete LTI controller step by step.
@@ -33,7 +35,7 @@ use crate::ss::StateSpace;
 ///     Some(0.5),
 /// )?;
 /// let mut rt = LtiRuntime::new(&k);
-/// let u0 = rt.step(&[1.0]);
+/// let u0 = rt.step(&[1.0])?;
 /// assert!((u0[0] - 0.1).abs() < 1e-12); // first step: D·Δy only
 /// # Ok(())
 /// # }
@@ -70,17 +72,18 @@ impl LtiRuntime {
     /// One controller invocation: consumes the measurement vector `Δy` and
     /// returns the new actuator command `u`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dy` has the wrong length.
-    pub fn step(&mut self, dy: &[f64]) -> Vec<f64> {
-        let mut u = self.sys.d().matvec(dy).expect("input length");
-        let cx = self.sys.c().matvec(&self.x).expect("state length");
+    /// [`Error::DimensionMismatch`] if `dy` has the wrong length. The
+    /// controller state is untouched on error.
+    pub fn step(&mut self, dy: &[f64]) -> Result<Vec<f64>> {
+        let mut u = self.sys.d().matvec(dy)?;
+        let cx = self.sys.c().matvec(&self.x)?;
         for (ui, ci) in u.iter_mut().zip(&cx) {
             *ui += ci;
         }
-        let mut xn = self.sys.a().matvec(&self.x).expect("state length");
-        let bu = self.sys.b().matvec(dy).expect("input length");
+        let mut xn = self.sys.a().matvec(&self.x)?;
+        let bu = self.sys.b().matvec(dy)?;
         for (xi, bi) in xn.iter_mut().zip(&bu) {
             *xi += bi;
         }
@@ -94,7 +97,7 @@ impl LtiRuntime {
             }
         }
         self.x = xn;
-        u
+        Ok(u)
     }
 
     /// Resets the controller state to zero.
@@ -141,7 +144,7 @@ impl LtiRuntime {
 /// let mut aw = AwController::new(&k, Mat::filled(1, 1, 1.0));
 /// // Saturate hard at 1.0: the state stays bounded.
 /// for _ in 0..100 {
-///     let (_, applied) = aw.step(&[1.0], &|u| vec![u[0].min(1.0)]);
+///     let (_, applied) = aw.step(&[1.0], &|u| vec![u[0].min(1.0)])?;
 ///     assert!(applied[0] <= 1.0);
 /// }
 /// assert!(aw.state()[0] < 3.0);
@@ -181,34 +184,41 @@ impl AwController {
     /// state with the back-calculation correction. Returns
     /// `(commanded, applied)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `meas` has the wrong length or `quantize` changes the
-    /// vector length.
+    /// [`Error::DimensionMismatch`] if `meas` has the wrong length or
+    /// `quantize` changes the vector length. The controller state is
+    /// untouched on error.
     pub fn step(
         &mut self,
         meas: &[f64],
         quantize: &dyn Fn(&[f64]) -> Vec<f64>,
-    ) -> (Vec<f64>, Vec<f64>) {
-        let mut u = self.sys.d().matvec(meas).expect("input length");
-        let cx = self.sys.c().matvec(&self.x).expect("state length");
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        let mut u = self.sys.d().matvec(meas)?;
+        let cx = self.sys.c().matvec(&self.x)?;
         for (ui, ci) in u.iter_mut().zip(&cx) {
             *ui += ci;
         }
         let applied = quantize(&u);
-        assert_eq!(applied.len(), u.len(), "quantizer changed output width");
-        let mut xn = self.sys.a().matvec(&self.x).expect("state length");
-        let bu = self.sys.b().matvec(meas).expect("input length");
+        if applied.len() != u.len() {
+            return Err(Error::DimensionMismatch {
+                op: "aw_quantize",
+                lhs: (u.len(), 1),
+                rhs: (applied.len(), 1),
+            });
+        }
+        let mut xn = self.sys.a().matvec(&self.x)?;
+        let bu = self.sys.b().matvec(meas)?;
         let mut delta = vec![0.0; u.len()];
         for i in 0..u.len() {
             delta[i] = applied[i] - u[i];
         }
-        let corr = self.l_aw.matvec(&delta).expect("aw gain shape");
+        let corr = self.l_aw.matvec(&delta)?;
         for ((xi, bi), ci) in xn.iter_mut().zip(&bu).zip(&corr) {
             *xi += bi + ci;
         }
         self.x = xn;
-        (u, applied)
+        Ok((u, applied))
     }
 
     /// Resets the controller state to zero.
@@ -277,36 +287,49 @@ impl ObsAwController {
     /// `quantize` snap it to the actuator grids, updates the state with
     /// `[meas; u_applied]`, and returns `(commanded, applied)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `meas` has the wrong length or the quantizer changes the
-    /// vector length.
+    /// [`Error::DimensionMismatch`] if `meas` has the wrong length or the
+    /// quantizer changes the vector length. The controller state is
+    /// untouched on error.
     pub fn step(
         &mut self,
         meas: &[f64],
         quantize: &dyn Fn(&[f64]) -> Vec<f64>,
-    ) -> (Vec<f64>, Vec<f64>) {
-        assert_eq!(meas.len(), self.n_meas, "measurement width");
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        if meas.len() != self.n_meas {
+            return Err(Error::DimensionMismatch {
+                op: "obs_aw_step",
+                lhs: (self.n_meas, 1),
+                rhs: (meas.len(), 1),
+            });
+        }
         let n_u = self.sys.n_outputs();
         // Command: feedthrough acts on measurements only (the applied-input
         // feedthrough columns are zero by construction).
         let mut full_in = vec![0.0; self.n_meas + n_u];
         full_in[..self.n_meas].copy_from_slice(meas);
-        let mut u = self.sys.d().matvec(&full_in).expect("input width");
-        let cx = self.sys.c().matvec(&self.x).expect("state width");
+        let mut u = self.sys.d().matvec(&full_in)?;
+        let cx = self.sys.c().matvec(&self.x)?;
         for (ui, ci) in u.iter_mut().zip(&cx) {
             *ui += ci;
         }
         let applied = quantize(&u);
-        assert_eq!(applied.len(), n_u, "quantizer changed output width");
+        if applied.len() != n_u {
+            return Err(Error::DimensionMismatch {
+                op: "obs_aw_quantize",
+                lhs: (n_u, 1),
+                rhs: (applied.len(), 1),
+            });
+        }
         full_in[self.n_meas..].copy_from_slice(&applied);
-        let mut xn = self.sys.a().matvec(&self.x).expect("state width");
-        let bu = self.sys.b().matvec(&full_in).expect("input width");
+        let mut xn = self.sys.a().matvec(&self.x)?;
+        let bu = self.sys.b().matvec(&full_in)?;
         for (xi, bi) in xn.iter_mut().zip(&bu) {
             *xi += bi;
         }
         self.x = xn;
-        (u, applied)
+        Ok((u, applied))
     }
 
     /// Resets the controller state to zero.
@@ -395,7 +418,7 @@ mod tests {
         let batch = sys.simulate(&inputs).unwrap();
         let mut rt = LtiRuntime::new(&sys);
         for (t, u) in inputs.iter().enumerate() {
-            let y = rt.step(u);
+            let y = rt.step(u).unwrap();
             assert!((y[0] - batch[t][0]).abs() < 1e-12, "step {t}");
         }
     }
@@ -404,10 +427,10 @@ mod tests {
     fn reset_restores_initial_behaviour() {
         let sys = toy();
         let mut rt = LtiRuntime::new(&sys);
-        let first = rt.step(&[1.0]);
-        rt.step(&[2.0]);
+        let first = rt.step(&[1.0]).unwrap();
+        rt.step(&[2.0]).unwrap();
         rt.reset();
-        let again = rt.step(&[1.0]);
+        let again = rt.step(&[1.0]).unwrap();
         assert_eq!(first, again);
     }
 
@@ -425,7 +448,7 @@ mod tests {
         .unwrap();
         let mut rt = LtiRuntime::new(&sys).with_state_clamp(10.0);
         for _ in 0..500 {
-            rt.step(&[1.0]);
+            rt.step(&[1.0]).unwrap();
         }
         assert!(rt.state()[0].abs() <= 10.0 + 1e-9);
     }
@@ -449,6 +472,35 @@ mod tests {
         assert_eq!(cost.multiplies, 648);
         // Storage ≈ 2.6 KB: (400+140+80+28+20)·4 = 2672 bytes.
         assert_eq!(cost.storage_bytes, 2672);
+    }
+
+    #[test]
+    fn wrong_measurement_width_is_a_typed_error() {
+        let sys = toy();
+        let mut rt = LtiRuntime::new(&sys);
+        assert!(matches!(
+            rt.step(&[1.0, 2.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        // Observer form: 2-input 1-output system expects 1 measurement.
+        let obs = StateSpace::new(
+            Mat::from_rows(&[&[0.5]]),
+            Mat::from_rows(&[&[1.0, 0.2]]),
+            Mat::from_rows(&[&[1.0]]),
+            Mat::zeros(1, 2),
+            Some(0.5),
+        )
+        .unwrap();
+        let mut aw = ObsAwController::new(&obs);
+        assert!(matches!(
+            aw.step(&[1.0, 2.0], &|u| u.to_vec()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        // A misbehaving quantizer is reported, not a panic.
+        assert!(matches!(
+            aw.step(&[1.0], &|_| vec![0.0, 0.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

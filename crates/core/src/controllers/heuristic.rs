@@ -11,6 +11,8 @@
 //! Linux `performance` governor — everything at maximum until a limit
 //! trips, then a threshold-based backoff that ignores thread placement.
 
+use yukta_linalg::Result;
+
 use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
 use crate::signals::{HwInputs, OsInputs};
 
@@ -27,7 +29,7 @@ impl CoordinatedHeuristicOs {
 }
 
 impl OsPolicy for CoordinatedHeuristicOs {
-    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+    fn invoke(&mut self, sense: &OsSense) -> Result<OsInputs> {
         let n = sense.active_threads;
         // Plan against the *physical* cores (HMP sees all CPUs); the
         // hardware layer then powers exactly the cores the placement
@@ -36,11 +38,11 @@ impl OsPolicy for CoordinatedHeuristicOs {
         let nbc = 4usize;
         let nlc = 4usize;
         if n == 0 {
-            return OsInputs {
+            return Ok(OsInputs {
                 threads_big: 0.0,
                 packing_big: 1.0,
                 packing_little: 1.0,
-            };
+            });
         }
         // Big-first placement over the cores the hardware layer exposes
         // (the coordination), one thread per core while possible.
@@ -67,11 +69,11 @@ impl OsPolicy for CoordinatedHeuristicOs {
             let tl = n - tb;
             pl = (tl as f64 / nlc.max(1) as f64).max(1.0);
         }
-        OsInputs {
+        Ok(OsInputs {
             threads_big: tb as f64,
             packing_big: pb,
             packing_little: pl,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -91,7 +93,7 @@ impl CoordinatedHeuristicHw {
 }
 
 impl HwPolicy for CoordinatedHeuristicHw {
-    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+    fn invoke(&mut self, sense: &HwSense) -> Result<HwInputs> {
         let lim = sense.limits;
         let y = sense.outputs;
         let cur = sense.current;
@@ -112,12 +114,12 @@ impl HwPolicy for CoordinatedHeuristicHw {
             lim.temp_max,
             1.4,
         );
-        HwInputs {
+        Ok(HwInputs {
             big_cores: need_big as f64,
             little_cores: need_little as f64,
             f_big,
             f_little,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -153,16 +155,16 @@ impl DecoupledHeuristicOs {
 }
 
 impl OsPolicy for DecoupledHeuristicOs {
-    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+    fn invoke(&mut self, sense: &OsSense) -> Result<OsInputs> {
         // Round-robin over all eight cores, blind to core type/frequency:
         // alternate assignments land half the threads on each cluster.
         let n = sense.active_threads;
         let tb = n.div_ceil(2);
-        OsInputs {
+        Ok(OsInputs {
             threads_big: tb as f64,
             packing_big: 1.0,
             packing_little: 1.0,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -190,7 +192,7 @@ impl DecoupledHeuristicHw {
 }
 
 impl HwPolicy for DecoupledHeuristicHw {
-    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+    fn invoke(&mut self, sense: &HwSense) -> Result<HwInputs> {
         let lim = sense.limits;
         let y = sense.outputs;
         let violated =
@@ -210,16 +212,20 @@ impl HwPolicy for DecoupledHeuristicHw {
                 self.backoff_cores = 0;
             }
         }
-        HwInputs {
+        Ok(HwInputs {
             big_cores: (4 - self.backoff_cores).max(1) as f64,
             little_cores: 4.0,
             f_big: (2.0 - 0.1 * self.backoff_freq_steps as f64).max(0.2),
             f_little: (1.4 - 0.1 * self.backoff_freq_steps as f64).max(0.2),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
         "hw-decoupled-performance"
+    }
+
+    fn reset(&mut self) {
+        *self = DecoupledHeuristicHw::default();
     }
 }
 
@@ -275,7 +281,7 @@ mod tests {
     #[test]
     fn coordinated_os_prefers_big_cluster() {
         let mut os = CoordinatedHeuristicOs::new();
-        let u = os.invoke(&os_sense(3, 4.0, 1.5));
+        let u = os.invoke(&os_sense(3, 4.0, 1.5)).unwrap();
         assert_eq!(u.threads_big, 3.0);
         assert_eq!(u.packing_big, 1.0);
     }
@@ -283,7 +289,7 @@ mod tests {
     #[test]
     fn coordinated_os_spills_to_little() {
         let mut os = CoordinatedHeuristicOs::new();
-        let u = os.invoke(&os_sense(6, 4.0, 1.5));
+        let u = os.invoke(&os_sense(6, 4.0, 1.5)).unwrap();
         assert_eq!(u.threads_big, 4.0); // 4 big + 2 little
         assert_eq!(u.packing_little, 1.0);
     }
@@ -291,7 +297,7 @@ mod tests {
     #[test]
     fn coordinated_os_packs_when_oversubscribed() {
         let mut os = CoordinatedHeuristicOs::new();
-        let u = os.invoke(&os_sense(12, 4.0, 1.5));
+        let u = os.invoke(&os_sense(12, 4.0, 1.5)).unwrap();
         assert!(u.threads_big > 4.0);
         assert!(u.packing_big > 1.0);
     }
@@ -299,22 +305,22 @@ mod tests {
     #[test]
     fn coordinated_os_reacts_to_throttled_big_cluster() {
         let mut os = CoordinatedHeuristicOs::new();
-        let normal = os.invoke(&os_sense(4, 4.0, 1.5));
-        let throttled = os.invoke(&os_sense(4, 4.0, 0.3));
+        let normal = os.invoke(&os_sense(4, 4.0, 1.5)).unwrap();
+        let throttled = os.invoke(&os_sense(4, 4.0, 0.3)).unwrap();
         assert!(throttled.threads_big < normal.threads_big);
     }
 
     #[test]
     fn coordinated_os_idle_workload() {
         let mut os = CoordinatedHeuristicOs::new();
-        let u = os.invoke(&os_sense(0, 4.0, 1.5));
+        let u = os.invoke(&os_sense(0, 4.0, 1.5)).unwrap();
         assert_eq!(u.threads_big, 0.0);
     }
 
     #[test]
     fn coordinated_hw_climbs_when_safe() {
         let mut hw = CoordinatedHeuristicHw::new();
-        let u = hw.invoke(&hw_sense(2.0, 55.0, 1.0));
+        let u = hw.invoke(&hw_sense(2.0, 55.0, 1.0)).unwrap();
         assert!((u.f_big - 1.1).abs() < 1e-9);
     }
 
@@ -322,14 +328,14 @@ mod tests {
     fn coordinated_hw_backs_off_proportionally() {
         let mut hw = CoordinatedHeuristicHw::new();
         // 20% power overshoot → several steps down at once.
-        let u = hw.invoke(&hw_sense(3.96, 55.0, 1.6));
+        let u = hw.invoke(&hw_sense(3.96, 55.0, 1.6)).unwrap();
         assert!(u.f_big <= 1.3, "f_big {}", u.f_big);
         // Mild overshoot → one step down.
-        let u2 = hw.invoke(&hw_sense(3.35, 55.0, 1.6));
+        let u2 = hw.invoke(&hw_sense(3.35, 55.0, 1.6)).unwrap();
         assert!((u2.f_big - 1.5).abs() < 1e-9);
         // Just under the limit → keeps probing upward (the paper's
         // "increase while safe"), which is the source of its oscillation.
-        let u3 = hw.invoke(&hw_sense(3.25, 55.0, 1.3));
+        let u3 = hw.invoke(&hw_sense(3.25, 55.0, 1.3)).unwrap();
         assert!((u3.f_big - 1.4).abs() < 1e-9);
     }
 
@@ -339,7 +345,7 @@ mod tests {
         let mut s = hw_sense(2.0, 55.0, 1.0);
         s.ext.threads_big = 2.0;
         s.active_threads = 3; // one thread on little
-        let u = hw.invoke(&s);
+        let u = hw.invoke(&s).unwrap();
         assert_eq!(u.big_cores, 2.0);
         assert_eq!(u.little_cores, 1.0);
     }
@@ -347,16 +353,16 @@ mod tests {
     #[test]
     fn decoupled_os_round_robins() {
         let mut os = DecoupledHeuristicOs::new();
-        let u = os.invoke(&os_sense(8, 4.0, 2.0));
+        let u = os.invoke(&os_sense(8, 4.0, 2.0)).unwrap();
         assert_eq!(u.threads_big, 4.0);
-        let u = os.invoke(&os_sense(5, 4.0, 2.0));
+        let u = os.invoke(&os_sense(5, 4.0, 2.0)).unwrap();
         assert_eq!(u.threads_big, 3.0);
     }
 
     #[test]
     fn decoupled_hw_runs_flat_out_when_safe() {
         let mut hw = DecoupledHeuristicHw::new();
-        let u = hw.invoke(&hw_sense(2.0, 55.0, 2.0));
+        let u = hw.invoke(&hw_sense(2.0, 55.0, 2.0)).unwrap();
         assert_eq!(u.f_big, 2.0);
         assert_eq!(u.big_cores, 4.0);
     }
@@ -365,14 +371,14 @@ mod tests {
     fn decoupled_hw_oscillates_on_violations() {
         let mut hw = DecoupledHeuristicHw::new();
         // Violation: backs off two steps.
-        let u1 = hw.invoke(&hw_sense(4.5, 70.0, 2.0));
+        let u1 = hw.invoke(&hw_sense(4.5, 70.0, 2.0)).unwrap();
         assert!((u1.f_big - 1.8).abs() < 1e-9);
         // Continued violation: further back-off.
-        let u2 = hw.invoke(&hw_sense(4.0, 70.0, 1.8));
+        let u2 = hw.invoke(&hw_sense(4.0, 70.0, 1.8)).unwrap();
         assert!((u2.f_big - 1.6).abs() < 1e-9);
         // Two safe readings: snaps back to max (the oscillation source).
-        hw.invoke(&hw_sense(2.0, 60.0, 1.6));
-        let u4 = hw.invoke(&hw_sense(2.0, 60.0, 1.6));
+        hw.invoke(&hw_sense(2.0, 60.0, 1.6)).unwrap();
+        let u4 = hw.invoke(&hw_sense(2.0, 60.0, 1.6)).unwrap();
         assert_eq!(u4.f_big, 2.0);
     }
 
@@ -380,9 +386,9 @@ mod tests {
     fn decoupled_hw_drops_cores_after_frequency_exhausted() {
         let mut hw = DecoupledHeuristicHw::new();
         for _ in 0..4 {
-            hw.invoke(&hw_sense(4.5, 88.0, 1.0));
+            hw.invoke(&hw_sense(4.5, 88.0, 1.0)).unwrap();
         }
-        let u = hw.invoke(&hw_sense(4.5, 88.0, 1.0));
+        let u = hw.invoke(&hw_sense(4.5, 88.0, 1.0)).unwrap();
         assert!(u.big_cores < 4.0);
     }
 }

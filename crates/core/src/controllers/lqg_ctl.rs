@@ -8,6 +8,7 @@
 //! evaluation quantifies.
 
 use yukta_control::lqg::LqgTracker;
+use yukta_linalg::Result;
 
 use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
 use crate::optimizer::{HwOptimizer, OsOptimizer};
@@ -44,11 +45,11 @@ impl LqgHwController {
 }
 
 impl HwPolicy for LqgHwController {
-    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+    fn invoke(&mut self, sense: &HwSense) -> Result<HwInputs> {
         self.targets = self.optimizer.update(&sense.outputs);
         let r = self.ranges.norm_hw_outputs(&self.targets);
         let y = self.ranges.norm_hw_outputs(&sense.outputs);
-        let u = self.tracker.step(&r, &y);
+        let u = self.tracker.step(&r, &y)?;
         // LQG is quantization-blind: it emits continuous commands; the
         // board saturates/snaps them. Feed the snapped values back so the
         // estimator at least tracks reality.
@@ -71,12 +72,16 @@ impl HwPolicy for LqgHwController {
                 .quantize(self.ranges.f_little.denormalize(u[3])),
         };
         let applied = self.ranges.norm_hw_inputs(&out);
-        self.tracker.set_applied_input(&applied);
-        out
+        self.tracker.set_applied_input(&applied)?;
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
         "hw-lqg"
+    }
+
+    fn reset(&mut self) {
+        self.tracker.reset();
     }
 }
 
@@ -111,11 +116,11 @@ impl LqgOsController {
 }
 
 impl OsPolicy for LqgOsController {
-    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+    fn invoke(&mut self, sense: &OsSense) -> Result<OsInputs> {
         self.targets = self.optimizer.update(&sense.outputs, &sense.system);
         let r = self.ranges.norm_os_outputs(&self.targets);
         let y = self.ranges.norm_os_outputs(&sense.outputs);
-        let u = self.tracker.step(&r, &y);
+        let u = self.tracker.step(&r, &y)?;
         let tb = self
             .grids
             .threads_big
@@ -133,12 +138,16 @@ impl OsPolicy for LqgOsController {
                 .quantize(self.ranges.packing.denormalize(u[2])),
         };
         let applied = self.ranges.norm_os_inputs(&out);
-        self.tracker.set_applied_input(&applied);
-        out
+        self.tracker.set_applied_input(&applied)?;
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
         "os-lqg"
+    }
+
+    fn reset(&mut self) {
+        self.tracker.reset();
     }
 }
 
@@ -178,7 +187,11 @@ impl MonolithicLqg {
 
     /// One joint invocation over both layers' sensors; returns the full
     /// cross-layer actuation.
-    pub fn invoke(&mut self, hw: &HwSense, os: &OsSense) -> (HwInputs, OsInputs) {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HwPolicy::invoke`](crate::controllers::HwPolicy::invoke).
+    pub fn invoke(&mut self, hw: &HwSense, os: &OsSense) -> Result<(HwInputs, OsInputs)> {
         self.hw_targets = self.hw_optimizer.update(&hw.outputs);
         self.os_targets = self.os_optimizer.update(&os.outputs, &hw.outputs);
         let rh = self.ranges.norm_hw_outputs(&self.hw_targets);
@@ -187,7 +200,7 @@ impl MonolithicLqg {
         let yo = self.ranges.norm_os_outputs(&os.outputs);
         let r = [rh[0], rh[1], rh[2], rh[3], ro[0], ro[1], ro[2]];
         let y = [yh[0], yh[1], yh[2], yh[3], yo[0], yo[1], yo[2]];
-        let u = self.tracker.step(&r, &y);
+        let u = self.tracker.step(&r, &y)?;
         let hw_out = HwInputs {
             big_cores: self
                 .grids
@@ -225,8 +238,13 @@ impl MonolithicLqg {
         let hwn = self.ranges.norm_hw_inputs(&hw_out);
         let osn = self.ranges.norm_os_inputs(&os_out);
         self.tracker
-            .set_applied_input(&[hwn[0], hwn[1], hwn[2], hwn[3], osn[0], osn[1], osn[2]]);
-        (hw_out, os_out)
+            .set_applied_input(&[hwn[0], hwn[1], hwn[2], hwn[3], osn[0], osn[1], osn[2]])?;
+        Ok((hw_out, os_out))
+    }
+
+    /// Clears the tracker's estimator/integrator state.
+    pub fn reset(&mut self) {
+        self.tracker.reset();
     }
 }
 
@@ -310,7 +328,7 @@ mod tests {
     fn hw_lqg_emits_grid_values() {
         let tracker = LqgTracker::design(&model(4), LqgWeights::default()).unwrap();
         let mut c = LqgHwController::new(tracker, HwOptimizer::new(Limits::default()));
-        let u = c.invoke(&hw_sense());
+        let u = c.invoke(&hw_sense()).unwrap();
         let g = ActuatorGrids::xu3();
         assert_eq!(g.f_big.quantize(u.f_big), u.f_big);
         assert!((0.2..=2.0).contains(&u.f_big));
@@ -322,7 +340,7 @@ mod tests {
         let mut c = LqgOsController::new(tracker, OsOptimizer::new());
         let mut s = os_sense();
         s.active_threads = 1;
-        let u = c.invoke(&s);
+        let u = c.invoke(&s).unwrap();
         assert!(u.threads_big <= 1.0);
     }
 
@@ -334,7 +352,7 @@ mod tests {
             HwOptimizer::new(Limits::default()),
             OsOptimizer::new(),
         );
-        let (hw, os) = c.invoke(&hw_sense(), &os_sense());
+        let (hw, os) = c.invoke(&hw_sense(), &os_sense()).unwrap();
         assert!((1.0..=4.0).contains(&hw.big_cores));
         assert!((0.0..=8.0).contains(&os.threads_big));
     }

@@ -9,6 +9,8 @@ pub mod heuristic;
 pub mod lqg_ctl;
 pub mod ssv;
 
+use yukta_linalg::Result;
+
 use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs};
 
 /// Everything the hardware-layer controller can observe at one invocation.
@@ -49,17 +51,35 @@ pub struct OsSense {
 /// A hardware-layer policy: chooses the next operating point every 500 ms.
 pub trait HwPolicy {
     /// One controller invocation.
-    fn invoke(&mut self, sense: &HwSense) -> HwInputs;
+    ///
+    /// # Errors
+    ///
+    /// Model-based policies surface numerical failures (shape mismatches,
+    /// non-finite intermediates) as typed errors instead of panicking; the
+    /// supervisor reacts by falling back to a heuristic.
+    fn invoke(&mut self, sense: &HwSense) -> Result<HwInputs>;
 
     /// Scheme-facing label.
     fn name(&self) -> &'static str;
+
+    /// Clears all internal controller state (default: stateless, no-op).
+    /// The supervisor calls this before re-engaging a demoted controller so
+    /// stale estimates from the faulty episode cannot leak forward.
+    fn reset(&mut self) {}
 }
 
 /// A software-layer policy: chooses the next thread placement every 500 ms.
 pub trait OsPolicy {
     /// One controller invocation.
-    fn invoke(&mut self, sense: &OsSense) -> OsInputs;
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HwPolicy::invoke`].
+    fn invoke(&mut self, sense: &OsSense) -> Result<OsInputs>;
 
     /// Scheme-facing label.
     fn name(&self) -> &'static str;
+
+    /// Clears all internal controller state (default: stateless, no-op).
+    fn reset(&mut self) {}
 }

@@ -6,6 +6,7 @@
 
 use yukta_control::dk::SsvSynthesis;
 use yukta_control::runtime::ObsAwController;
+use yukta_linalg::Result;
 
 use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
 use crate::optimizer::{HwOptimizer, OsOptimizer};
@@ -76,7 +77,7 @@ impl SsvHwController {
 }
 
 impl HwPolicy for SsvHwController {
-    fn invoke(&mut self, sense: &HwSense) -> HwInputs {
+    fn invoke(&mut self, sense: &HwSense) -> Result<HwInputs> {
         if let Some(opt) = &mut self.optimizer {
             self.targets = opt.update(&sense.outputs);
         }
@@ -119,19 +120,23 @@ impl HwPolicy for SsvHwController {
                     .normalize(grids.f_little.quantize(ranges.f_little.denormalize(u[3]))),
             ]
         };
-        let (_, applied) = self.rt.step(&meas, &quantize);
+        let (_, applied) = self.rt.step(&meas, &quantize)?;
         // (Under the naive-quantization ablation `applied` is the raw
         // command; the board's own snapping still applies downstream.)
-        HwInputs {
+        Ok(HwInputs {
             big_cores: self.ranges.cores.denormalize(applied[0]),
             little_cores: self.ranges.cores.denormalize(applied[1]),
             f_big: self.ranges.f_big.denormalize(applied[2]),
             f_little: self.ranges.f_little.denormalize(applied[3]),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
         "hw-ssv"
+    }
+
+    fn reset(&mut self) {
+        self.rt.reset();
     }
 }
 
@@ -196,7 +201,7 @@ impl SsvOsController {
 }
 
 impl OsPolicy for SsvOsController {
-    fn invoke(&mut self, sense: &OsSense) -> OsInputs {
+    fn invoke(&mut self, sense: &OsSense) -> Result<OsInputs> {
         if let Some(opt) = &mut self.optimizer {
             self.targets = opt.update(&sense.outputs, &sense.system);
         }
@@ -237,8 +242,8 @@ impl OsPolicy for SsvOsController {
                     .normalize(grids.packing.quantize(ranges.packing.denormalize(u[2]))),
             ]
         };
-        let (_, applied) = self.rt.step(&meas, &quantize);
-        OsInputs {
+        let (_, applied) = self.rt.step(&meas, &quantize)?;
+        Ok(OsInputs {
             threads_big: self
                 .ranges
                 .threads_big
@@ -246,11 +251,15 @@ impl OsPolicy for SsvOsController {
                 .clamp(0.0, n_active),
             packing_big: self.ranges.packing.denormalize(applied[1]).clamp(1.0, 4.0),
             packing_little: self.ranges.packing.denormalize(applied[2]).clamp(1.0, 4.0),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
         "os-ssv"
+    }
+
+    fn reset(&mut self) {
+        self.rt.reset();
     }
 }
 
@@ -320,7 +329,7 @@ mod tests {
     fn hw_outputs_land_on_actuator_grids() {
         let mut c =
             SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
-        let u = c.invoke(&hw_sense());
+        let u = c.invoke(&hw_sense()).unwrap();
         let g = ActuatorGrids::xu3();
         assert_eq!(g.f_big.quantize(u.f_big), u.f_big);
         assert_eq!(g.big_cores.quantize(u.big_cores), u.big_cores);
@@ -337,8 +346,8 @@ mod tests {
             temp: 70.0,
         };
         let mut c = SsvHwController::with_fixed_targets(&dummy_hw_synthesis(), t);
-        c.invoke(&hw_sense());
-        c.invoke(&hw_sense());
+        c.invoke(&hw_sense()).unwrap();
+        c.invoke(&hw_sense()).unwrap();
         assert_eq!(c.targets(), t);
     }
 
@@ -346,9 +355,9 @@ mod tests {
     fn optimizer_moves_targets_between_invocations() {
         let mut c =
             SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
-        c.invoke(&hw_sense());
+        c.invoke(&hw_sense()).unwrap();
         let t1 = c.targets();
-        c.invoke(&hw_sense());
+        c.invoke(&hw_sense()).unwrap();
         let t2 = c.targets();
         assert!((t2.perf - t1.perf).abs() > 1e-9);
     }
@@ -377,7 +386,7 @@ mod tests {
             system: HwOutputs::default(),
             limits: Limits::default(),
         };
-        let u = c.invoke(&sense);
+        let u = c.invoke(&sense).unwrap();
         assert!(u.threads_big <= 2.0);
         assert!((1.0..=4.0).contains(&u.packing_big));
     }

@@ -16,6 +16,10 @@
 //! * [`schemes`] — the named two-layer schemes of the evaluation.
 //! * [`runtime`] — the 500 ms control loop wiring controllers, board, and
 //!   workload; produces [`metrics::Report`]s with full traces.
+//! * [`supervisor`] — the fault-containment layer: sanitizes sensor views,
+//!   watches for stuck sensors, degrades SSV/LQG schemes to the
+//!   coordinated heuristic (and ultimately a safe static configuration),
+//!   and re-engages them with hysteresis.
 //!
 //! ```no_run
 //! use yukta_core::runtime::Experiment;
@@ -37,6 +41,8 @@ pub mod optimizer;
 pub mod runtime;
 pub mod schemes;
 pub mod signals;
+pub mod supervisor;
 
-pub use metrics::{Metrics, Report};
+pub use metrics::{FaultReport, Metrics, Report};
 pub use schemes::Scheme;
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorMode, SupervisorStats};

@@ -2,6 +2,9 @@
 //! figure in the paper's evaluation.
 
 use serde::{Deserialize, Serialize};
+use yukta_board::{FaultEvent, FaultStats};
+
+use crate::supervisor::SupervisorStats;
 
 /// Energy/delay metrics of one workload execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,6 +100,20 @@ impl Trace {
     }
 }
 
+/// What the fault injector did during one run (attached to supervised
+/// executions that carried a fault plan).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Fault-plan RNG seed.
+    pub seed: u64,
+    /// Fault-plan severity knob in `[0, 1]`.
+    pub severity: f64,
+    /// Per-kind injection counters.
+    pub stats: FaultStats,
+    /// Every injected fault in time order.
+    pub trace: Vec<FaultEvent>,
+}
+
 /// The outcome of running one scheme on one workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -108,6 +125,10 @@ pub struct Report {
     pub metrics: Metrics,
     /// Full 500 ms-resolution trace.
     pub trace: Trace,
+    /// Supervisor counters (`None` for unsupervised runs).
+    pub supervisor: Option<SupervisorStats>,
+    /// Fault-injection record (`None` when no faults were planned).
+    pub faults: Option<FaultReport>,
 }
 
 #[cfg(test)]

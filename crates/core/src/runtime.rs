@@ -2,15 +2,35 @@
 //! workload, invoking each controller every 500 ms exactly as the
 //! prototype's privileged processes did.
 
-use yukta_board::{Actuation, Board, BoardConfig, Cluster, Placement};
+use yukta_board::{Actuation, Board, BoardConfig, Cluster, FaultPlan, Placement};
 use yukta_linalg::Result;
 use yukta_workloads::{Workload, WorkloadRun};
 
 use crate::controllers::{HwSense, OsSense};
 use crate::design::{Design, default_design};
-use crate::metrics::{Metrics, Report, Trace, TraceSample};
+use crate::metrics::{FaultReport, Metrics, Report, Trace, TraceSample};
 use crate::schemes::{Controllers, Scheme};
 use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, spare_capacity};
+use crate::supervisor::{Supervisor, SupervisorConfig};
+
+/// The invocation engine of one run: either the controllers directly (the
+/// paper's experiments) or the fault-containment supervisor wrapping them.
+enum Engine {
+    Raw(Controllers),
+    Supervised(Box<Supervisor>),
+}
+
+impl Engine {
+    fn invoke(&mut self, hw_sense: &HwSense, os_sense: &OsSense) -> Result<(HwInputs, OsInputs)> {
+        match self {
+            Engine::Raw(c) => match c {
+                Controllers::Split { hw, os } => Ok((hw.invoke(hw_sense)?, os.invoke(os_sense)?)),
+                Controllers::Monolithic(m) => m.invoke(hw_sense, os_sense),
+            },
+            Engine::Supervised(s) => Ok(s.step(hw_sense, os_sense)),
+        }
+    }
+}
 
 /// Options controlling one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,11 +120,58 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Infallible at present; fallible signature for uniformity.
+    /// Propagates typed numerical errors from controller invocations.
     pub fn run_with_controllers(
         &self,
         workload: &Workload,
-        mut controllers: Controllers,
+        controllers: Controllers,
+    ) -> Result<Report> {
+        self.execute(workload, Engine::Raw(controllers), None)
+    }
+
+    /// Runs the workload under the fault-containment supervisor, optionally
+    /// with a fault-injection plan corrupting the board interface.
+    ///
+    /// With `plan = None` (or a zero-severity plan) the supervisor is
+    /// transparent and the resulting metrics are bit-identical to
+    /// [`Experiment::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller-instantiation failures; the supervised loop
+    /// itself never returns a controller error.
+    pub fn run_supervised(
+        &self,
+        workload: &Workload,
+        sup_cfg: SupervisorConfig,
+        plan: Option<FaultPlan>,
+    ) -> Result<Report> {
+        let controllers = self.scheme.instantiate(&self.design, self.options.limits)?;
+        self.run_supervised_with_controllers(workload, controllers, sup_cfg, plan)
+    }
+
+    /// [`Experiment::run_supervised`] with externally supplied controllers
+    /// (property tests use cheap hand-built controller instances).
+    ///
+    /// # Errors
+    ///
+    /// Infallible at present; fallible signature for uniformity.
+    pub fn run_supervised_with_controllers(
+        &self,
+        workload: &Workload,
+        controllers: Controllers,
+        sup_cfg: SupervisorConfig,
+        plan: Option<FaultPlan>,
+    ) -> Result<Report> {
+        let sup = Box::new(Supervisor::new(controllers, sup_cfg));
+        self.execute(workload, Engine::Supervised(sup), plan)
+    }
+
+    fn execute(
+        &self,
+        workload: &Workload,
+        mut engine: Engine,
+        plan: Option<FaultPlan>,
     ) -> Result<Report> {
         let mut cfg = BoardConfig::odroid_xu3();
         if let Some(seed) = self.options.board_seed {
@@ -112,7 +179,10 @@ impl Experiment {
         }
         let dt = cfg.dt;
         let steps_per_invocation = (0.5 / dt).round() as usize;
-        let mut board = Board::new(cfg);
+        let mut board = match &plan {
+            Some(p) => Board::with_faults(cfg, p.clone()),
+            None => Board::new(cfg),
+        };
         let mut run = WorkloadRun::new(workload);
         let mut trace = Trace::new();
         // Windowed BIPS state.
@@ -186,10 +256,7 @@ impl Experiment {
             };
             // Invoke the controllers (both see the pre-invocation state,
             // like the prototype's independent processes).
-            let (hw_u, os_u) = match &mut controllers {
-                Controllers::Split { hw, os } => (hw.invoke(&hw_sense), os.invoke(&os_sense)),
-                Controllers::Monolithic(m) => m.invoke(&hw_sense, &os_sense),
-            };
+            let (hw_u, os_u) = engine.invoke(&hw_sense, &os_sense)?;
             board.actuate(&Actuation {
                 f_big: Some(hw_u.f_big),
                 f_little: Some(hw_u.f_little),
@@ -219,6 +286,16 @@ impl Experiment {
                 });
             }
         }
+        let supervisor = match &engine {
+            Engine::Supervised(s) => Some(s.stats()),
+            Engine::Raw(_) => None,
+        };
+        let faults = plan.as_ref().map(|p| FaultReport {
+            seed: p.seed,
+            severity: p.severity,
+            stats: board.fault_stats().unwrap_or_default(),
+            trace: board.fault_trace().unwrap_or_default().to_vec(),
+        });
         Ok(Report {
             workload: workload.name.clone(),
             scheme: self.scheme.label().to_string(),
@@ -228,6 +305,8 @@ impl Experiment {
                 completed,
             },
             trace,
+            supervisor,
+            faults,
         })
     }
 }
@@ -320,6 +399,109 @@ mod tests {
         assert!(mean_p < 3.5, "mean big power {mean_p}");
         let mean_t = rep.trace.mean_of(|s| s.temp);
         assert!(mean_t < 80.0, "mean temperature {mean_t}");
+    }
+
+    #[test]
+    fn zero_severity_supervised_run_is_bit_identical_to_baseline() {
+        let wl = catalog::parsec::blackscholes();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let base = exp.run(&wl).unwrap();
+        let sup = exp
+            .run_supervised(
+                &wl,
+                SupervisorConfig::default(),
+                Some(FaultPlan::uniform(7, 0.0)),
+            )
+            .unwrap();
+        assert_eq!(
+            base.metrics.energy_joules.to_bits(),
+            sup.metrics.energy_joules.to_bits(),
+            "energy differs: {} vs {}",
+            base.metrics.energy_joules,
+            sup.metrics.energy_joules
+        );
+        assert_eq!(
+            base.metrics.delay_seconds.to_bits(),
+            sup.metrics.delay_seconds.to_bits()
+        );
+        assert_eq!(base.metrics.completed, sup.metrics.completed);
+        let st = sup.supervisor.expect("supervised run carries stats");
+        assert_eq!(st.fallback_entries, 0, "transparent supervisor demoted");
+        assert_eq!(st.degraded_invocations, 0);
+        assert_eq!(st.sensor_faults_seen(), 0);
+        let fr = sup.faults.expect("plan recorded");
+        assert_eq!(fr.stats.total(), 0, "zero severity must inject nothing");
+        assert!(fr.trace.is_empty());
+    }
+
+    #[test]
+    fn supervised_run_survives_full_severity_faults() {
+        let wl = catalog::spec::gamess();
+        let exp = Experiment::new(Scheme::MonolithicLqg)
+            .unwrap()
+            .with_options(quick_options());
+        let rep = exp
+            .run_supervised(
+                &wl,
+                SupervisorConfig::default(),
+                Some(FaultPlan::uniform(11, 1.0)),
+            )
+            .unwrap();
+        assert!(rep.metrics.energy_joules.is_finite());
+        assert!(rep.metrics.delay_seconds > 0.0);
+        let st = rep.supervisor.unwrap();
+        let fr = rep.faults.unwrap();
+        assert!(fr.stats.total() > 0, "severity 1.0 must inject faults");
+        assert!(
+            st.sensor_faults_seen() + st.controller_errors > 0,
+            "supervisor saw none of the injected faults"
+        );
+    }
+
+    #[test]
+    fn identical_seed_and_plan_reproduce_report_bit_for_bit() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let plan = FaultPlan::uniform(42, 0.6);
+        let a = exp
+            .run_supervised(&wl, SupervisorConfig::default(), Some(plan.clone()))
+            .unwrap();
+        let b = exp
+            .run_supervised(&wl, SupervisorConfig::default(), Some(plan))
+            .unwrap();
+        assert_eq!(
+            a.metrics.energy_joules.to_bits(),
+            b.metrics.energy_joules.to_bits()
+        );
+        assert_eq!(
+            a.metrics.delay_seconds.to_bits(),
+            b.metrics.delay_seconds.to_bits()
+        );
+        assert_eq!(a.supervisor, b.supervisor);
+        let (fa, fb) = (a.faults.unwrap(), b.faults.unwrap());
+        assert_eq!(fa.stats, fb.stats);
+        assert_eq!(fa.trace.len(), fb.trace.len());
+        assert!(!fa.trace.is_empty(), "severity 0.6 should inject something");
+        for (x, y) in fa.trace.iter().zip(&fb.trace) {
+            assert_eq!(x.time.to_bits(), y.time.to_bits());
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.channel, y.channel);
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
+        // The per-sample traces agree bit-for-bit as well.
+        assert_eq!(a.trace.samples.len(), b.trace.samples.len());
+        for (x, y) in a.trace.samples.iter().zip(&b.trace.samples) {
+            assert_eq!(x.time.to_bits(), y.time.to_bits());
+            assert_eq!(x.p_big.to_bits(), y.p_big.to_bits());
+            assert_eq!(x.temp.to_bits(), y.temp.to_bits());
+            assert_eq!(x.bips.to_bits(), y.bips.to_bits());
+            assert_eq!(x.f_big.to_bits(), y.f_big.to_bits());
+            assert_eq!(x.threads_big, y.threads_big);
+        }
     }
 
     #[test]

@@ -139,6 +139,18 @@ impl Controllers {
             Controllers::Monolithic(_) => "monolithic-lqg".to_string(),
         }
     }
+
+    /// Clears all internal controller state in both layers (used by the
+    /// supervisor when re-engaging after a faulty episode).
+    pub fn reset(&mut self) {
+        match self {
+            Controllers::Split { hw, os } => {
+                hw.reset();
+                os.reset();
+            }
+            Controllers::Monolithic(m) => m.reset(),
+        }
+    }
 }
 
 impl Scheme {

@@ -1,0 +1,685 @@
+//! Runtime supervisor: fault containment and graceful degradation.
+//!
+//! The paper's controllers assume honest sensors and obedient actuators.
+//! Under the fault-injection harness (`yukta_board::faults`) neither holds,
+//! so every controller invocation is routed through a [`Supervisor`] that
+//!
+//! 1. **sanitizes** the sensor view — non-finite readings are replaced with
+//!    the last good value, physically impossible readings are clamped to
+//!    the plant's envelope;
+//! 2. **watches for stuck sensors** — a reading whose bit pattern repeats
+//!    for [`SupervisorConfig::stuck_window`] consecutive samples is flagged
+//!    (the 260 ms INA231 windows and the noisy TMU sensor make genuine
+//!    bit-identical repeats vanishingly unlikely);
+//! 3. **degrades gracefully** — on any fault evidence or a typed controller
+//!    error the model-based scheme is demoted to the *coordinated
+//!    heuristic* (the paper's strongest baseline, memoryless and
+//!    conservative), and if even that fails, to a fixed safe static
+//!    configuration;
+//! 4. **re-engages with hysteresis** — after
+//!    [`SupervisorConfig::reengage_after`] consecutive clean samples the
+//!    demoted controller is reset (stale estimator state from the faulty
+//!    episode is discarded) and promoted one level;
+//! 5. **saturates actuations** — commands outside the board's legal range
+//!    are clamped, and a long streak of clamped samples triggers an
+//!    anti-windup reset of the primary controller's internal state.
+//!
+//! Everything the supervisor does is pure `f64` arithmetic with no
+//! randomness, so supervised runs stay bit-reproducible; with no faults
+//! injected the supervisor is exactly transparent (clean samples take the
+//! primary path and in-range values are returned bit-identically).
+
+use serde::{Deserialize, Serialize};
+
+use crate::controllers::heuristic::{CoordinatedHeuristicHw, CoordinatedHeuristicOs};
+use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::schemes::Controllers;
+use crate::signals::{HwInputs, HwOutputs, OsInputs, OsOutputs};
+
+/// Tuning knobs of the supervisor's fault handling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Consecutive clean samples required before a demoted controller is
+    /// promoted one level (Safe → Fallback → Primary).
+    pub reengage_after: u32,
+    /// Consecutive bit-identical non-zero readings of one sensor channel
+    /// that count as a stuck sensor.
+    pub stuck_window: u32,
+    /// Consecutive samples with at least one clamped actuation before the
+    /// primary controller's state is reset (anti-windup freeze).
+    pub windup_reset_after: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            reengage_after: 6,     // 3 s of clean telemetry at 500 ms
+            stuck_window: 4,       // 2 s of frozen readings
+            windup_reset_after: 8, // 4 s of continuous saturation
+        }
+    }
+}
+
+/// Which controller is currently in charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SupervisorMode {
+    /// The scheme under test.
+    Primary,
+    /// The coordinated heuristic (graceful degradation).
+    Fallback,
+    /// A fixed safe static configuration (last resort).
+    Safe,
+}
+
+/// Fault-handling counters surfaced in [`crate::metrics::Report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SupervisorStats {
+    /// Non-finite sensor readings replaced with the last good value.
+    pub nonfinite_repairs: u64,
+    /// Physically impossible readings clamped into the plant envelope.
+    pub range_clamps: u64,
+    /// Stuck-sensor episodes detected by the watchdog.
+    pub stuck_detections: u64,
+    /// Typed errors (or non-finite outputs) from a controller invocation.
+    pub controller_errors: u64,
+    /// Actuation components clamped into the legal range.
+    pub actuation_clamps: u64,
+    /// Anti-windup state resets after sustained actuation clamping.
+    pub windup_resets: u64,
+    /// Primary → Fallback demotions.
+    pub fallback_entries: u64,
+    /// Fallback → Primary promotions (hysteresis re-engagements).
+    pub fallback_exits: u64,
+    /// Fallback → Safe demotions.
+    pub safe_entries: u64,
+    /// Total supervised invocations.
+    pub invocations: u64,
+    /// Invocations served by Fallback or Safe.
+    pub degraded_invocations: u64,
+}
+
+impl SupervisorStats {
+    /// Simulated seconds spent outside Primary (500 ms per invocation).
+    pub fn degraded_seconds(&self) -> f64 {
+        self.degraded_invocations as f64 * 0.5
+    }
+
+    /// Total sensor-fault observations (repairs + clamps + stuck episodes).
+    pub fn sensor_faults_seen(&self) -> u64 {
+        self.nonfinite_repairs + self.range_clamps + self.stuck_detections
+    }
+}
+
+/// Per-channel stuck-sensor state.
+#[derive(Debug, Clone, Copy, Default)]
+struct StuckChannel {
+    last_bits: u64,
+    repeats: u32,
+}
+
+/// Physical plausibility rails for sanitization. Values outside these are
+/// impossible on the XU3 envelope and get clamped (and counted).
+const PERF_RAIL: (f64, f64) = (0.0, 200.0);
+const P_BIG_RAIL: (f64, f64) = (0.0, 15.0);
+const P_LITTLE_RAIL: (f64, f64) = (0.0, 3.0);
+const TEMP_RAIL: (f64, f64) = (0.0, 130.0);
+// Spare capacity per cluster spans roughly −7 (1 core, 8 threads) to +8
+// (4 idle cores), so the big−little difference can reach ±15.
+const SPARE_RAIL: (f64, f64) = (-16.0, 16.0);
+
+/// The last-resort operating point: big cluster parked at one slow core,
+/// all threads on the little cluster at a modest frequency. Thermally and
+/// electrically safe by a wide margin while still making progress.
+fn safe_static(active_threads: usize) -> (HwInputs, OsInputs) {
+    (
+        HwInputs {
+            big_cores: 1.0,
+            little_cores: 4.0,
+            f_big: 0.2,
+            f_little: 0.8,
+        },
+        OsInputs {
+            threads_big: 0.0,
+            packing_big: 1.0,
+            packing_little: ((active_threads as f64) / 4.0).max(1.0),
+        },
+    )
+}
+
+fn finite_hw(u: &HwInputs) -> bool {
+    u.to_vec().iter().all(|v| v.is_finite())
+}
+
+fn finite_os(u: &OsInputs) -> bool {
+    u.to_vec().iter().all(|v| v.is_finite())
+}
+
+/// Repairs one sensor field in place; returns `true` if it was touched.
+fn repair(v: &mut f64, rail: (f64, f64), last_good: f64, stats: &mut SupervisorStats) -> bool {
+    if !v.is_finite() {
+        *v = last_good;
+        stats.nonfinite_repairs += 1;
+        true
+    } else if *v < rail.0 || *v > rail.1 {
+        *v = v.clamp(rail.0, rail.1);
+        stats.range_clamps += 1;
+        true
+    } else {
+        false
+    }
+}
+
+/// Wraps a scheme's controllers with fault detection, fallback, and
+/// actuation saturation. See the module docs for the full state machine.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    primary: Controllers,
+    fb_hw: CoordinatedHeuristicHw,
+    fb_os: CoordinatedHeuristicOs,
+    mode: SupervisorMode,
+    clean_streak: u32,
+    clamp_streak: u32,
+    watchdogs: [StuckChannel; 3],
+    last_good_hw: HwOutputs,
+    last_good_os: OsOutputs,
+    stats: SupervisorStats,
+}
+
+impl Supervisor {
+    /// Supervises `primary` with the given configuration.
+    pub fn new(primary: Controllers, cfg: SupervisorConfig) -> Self {
+        Supervisor {
+            cfg,
+            primary,
+            fb_hw: CoordinatedHeuristicHw::new(),
+            fb_os: CoordinatedHeuristicOs::new(),
+            mode: SupervisorMode::Primary,
+            clean_streak: 0,
+            clamp_streak: 0,
+            watchdogs: [StuckChannel::default(); 3],
+            last_good_hw: HwOutputs::default(),
+            last_good_os: OsOutputs::default(),
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// The controller level currently in charge.
+    pub fn mode(&self) -> SupervisorMode {
+        self.mode
+    }
+
+    /// Fault-handling counters so far.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// A label combining the supervised controllers' names.
+    pub fn label(&self) -> String {
+        format!("supervised({})", self.primary.label())
+    }
+
+    /// One supervised controller invocation. Never panics and never
+    /// returns non-finite or out-of-range actuations, whatever the senses
+    /// contain.
+    pub fn step(&mut self, hw_raw: &HwSense, os_raw: &OsSense) -> (HwInputs, OsInputs) {
+        self.stats.invocations += 1;
+        let mut hw = *hw_raw;
+        let mut os = *os_raw;
+        let mut clean = true;
+
+        // Stuck-sensor watchdog on the raw bit patterns (sanitized values
+        // would alias genuinely distinct faults onto one clamped rail).
+        if self.watchdog_step(&hw_raw.outputs) {
+            clean = false;
+        }
+
+        // Sanitize the measured outputs of both layers.
+        let lg = self.last_good_hw;
+        let s = &mut self.stats;
+        let mut touched = false;
+        touched |= repair(&mut hw.outputs.perf, PERF_RAIL, lg.perf, s);
+        touched |= repair(&mut hw.outputs.p_big, P_BIG_RAIL, lg.p_big, s);
+        touched |= repair(&mut hw.outputs.p_little, P_LITTLE_RAIL, lg.p_little, s);
+        touched |= repair(&mut hw.outputs.temp, TEMP_RAIL, lg.temp, s);
+        let lg = self.last_good_os;
+        touched |= repair(&mut os.outputs.perf_little, PERF_RAIL, lg.perf_little, s);
+        touched |= repair(&mut os.outputs.perf_big, PERF_RAIL, lg.perf_big, s);
+        touched |= repair(&mut os.outputs.spare_diff, SPARE_RAIL, lg.spare_diff, s);
+        // The OS layer reads the same sysfs files as the hardware layer:
+        // give it the same sanitized view.
+        os.system = hw.outputs;
+        if touched {
+            clean = false;
+        }
+        self.last_good_hw = hw.outputs;
+        self.last_good_os = os.outputs;
+
+        // Hysteresis re-engagement.
+        if clean {
+            self.clean_streak += 1;
+        } else {
+            self.clean_streak = 0;
+        }
+        if self.mode != SupervisorMode::Primary && self.clean_streak >= self.cfg.reengage_after {
+            self.promote();
+            self.clean_streak = 0;
+        }
+
+        // Fault evidence demotes the model-based scheme for this sample and
+        // until the clean streak rebuilds.
+        if self.mode == SupervisorMode::Primary && !clean {
+            self.demote_to_fallback();
+        }
+
+        let (hw_u, os_u) = match self.mode {
+            SupervisorMode::Primary => match self.invoke_primary(&hw, &os) {
+                Some(u) => u,
+                None => {
+                    self.demote_to_fallback();
+                    self.invoke_fallback(&hw, &os)
+                }
+            },
+            SupervisorMode::Fallback => self.invoke_fallback(&hw, &os),
+            SupervisorMode::Safe => safe_static(os.active_threads),
+        };
+
+        // Saturate onto the legal actuation ranges; count what was touched.
+        let (hw_u, os_u, clamps) = self.saturate(hw_u, os_u, os.active_threads);
+        if clamps > 0 {
+            self.stats.actuation_clamps += clamps;
+            self.clamp_streak += 1;
+            if self.clamp_streak >= self.cfg.windup_reset_after {
+                // Anti-windup: a controller pinned at its limits for this
+                // long has accumulated phantom state — freeze it out.
+                self.primary.reset();
+                self.stats.windup_resets += 1;
+                self.clamp_streak = 0;
+            }
+        } else {
+            self.clamp_streak = 0;
+        }
+
+        if self.mode != SupervisorMode::Primary {
+            self.stats.degraded_invocations += 1;
+        }
+        (hw_u, os_u)
+    }
+
+    /// Returns `true` if any sensor channel is currently stuck.
+    fn watchdog_step(&mut self, y: &HwOutputs) -> bool {
+        let vals = [y.p_big, y.p_little, y.temp];
+        let mut any = false;
+        for (w, v) in self.watchdogs.iter_mut().zip(vals) {
+            let bits = v.to_bits();
+            // The startup zero before the first 260 ms power window is not
+            // a stuck sensor (see `PowerSensor::has_reading`).
+            if bits == w.last_bits && v != 0.0 {
+                w.repeats += 1;
+            } else {
+                w.repeats = 0;
+                w.last_bits = bits;
+            }
+            if w.repeats + 1 >= self.cfg.stuck_window {
+                any = true;
+                if w.repeats + 1 == self.cfg.stuck_window {
+                    self.stats.stuck_detections += 1;
+                }
+            }
+        }
+        any
+    }
+
+    /// Invokes the scheme under test; `None` on typed error or non-finite
+    /// output (both count as controller errors).
+    fn invoke_primary(&mut self, hw: &HwSense, os: &OsSense) -> Option<(HwInputs, OsInputs)> {
+        let out = match &mut self.primary {
+            Controllers::Split { hw: h, os: o } => match (h.invoke(hw), o.invoke(os)) {
+                (Ok(hu), Ok(ou)) => Some((hu, ou)),
+                _ => None,
+            },
+            Controllers::Monolithic(m) => m.invoke(hw, os).ok(),
+        };
+        match out {
+            Some((hu, ou)) if finite_hw(&hu) && finite_os(&ou) => Some((hu, ou)),
+            _ => {
+                self.stats.controller_errors += 1;
+                None
+            }
+        }
+    }
+
+    /// Invokes the coordinated heuristic; drops to Safe if even that fails.
+    fn invoke_fallback(&mut self, hw: &HwSense, os: &OsSense) -> (HwInputs, OsInputs) {
+        match (self.fb_hw.invoke(hw), self.fb_os.invoke(os)) {
+            (Ok(hu), Ok(ou)) if finite_hw(&hu) && finite_os(&ou) => (hu, ou),
+            _ => {
+                self.stats.controller_errors += 1;
+                if self.mode != SupervisorMode::Safe {
+                    self.mode = SupervisorMode::Safe;
+                    self.stats.safe_entries += 1;
+                }
+                safe_static(os.active_threads)
+            }
+        }
+    }
+
+    /// Promotes one level after a clean streak, resetting the controller
+    /// being re-engaged so stale state cannot leak forward.
+    fn promote(&mut self) {
+        match self.mode {
+            SupervisorMode::Safe => {
+                self.fb_hw = CoordinatedHeuristicHw::new();
+                self.fb_os = CoordinatedHeuristicOs::new();
+                self.mode = SupervisorMode::Fallback;
+            }
+            SupervisorMode::Fallback => {
+                self.primary.reset();
+                self.mode = SupervisorMode::Primary;
+                self.stats.fallback_exits += 1;
+            }
+            SupervisorMode::Primary => {}
+        }
+    }
+
+    fn demote_to_fallback(&mut self) {
+        if self.mode == SupervisorMode::Primary {
+            self.fb_hw = CoordinatedHeuristicHw::new();
+            self.fb_os = CoordinatedHeuristicOs::new();
+            self.mode = SupervisorMode::Fallback;
+            self.stats.fallback_entries += 1;
+            self.clean_streak = 0;
+        }
+    }
+
+    /// Clamps both actuation vectors onto the board's legal ranges.
+    /// In-range values pass through bit-identically.
+    fn saturate(
+        &mut self,
+        mut hw_u: HwInputs,
+        mut os_u: OsInputs,
+        active_threads: usize,
+    ) -> (HwInputs, OsInputs, u64) {
+        if !finite_hw(&hw_u) || !finite_os(&os_u) {
+            // Unreachable from the paths above, but keep the guarantee
+            // airtight: a non-finite command becomes the safe config.
+            self.stats.controller_errors += 1;
+            let (h, o) = safe_static(active_threads);
+            return (h, o, 1);
+        }
+        // Normalize→denormalize round trips leave legal commands a few ulps
+        // outside their range; the board's own snapping maps those to the
+        // same operating point, so they are clamped silently. Only
+        // materially out-of-range commands count toward anti-windup.
+        const CLAMP_TOL: f64 = 1e-9;
+        let mut clamps = 0u64;
+        let mut cl = |v: &mut f64, lo: f64, hi: f64| {
+            let c = v.clamp(lo, hi);
+            if c != *v {
+                if (c - *v).abs() > CLAMP_TOL {
+                    clamps += 1;
+                }
+                *v = c;
+            }
+        };
+        cl(&mut hw_u.big_cores, 1.0, 4.0);
+        cl(&mut hw_u.little_cores, 1.0, 4.0);
+        cl(&mut hw_u.f_big, 0.2, 2.0);
+        cl(&mut hw_u.f_little, 0.2, 1.4);
+        cl(&mut os_u.threads_big, 0.0, active_threads as f64);
+        cl(&mut os_u.packing_big, 1.0, 4.0);
+        cl(&mut os_u.packing_little, 1.0, 4.0);
+        (hw_u, os_u, clamps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controllers::heuristic::{DecoupledHeuristicHw, DecoupledHeuristicOs};
+    use crate::signals::Limits;
+    use yukta_linalg::{Error, Result};
+
+    fn heuristic_primary() -> Controllers {
+        Controllers::Split {
+            hw: Box::new(DecoupledHeuristicHw::new()),
+            os: Box::new(DecoupledHeuristicOs::new()),
+        }
+    }
+
+    fn clean_hw_sense() -> HwSense {
+        HwSense {
+            outputs: HwOutputs {
+                perf: 3.0,
+                p_big: 2.0,
+                p_little: 0.2,
+                temp: 60.0,
+            },
+            ext: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            current: HwInputs {
+                big_cores: 4.0,
+                little_cores: 4.0,
+                f_big: 1.0,
+                f_little: 1.0,
+            },
+            active_threads: 8,
+            limits: Limits::default(),
+        }
+    }
+
+    fn clean_os_sense() -> OsSense {
+        OsSense {
+            outputs: OsOutputs {
+                perf_little: 0.3,
+                perf_big: 2.0,
+                spare_diff: 0.0,
+            },
+            ext: HwInputs {
+                big_cores: 4.0,
+                little_cores: 4.0,
+                f_big: 1.0,
+                f_little: 1.0,
+            },
+            current: OsInputs {
+                threads_big: 4.0,
+                packing_big: 1.0,
+                packing_little: 1.0,
+            },
+            active_threads: 8,
+            system: HwOutputs {
+                perf: 3.0,
+                p_big: 2.0,
+                p_little: 0.2,
+                temp: 60.0,
+            },
+            limits: Limits::default(),
+        }
+    }
+
+    /// Varies the noisy channels so the stuck watchdog never trips on the
+    /// synthetic fixtures.
+    fn jitter(hw: &mut HwSense, os: &mut OsSense, k: usize) {
+        let eps = 1e-9 * (k as f64 + 1.0);
+        hw.outputs.p_big += eps;
+        hw.outputs.p_little += eps;
+        hw.outputs.temp += eps;
+        os.system = hw.outputs;
+    }
+
+    #[test]
+    fn clean_samples_stay_primary_and_transparent() {
+        let mut sup = Supervisor::new(heuristic_primary(), SupervisorConfig::default());
+        let mut bare_hw = DecoupledHeuristicHw::new();
+        let mut bare_os = DecoupledHeuristicOs::new();
+        for k in 0..20 {
+            let mut hw = clean_hw_sense();
+            let mut os = clean_os_sense();
+            jitter(&mut hw, &mut os, k);
+            let (hu, ou) = sup.step(&hw, &os);
+            let expect_h = bare_hw.invoke(&hw).unwrap();
+            let expect_o = bare_os.invoke(&os).unwrap();
+            assert_eq!(hu, expect_h, "sample {k}");
+            assert_eq!(ou, expect_o, "sample {k}");
+        }
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        let st = sup.stats();
+        assert_eq!(st.sensor_faults_seen(), 0);
+        assert_eq!(st.fallback_entries, 0);
+        assert_eq!(st.degraded_invocations, 0);
+    }
+
+    #[test]
+    fn nan_sensor_demotes_then_hysteresis_reengages() {
+        let cfg = SupervisorConfig::default();
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let mut hw = clean_hw_sense();
+        let mut os = clean_os_sense();
+        jitter(&mut hw, &mut os, 0);
+        sup.step(&hw, &os);
+        // Poison one reading: demoted to the coordinated heuristic.
+        let mut bad = hw;
+        bad.outputs.p_big = f64::NAN;
+        let (hu, ou) = sup.step(&bad, &os);
+        assert!(finite_hw(&hu) && finite_os(&ou));
+        assert_eq!(sup.mode(), SupervisorMode::Fallback);
+        assert_eq!(sup.stats().fallback_entries, 1);
+        assert!(sup.stats().nonfinite_repairs >= 1);
+        // One clean sample is not enough to re-engage…
+        for k in 0..cfg.reengage_after - 1 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k as usize + 1);
+            sup.step(&h, &o);
+            assert_eq!(sup.mode(), SupervisorMode::Fallback, "sample {k}");
+        }
+        // …but the full streak is.
+        let mut h = clean_hw_sense();
+        let mut o = clean_os_sense();
+        jitter(&mut h, &mut o, 99);
+        sup.step(&h, &o);
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        assert_eq!(sup.stats().fallback_exits, 1);
+        assert!(sup.stats().degraded_invocations >= cfg.reengage_after as u64);
+    }
+
+    #[test]
+    fn stuck_sensor_watchdog_fires_after_window() {
+        let cfg = SupervisorConfig::default();
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let hw = clean_hw_sense();
+        let os = clean_os_sense();
+        // Bit-identical readings every sample: stuck after `stuck_window`.
+        for k in 0..cfg.stuck_window {
+            sup.step(&hw, &os);
+            if k + 1 < cfg.stuck_window {
+                assert_eq!(sup.stats().stuck_detections, 0, "sample {k}");
+            }
+        }
+        assert_eq!(sup.stats().stuck_detections, 3, "one episode per channel");
+        assert_eq!(sup.mode(), SupervisorMode::Fallback);
+    }
+
+    /// A primary that always reports a numerical failure.
+    struct FailingHw;
+    impl HwPolicy for FailingHw {
+        fn invoke(&mut self, _sense: &HwSense) -> Result<HwInputs> {
+            Err(Error::Singular { op: "test" })
+        }
+        fn name(&self) -> &'static str {
+            "failing-hw"
+        }
+    }
+
+    /// A primary that commands far outside the legal actuation ranges.
+    struct WildHw;
+    impl HwPolicy for WildHw {
+        fn invoke(&mut self, _sense: &HwSense) -> Result<HwInputs> {
+            Ok(HwInputs {
+                big_cores: 99.0,
+                little_cores: -3.0,
+                f_big: 10.0,
+                f_little: 10.0,
+            })
+        }
+        fn name(&self) -> &'static str {
+            "wild-hw"
+        }
+    }
+
+    #[test]
+    fn typed_controller_error_falls_back_same_step() {
+        let primary = Controllers::Split {
+            hw: Box::new(FailingHw),
+            os: Box::new(DecoupledHeuristicOs::new()),
+        };
+        let mut sup = Supervisor::new(primary, SupervisorConfig::default());
+        let mut hw = clean_hw_sense();
+        let mut os = clean_os_sense();
+        jitter(&mut hw, &mut os, 0);
+        let (hu, _) = sup.step(&hw, &os);
+        // Served by the fallback heuristic, not the failing primary.
+        assert!(finite_hw(&hu));
+        assert!((0.2..=2.0).contains(&hu.f_big));
+        assert_eq!(sup.mode(), SupervisorMode::Fallback);
+        assert_eq!(sup.stats().controller_errors, 1);
+    }
+
+    #[test]
+    fn wild_actuations_are_clamped_and_windup_resets_fire() {
+        let cfg = SupervisorConfig {
+            windup_reset_after: 3,
+            ..Default::default()
+        };
+        let primary = Controllers::Split {
+            hw: Box::new(WildHw),
+            os: Box::new(DecoupledHeuristicOs::new()),
+        };
+        let mut sup = Supervisor::new(primary, cfg);
+        for k in 0..6 {
+            let mut hw = clean_hw_sense();
+            let mut os = clean_os_sense();
+            jitter(&mut hw, &mut os, k);
+            let (hu, ou) = sup.step(&hw, &os);
+            assert!((1.0..=4.0).contains(&hu.big_cores), "sample {k}");
+            assert!((0.2..=2.0).contains(&hu.f_big), "sample {k}");
+            assert!((0.2..=1.4).contains(&hu.f_little), "sample {k}");
+            assert!((1.0..=4.0).contains(&ou.packing_big), "sample {k}");
+        }
+        let st = sup.stats();
+        assert!(
+            st.actuation_clamps >= 6 * 3,
+            "clamps {}",
+            st.actuation_clamps
+        );
+        assert!(st.windup_resets >= 2, "windup resets {}", st.windup_resets);
+        // Still primary: clamping alone is not fault evidence.
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+    }
+
+    #[test]
+    fn all_nan_senses_still_yield_legal_actuations() {
+        let mut sup = Supervisor::new(heuristic_primary(), SupervisorConfig::default());
+        let mut hw = clean_hw_sense();
+        let mut os = clean_os_sense();
+        hw.outputs.perf = f64::NAN;
+        hw.outputs.p_big = f64::INFINITY;
+        hw.outputs.p_little = f64::NEG_INFINITY;
+        hw.outputs.temp = f64::NAN;
+        os.outputs.perf_little = f64::NAN;
+        os.outputs.perf_big = f64::NAN;
+        os.outputs.spare_diff = f64::NAN;
+        os.system = hw.outputs;
+        for _ in 0..10 {
+            let (hu, ou) = sup.step(&hw, &os);
+            assert!(finite_hw(&hu) && finite_os(&ou));
+            assert!((1.0..=4.0).contains(&hu.big_cores));
+            assert!((0.2..=2.0).contains(&hu.f_big));
+            assert!(ou.threads_big <= 8.0);
+        }
+        assert!(sup.stats().nonfinite_repairs >= 70);
+        assert_ne!(sup.mode(), SupervisorMode::Primary);
+    }
+}

@@ -106,11 +106,7 @@ pub fn symmetric_eigen(a: &Mat) -> Result<SymEig> {
     }
     // Sort descending.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        m[(j, j)]
-            .partial_cmp(&m[(i, i)])
-            .expect("finite eigenvalues")
-    });
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let mut values = Vec::with_capacity(n);
     let mut vectors = Mat::zeros(n, n);
     for (jj, &j) in order.iter().enumerate() {

@@ -96,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..60 {
         let meas = [target[0] - y[0], target[1] - y[1], ext];
         let quantize = |u: &[f64]| vec![grid.quantize(u[0])];
-        let (_, applied) = rt.step(&meas, &quantize);
+        let (_, applied) = rt.step(&meas, &quantize)?;
         y = plant_step(&mut state, applied[0], ext);
         if step % 10 == 0 {
             println!(

@@ -154,6 +154,36 @@ pub mod strategy {
         }
     }
 
+    /// Strategy built by [`prop_oneof!`](crate::prop_oneof): picks one of
+    /// several weighted sub-strategies per sample.
+    pub struct OneOf<V> {
+        choices: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+        total: u64,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds from `(weight, sampler)` pairs; weights must not all be 0.
+        pub fn new(choices: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>) -> Self {
+            let total = choices.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            OneOf { choices, total }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, f) in &self.choices {
+                if pick < *w as u64 {
+                    return f(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
     macro_rules! tuple_strategy {
         ($(($($n:ident . $idx:tt),+ ) ),+ $(,)?) => {$(
             impl<$($n: Strategy),+> Strategy for ($($n,)+) {
@@ -250,7 +280,7 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::{ProptestConfig, Rejected, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 }
 
 /// Defines deterministic property tests (subset of `proptest::proptest!`).
@@ -286,6 +316,28 @@ macro_rules! proptest {
     };
     ($($rest:tt)*) => {
         $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted choice between strategies producing the same value type
+/// (subset of `proptest::prop_oneof!`; bare arms get weight 1).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $((
+                $weight as u32,
+                {
+                    let s = $strat;
+                    ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                        $crate::strategy::Strategy::sample(&s, rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+                },
+            ),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
     };
 }
 
@@ -337,6 +389,17 @@ mod tests {
         fn tuples_and_map(t in (0usize..=3, -2.0..2.0f64).prop_map(|(n, f)| (n * 2, f.abs()))) {
             prop_assert!(t.0 % 2 == 0 && t.0 <= 6);
             prop_assert!(t.1 >= 0.0);
+        }
+
+        #[test]
+        fn oneof_mixes_arms(x in prop_oneof![4 => 0.0..1.0f64, 1 => Just(f64::NAN)]) {
+            let x: f64 = x;
+            prop_assert!(x.is_nan() || (0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn oneof_unweighted_defaults_to_equal(x in prop_oneof![Just(1u32), Just(2u32)]) {
+            prop_assert!(x == 1u32 || x == 2u32);
         }
     }
 }
