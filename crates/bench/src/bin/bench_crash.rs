@@ -1,0 +1,193 @@
+//! Crash-recovery campaign: crash points × checkpoint intervals × schemes
+//! × workloads, run under the crash-tolerant runtime (DESIGN.md §11).
+//!
+//! Every cell runs the same fault plan twice: once uninterrupted
+//! (`run_supervised`, which ignores crash points) as the ground truth, and
+//! once through `run_recoverable` with the plan's crashes firing. The
+//! campaign asserts, for **every** cell:
+//!
+//! 1. **100% recovery.** Every planned crash fires and is recovered; the
+//!    run finishes.
+//! 2. **Bit-identical reports.** The recovered `Report` equals the
+//!    uninterrupted one under `Report::bit_identical` (`f64::to_bits`
+//!    equality throughout — metrics, trace, supervisor stats, fault
+//!    trace).
+//! 3. **Zero replay divergence.** Checkpoint-restore plus journal-suffix
+//!    replay reproduces every journaled record exactly, and a fresh
+//!    controller stack replays the full journal with zero divergences
+//!    (the standing determinism invariant), including after a binary
+//!    serialization round trip.
+//!
+//! Any violation exits non-zero, which gates CI. `--quick` runs a reduced
+//! grid for smoke coverage. Output: `results/BENCH_crash.json`.
+
+use std::panic;
+
+use yukta_bench::{eval_options, write_results};
+use yukta_board::FaultPlan;
+use yukta_core::recorder::Journal;
+use yukta_core::runtime::{Experiment, InjectedCrash, RecoveryOptions, RunOptions};
+use yukta_core::schemes::Scheme;
+use yukta_core::supervisor::SupervisorConfig;
+use yukta_workloads::{Workload, catalog};
+
+const SEVERITY: f64 = 0.5;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Injected crashes unwind through `panic_any`; silence the default
+    // hook's backtrace spam for those (and only those) payloads.
+    let default_hook = panic::take_hook();
+    panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+            default_hook(info);
+        }
+    }));
+
+    let schemes: Vec<Scheme> = if quick {
+        vec![Scheme::CoordinatedHeuristic, Scheme::DecoupledHeuristic]
+    } else {
+        vec![
+            Scheme::CoordinatedHeuristic,
+            Scheme::DecoupledHeuristic,
+            Scheme::YuktaHwSsvOsSsv,
+            Scheme::MonolithicLqg,
+        ]
+    };
+    let workloads: Vec<Workload> = if quick {
+        vec![catalog::parsec::blackscholes()]
+    } else {
+        vec![catalog::parsec::blackscholes(), catalog::spec::mcf()]
+    };
+    let intervals: &[u64] = if quick { &[8] } else { &[5, 20] };
+    let crash_sets: &[&[u64]] = if quick {
+        &[&[7], &[9, 31]]
+    } else {
+        &[&[9], &[40], &[9, 31, 77]]
+    };
+    let options = RunOptions {
+        timeout_s: if quick { 300.0 } else { 1200.0 },
+        ..eval_options()
+    };
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut cells = 0usize;
+    let mut failures = 0usize;
+    for (ci, scheme) in schemes.iter().enumerate() {
+        for (wi, wl) in workloads.iter().enumerate() {
+            let exp = Experiment::new(*scheme)
+                .expect("experiment construction")
+                .with_options(options);
+            let seed = ((ci * 10 + wi) as u64) + 0xC4A5;
+            let plan = FaultPlan::uniform(seed, SEVERITY);
+            // Uninterrupted ground truth: same plan, crashes never fire.
+            let baseline = exp
+                .run_supervised(wl, SupervisorConfig::default(), Some(plan.clone()))
+                .expect("uninterrupted baseline run");
+            let base_exd = baseline.metrics.exd();
+            println!(
+                "[{}] {} uninterrupted E×D = {:.1} J·s over {} invocations",
+                scheme.label(),
+                wl.name,
+                base_exd,
+                baseline.trace.samples.len()
+            );
+            for &interval in intervals {
+                for &crashes in crash_sets {
+                    cells += 1;
+                    let mut crashed_plan = plan.clone();
+                    for &at in crashes {
+                        crashed_plan = crashed_plan.with_crash(at);
+                    }
+                    let rec = exp
+                        .run_recoverable(
+                            wl,
+                            Some(SupervisorConfig::default()),
+                            Some(crashed_plan),
+                            RecoveryOptions {
+                                checkpoint_interval: interval,
+                            },
+                        )
+                        .expect("recoverable run");
+                    let identical = rec.report.bit_identical(&baseline);
+                    let bytes = rec.journal.to_bytes();
+                    let decode_ok = Journal::from_bytes(&bytes)
+                        .map(|j| j.len() == rec.journal.len())
+                        .unwrap_or(false);
+                    let replay = exp
+                        .replay_journal(&rec.journal, Some(SupervisorConfig::default()))
+                        .expect("journal replay");
+                    let ok = identical
+                        && decode_ok
+                        && rec.recovery.crashes == crashes.len() as u64
+                        && rec.recovery.recoveries == rec.recovery.crashes
+                        && rec.recovery.replay_divergences == 0
+                        && replay.is_exact();
+                    if !ok {
+                        failures += 1;
+                        eprintln!(
+                            "FAIL: {} / {} interval {interval} crashes {crashes:?}: \
+                             bit_identical={identical} decode_ok={decode_ok} \
+                             recovery={:?} replay={:?}",
+                            scheme.label(),
+                            wl.name,
+                            rec.recovery,
+                            replay
+                        );
+                    } else {
+                        println!(
+                            "  interval {interval}, crashes {crashes:?}: \
+                             {} recovered, {} checkpoints, {} replayed, \
+                             0 divergences, bit-identical",
+                            rec.recovery.recoveries,
+                            rec.recovery.checkpoints,
+                            rec.recovery.replayed_records
+                        );
+                    }
+                    let crash_list = crashes
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    rows.push(format!(
+                        "    {{\"scheme\": \"{}\", \"workload\": \"{}\", \
+                         \"severity\": {SEVERITY}, \"seed\": {seed}, \
+                         \"checkpoint_interval\": {interval}, \
+                         \"crash_steps\": [{crash_list}], \
+                         \"crashes\": {}, \"recoveries\": {}, \
+                         \"checkpoints\": {}, \"replayed_records\": {}, \
+                         \"replay_divergences\": {}, \
+                         \"exd\": {:.4}, \"baseline_exd\": {:.4}, \
+                         \"bit_identical\": {identical}, \
+                         \"journal_records\": {}, \"journal_bytes\": {}, \
+                         \"replay_exact\": {}}}",
+                        scheme.label(),
+                        wl.name,
+                        rec.recovery.crashes,
+                        rec.recovery.recoveries,
+                        rec.recovery.checkpoints,
+                        rec.recovery.replayed_records,
+                        rec.recovery.replay_divergences,
+                        rec.report.metrics.exd(),
+                        base_exd,
+                        rec.journal.len(),
+                        bytes.len(),
+                        replay.is_exact(),
+                    ));
+                }
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"severity\": {SEVERITY},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        quick,
+        rows.join(",\n")
+    );
+    write_results("BENCH_crash.json", &json);
+    if failures > 0 {
+        eprintln!("campaign FAILED: {failures}/{cells} cells diverged");
+        std::process::exit(1);
+    }
+    println!("campaign complete: {cells} cells, every crash recovered bit-identically");
+}

@@ -125,6 +125,8 @@ fn main() {
                      \"exd_over_baseline\": {:.6}, \
                      \"exd_degradation_monotone\": {:.6}, \
                      \"faults_total\": {}, \"sensor_faults\": {}, \
+                     \"stuck_episodes\": {}, \"dropped_samples\": {}, \
+                     \"spikes\": {}, \"delayed_reads\": {}, \
                      \"dvfs_rejections\": {}, \"hotplug_ignored\": {}, \
                      \"actuation_lags\": {}, \"fallback_entries\": {}, \
                      \"fallback_exits\": {}, \"safe_entries\": {}, \
@@ -141,6 +143,10 @@ fn main() {
                     reported_degradation,
                     faults.stats.total(),
                     faults.stats.sensor_faults,
+                    faults.stats.stuck_episodes,
+                    faults.stats.dropped_samples,
+                    faults.stats.spikes,
+                    faults.stats.delayed_reads,
                     faults.stats.dvfs_rejections,
                     faults.stats.hotplug_ignored,
                     faults.stats.actuation_lags,

@@ -69,6 +69,14 @@ pub enum FaultKind {
     HotplugIgnored,
     /// The whole actuation is applied one controller period late.
     ActuationLag,
+    /// The controller process dies at the start of invocation `at_step`
+    /// (counted in completed controller invocations). Injected by the
+    /// runtime loop — the board itself never panics — and recovered by
+    /// `Experiment::run_recoverable`.
+    Crash {
+        /// Invocation index at which the crash fires.
+        at_step: u64,
+    },
 }
 
 impl FaultKind {
@@ -83,10 +91,12 @@ impl FaultKind {
             FaultKind::DvfsRejected => "dvfs_rejected",
             FaultKind::HotplugIgnored => "hotplug_ignored",
             FaultKind::ActuationLag => "actuation_lag",
+            FaultKind::Crash { .. } => "crash",
         }
     }
 
-    /// Every kind, in taxonomy order.
+    /// Every sensor/actuator kind, in taxonomy order. Crashes are not
+    /// listed: they target the controller process, not a board channel.
     pub const ALL: [FaultKind; 8] = [
         FaultKind::StuckAt,
         FaultKind::DroppedSample,
@@ -141,6 +151,10 @@ pub struct FaultPlan {
     pub p_act_lag: f64,
     /// Deterministically scheduled fault windows.
     pub schedule: Vec<ScheduledFault>,
+    /// Controller-process crash points ([`FaultKind::Crash`] entries).
+    /// Consumed by the runtime loop, never by the board's injector, so
+    /// adding crashes never perturbs the sensor/actuator fault stream.
+    pub crashes: Vec<FaultKind>,
 }
 
 impl FaultPlan {
@@ -164,6 +178,7 @@ impl FaultPlan {
             p_hotplug_ignore: 0.10,
             p_act_lag: 0.08,
             schedule: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -171,6 +186,27 @@ impl FaultPlan {
     pub fn with_scheduled(mut self, s: ScheduledFault) -> Self {
         self.schedule.push(s);
         self
+    }
+
+    /// Adds a controller-process crash at invocation `at_step`.
+    pub fn with_crash(mut self, at_step: u64) -> Self {
+        self.crashes.push(FaultKind::Crash { at_step });
+        self
+    }
+
+    /// The planned crash points, sorted and deduplicated.
+    pub fn crash_steps(&self) -> Vec<u64> {
+        let mut steps: Vec<u64> = self
+            .crashes
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::Crash { at_step } => Some(*at_step),
+                _ => None,
+            })
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
     }
 
     /// Whether the plan can ever inject anything.
@@ -185,6 +221,7 @@ impl FaultPlan {
                 || self.p_hotplug_ignore > 0.0
                 || self.p_act_lag > 0.0))
             || !self.schedule.is_empty()
+            || !self.crashes.is_empty()
     }
 }
 
@@ -672,6 +709,31 @@ mod tests {
         let second = crate::board::Actuation::default();
         let applied = inj.filter_actuation(1.0, &second);
         assert_eq!(applied.f_big, Some(1.0));
+    }
+
+    #[test]
+    fn crash_points_are_sorted_deduped_and_activate_the_plan() {
+        let plan = FaultPlan::uniform(9, 0.0)
+            .with_crash(40)
+            .with_crash(12)
+            .with_crash(40);
+        assert_eq!(plan.crash_steps(), vec![12, 40]);
+        assert!(plan.is_active(), "crash-only plan must count as active");
+        assert_eq!(FaultKind::Crash { at_step: 12 }.label(), "crash");
+        assert!(!FaultPlan::uniform(9, 0.0).is_active());
+    }
+
+    #[test]
+    fn crash_points_do_not_perturb_the_injector_stream() {
+        let read = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(plan);
+            read_n(&mut inj, 200, 2.5)
+        };
+        let base = read(FaultPlan::uniform(13, 0.9));
+        let crashed = read(FaultPlan::uniform(13, 0.9).with_crash(7).with_crash(90));
+        for (a, b) in base.iter().zip(&crashed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //! assert!(board.total_instructions() > 0.0);
 //! ```
 
+// Runtime-reachable paths must report failures as typed values, never
+// panic: the crash-tolerant runtime (`yukta_core::runtime`) treats any
+// panic that is not an injected crash as a real bug and re-raises it.
+// Tests keep their unwraps; non-test code is denied them outright.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod board;
 pub mod config;
 pub mod faults;

@@ -337,9 +337,27 @@ impl ObsAwController {
         self.x.iter_mut().for_each(|v| *v = 0.0);
     }
 
-    /// Current internal state (for diagnostics).
+    /// Current internal state (for diagnostics and checkpointing).
     pub fn state(&self) -> &[f64] {
         &self.x
+    }
+
+    /// Overwrites the internal state, e.g. restoring a checkpoint taken
+    /// via [`ObsAwController::state`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if `x` has the wrong length.
+    pub fn set_state(&mut self, x: &[f64]) -> Result<()> {
+        if x.len() != self.x.len() {
+            return Err(Error::DimensionMismatch {
+                op: "obs_aw_set_state",
+                lhs: (self.x.len(), 1),
+                rhs: (x.len(), 1),
+            });
+        }
+        self.x.copy_from_slice(x);
+        Ok(())
     }
 
     /// The wrapped system.
@@ -499,6 +517,36 @@ mod tests {
         // A misbehaving quantizer is reported, not a panic.
         assert!(matches!(
             aw.step(&[1.0], &|_| vec![0.0, 0.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn obs_aw_set_state_restores_checkpoint_bit_for_bit() {
+        let obs = StateSpace::new(
+            Mat::from_rows(&[&[0.5, 0.1], &[0.0, 0.4]]),
+            Mat::from_rows(&[&[1.0, 0.2], &[0.5, 0.1]]),
+            Mat::from_rows(&[&[1.0, 0.0]]),
+            Mat::zeros(1, 2),
+            Some(0.5),
+        )
+        .unwrap();
+        let mut aw = ObsAwController::new(&obs);
+        for t in 0..20 {
+            aw.step(&[(t as f64 * 0.3).sin()], &|u| u.to_vec()).unwrap();
+        }
+        let snap = aw.state().to_vec();
+        let mut twin = aw.clone();
+        for _ in 0..10 {
+            aw.step(&[0.9], &|u| u.to_vec()).unwrap();
+        }
+        aw.set_state(&snap).unwrap();
+        let (ca, aa) = aw.step(&[0.25], &|u| u.to_vec()).unwrap();
+        let (cb, ab) = twin.step(&[0.25], &|u| u.to_vec()).unwrap();
+        assert_eq!(ca[0].to_bits(), cb[0].to_bits());
+        assert_eq!(aa[0].to_bits(), ab[0].to_bits());
+        assert!(matches!(
+            aw.set_state(&[0.0]),
             Err(Error::DimensionMismatch { .. })
         ));
     }

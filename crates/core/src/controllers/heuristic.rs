@@ -11,9 +11,9 @@
 //! Linux `performance` governor — everything at maximum until a limit
 //! trips, then a threshold-based backoff that ignores thread placement.
 
-use yukta_linalg::Result;
+use yukta_linalg::{Error, Result};
 
-use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::controllers::{ControllerState, HwPolicy, HwSense, OsPolicy, OsSense};
 use crate::signals::{HwInputs, OsInputs};
 
 /// HMP-style coordinated scheduler (OS half of *Coordinated heuristic*,
@@ -226,6 +226,32 @@ impl HwPolicy for DecoupledHeuristicHw {
 
     fn reset(&mut self) {
         *self = DecoupledHeuristicHw::default();
+    }
+
+    /// Ints: the three backoff counters (frequency steps, cores, safe
+    /// streak). The only heuristic with internal state.
+    fn save_state(&self) -> ControllerState {
+        let mut s = ControllerState::stateless(self.name());
+        s.ints = vec![
+            self.backoff_freq_steps as i64,
+            self.backoff_cores as i64,
+            self.safe_streak as i64,
+        ];
+        s
+    }
+
+    fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        state.check(self.name(), 0, 3)?;
+        if state.ints.iter().any(|&v| v < 0) {
+            return Err(Error::NoSolution {
+                op: "controller_restore_state",
+                why: "negative backoff counter",
+            });
+        }
+        self.backoff_freq_steps = state.ints[0] as usize;
+        self.backoff_cores = state.ints[1] as usize;
+        self.safe_streak = state.ints[2] as usize;
+        Ok(())
     }
 }
 

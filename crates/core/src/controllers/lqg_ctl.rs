@@ -10,7 +10,7 @@
 use yukta_control::lqg::LqgTracker;
 use yukta_linalg::Result;
 
-use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::controllers::{ControllerState, HwPolicy, HwSense, OsPolicy, OsSense};
 use crate::optimizer::{HwOptimizer, OsOptimizer};
 use crate::signals::{ActuatorGrids, HwInputs, HwOutputs, OsInputs, OsOutputs, SignalRanges};
 
@@ -83,6 +83,35 @@ impl HwPolicy for LqgHwController {
     fn reset(&mut self) {
         self.tracker.reset();
     }
+
+    /// Floats: tracker state, then the 4 targets, then the optimizer
+    /// payload. Ints: the optimizer's ints.
+    fn save_state(&self) -> ControllerState {
+        let mut s = ControllerState::stateless(self.name());
+        s.floats.extend_from_slice(&self.tracker.save_state());
+        s.floats.extend_from_slice(&self.targets.to_vec());
+        self.optimizer.save_state(&mut s.floats, &mut s.ints);
+        s
+    }
+
+    fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        let n = self.tracker.state_len();
+        state.check(
+            self.name(),
+            n + 4 + HwOptimizer::STATE_FLOATS,
+            HwOptimizer::STATE_INTS,
+        )?;
+        self.tracker.restore_state(&state.floats[..n])?;
+        self.targets = HwOutputs {
+            perf: state.floats[n],
+            p_big: state.floats[n + 1],
+            p_little: state.floats[n + 2],
+            temp: state.floats[n + 3],
+        };
+        self.optimizer
+            .restore_state(&state.floats[n + 4..], &state.ints);
+        Ok(())
+    }
 }
 
 /// Decoupled software-layer LQG controller (no external signals).
@@ -148,6 +177,34 @@ impl OsPolicy for LqgOsController {
 
     fn reset(&mut self) {
         self.tracker.reset();
+    }
+
+    /// Floats: tracker state, then the 3 targets, then the optimizer
+    /// payload. Ints: the optimizer's ints.
+    fn save_state(&self) -> ControllerState {
+        let mut s = ControllerState::stateless(self.name());
+        s.floats.extend_from_slice(&self.tracker.save_state());
+        s.floats.extend_from_slice(&self.targets.to_vec());
+        self.optimizer.save_state(&mut s.floats, &mut s.ints);
+        s
+    }
+
+    fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        let n = self.tracker.state_len();
+        state.check(
+            self.name(),
+            n + 3 + OsOptimizer::STATE_FLOATS,
+            OsOptimizer::STATE_INTS,
+        )?;
+        self.tracker.restore_state(&state.floats[..n])?;
+        self.targets = OsOutputs {
+            perf_little: state.floats[n],
+            perf_big: state.floats[n + 1],
+            spare_diff: state.floats[n + 2],
+        };
+        self.optimizer
+            .restore_state(&state.floats[n + 3..], &state.ints);
+        Ok(())
     }
 }
 
@@ -245,6 +302,53 @@ impl MonolithicLqg {
     /// Clears the tracker's estimator/integrator state.
     pub fn reset(&mut self) {
         self.tracker.reset();
+    }
+
+    /// Snapshots the joint controller: tracker state, then the 4 hardware
+    /// targets, the 3 software targets, and both optimizers' payloads
+    /// (hardware first).
+    pub fn save_state(&self) -> ControllerState {
+        let mut s = ControllerState::stateless("monolithic-lqg");
+        s.floats.extend_from_slice(&self.tracker.save_state());
+        s.floats.extend_from_slice(&self.hw_targets.to_vec());
+        s.floats.extend_from_slice(&self.os_targets.to_vec());
+        self.hw_optimizer.save_state(&mut s.floats, &mut s.ints);
+        self.os_optimizer.save_state(&mut s.floats, &mut s.ints);
+        s
+    }
+
+    /// Restores a snapshot taken by [`MonolithicLqg::save_state`]; same
+    /// bit-identity contract as
+    /// [`HwPolicy::restore_state`](crate::controllers::HwPolicy::restore_state).
+    ///
+    /// # Errors
+    ///
+    /// [`yukta_linalg::Error::NoSolution`] on tag or shape mismatch.
+    pub fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        let n = self.tracker.state_len();
+        state.check(
+            "monolithic-lqg",
+            n + 7 + HwOptimizer::STATE_FLOATS + OsOptimizer::STATE_FLOATS,
+            HwOptimizer::STATE_INTS + OsOptimizer::STATE_INTS,
+        )?;
+        self.tracker.restore_state(&state.floats[..n])?;
+        self.hw_targets = HwOutputs {
+            perf: state.floats[n],
+            p_big: state.floats[n + 1],
+            p_little: state.floats[n + 2],
+            temp: state.floats[n + 3],
+        };
+        self.os_targets = OsOutputs {
+            perf_little: state.floats[n + 4],
+            perf_big: state.floats[n + 5],
+            spare_diff: state.floats[n + 6],
+        };
+        let f = &state.floats[n + 7..];
+        self.hw_optimizer
+            .restore_state(&f[..HwOptimizer::STATE_FLOATS], &state.ints[..1]);
+        self.os_optimizer
+            .restore_state(&f[HwOptimizer::STATE_FLOATS..], &state.ints[1..]);
+        Ok(())
     }
 }
 
@@ -355,6 +459,51 @@ mod tests {
         let (hw, os) = c.invoke(&hw_sense(), &os_sense()).unwrap();
         assert!((1.0..=4.0).contains(&hw.big_cores));
         assert!((0.0..=8.0).contains(&os.threads_big));
+    }
+
+    #[test]
+    fn save_restore_roundtrips_lqg_controllers_bit_for_bit() {
+        let tracker = LqgTracker::design(&model(4), LqgWeights::default()).unwrap();
+        let mut hw = LqgHwController::new(tracker, HwOptimizer::new(Limits::default()));
+        for _ in 0..6 {
+            hw.invoke(&hw_sense()).unwrap();
+        }
+        let snap = hw.save_state();
+        let mut twin = hw.clone();
+        for _ in 0..9 {
+            hw.invoke(&hw_sense()).unwrap();
+        }
+        hw.restore_state(&snap).unwrap();
+        let a = hw.invoke(&hw_sense()).unwrap();
+        let b = twin.invoke(&hw_sense()).unwrap();
+        for (x, y) in a.to_vec().iter().zip(&b.to_vec()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let tracker = LqgTracker::design(&model(7), LqgWeights::default()).unwrap();
+        let mut mono = MonolithicLqg::new(
+            tracker,
+            HwOptimizer::new(Limits::default()),
+            OsOptimizer::new(),
+        );
+        for _ in 0..5 {
+            mono.invoke(&hw_sense(), &os_sense()).unwrap();
+        }
+        let snap = mono.save_state();
+        let mut twin = mono.clone();
+        for _ in 0..4 {
+            mono.invoke(&hw_sense(), &os_sense()).unwrap();
+        }
+        mono.restore_state(&snap).unwrap();
+        let (ah, ao) = mono.invoke(&hw_sense(), &os_sense()).unwrap();
+        let (bh, bo) = twin.invoke(&hw_sense(), &os_sense()).unwrap();
+        assert_eq!(ah.f_big.to_bits(), bh.f_big.to_bits());
+        assert_eq!(ao.threads_big.to_bits(), bo.threads_big.to_bits());
+        // Cross-policy snapshots are rejected.
+        assert!(
+            mono.restore_state(&ControllerState::stateless("hw-lqg"))
+                .is_err()
+        );
     }
 
     #[test]

@@ -9,9 +9,62 @@ pub mod heuristic;
 pub mod lqg_ctl;
 pub mod ssv;
 
-use yukta_linalg::Result;
+use yukta_linalg::{Error, Result};
 
 use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs};
+
+/// A flat, policy-agnostic snapshot of one controller's internal state,
+/// produced by [`HwPolicy::save_state`]/[`OsPolicy::save_state`] and
+/// consumed by the matching `restore_state`. Checkpoints built from these
+/// snapshots make crashed runs resumable with bit-identical behaviour.
+///
+/// The `tag` pins the snapshot to the policy that produced it (a
+/// [`crate::supervisor::Supervisor`] checkpoint can only be restored into
+/// the same scheme); `floats`/`ints` carry the policy-defined payload in a
+/// fixed documented order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ControllerState {
+    /// The producing policy's [`HwPolicy::name`]/[`OsPolicy::name`].
+    pub tag: &'static str,
+    /// Real-valued state (estimator vectors, EMA trackers, targets…).
+    pub floats: Vec<f64>,
+    /// Integer state (flags, counters, tick counts).
+    pub ints: Vec<i64>,
+}
+
+impl ControllerState {
+    /// An empty snapshot tagged with the producing policy's name.
+    pub fn stateless(tag: &'static str) -> Self {
+        ControllerState {
+            tag,
+            floats: Vec::new(),
+            ints: Vec::new(),
+        }
+    }
+
+    /// Validates the snapshot's provenance and payload shape before a
+    /// restore.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSolution`] if the tag names a different policy or the
+    /// payload lengths do not match what that policy saves.
+    pub fn check(&self, tag: &'static str, n_floats: usize, n_ints: usize) -> Result<()> {
+        if self.tag != tag {
+            return Err(Error::NoSolution {
+                op: "controller_restore_state",
+                why: "snapshot tag names a different policy",
+            });
+        }
+        if self.floats.len() != n_floats || self.ints.len() != n_ints {
+            return Err(Error::NoSolution {
+                op: "controller_restore_state",
+                why: "snapshot payload length mismatch",
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Everything the hardware-layer controller can observe at one invocation.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +119,24 @@ pub trait HwPolicy {
     /// The supervisor calls this before re-engaging a demoted controller so
     /// stale estimates from the faulty episode cannot leak forward.
     fn reset(&mut self) {}
+
+    /// Snapshots the complete internal state for a checkpoint (default:
+    /// stateless, an empty tagged snapshot).
+    fn save_state(&self) -> ControllerState {
+        ControllerState::stateless(self.name())
+    }
+
+    /// Restores a snapshot taken by [`HwPolicy::save_state`]. After a
+    /// restore the policy must reproduce subsequent invocations
+    /// bit-identically to the checkpointed instance.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSolution`] if the snapshot came from a different policy
+    /// or has the wrong payload shape.
+    fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        state.check(self.name(), 0, 0)
+    }
 }
 
 /// A software-layer policy: chooses the next thread placement every 500 ms.
@@ -82,4 +153,21 @@ pub trait OsPolicy {
 
     /// Clears all internal controller state (default: stateless, no-op).
     fn reset(&mut self) {}
+
+    /// Snapshots the complete internal state for a checkpoint (default:
+    /// stateless, an empty tagged snapshot).
+    fn save_state(&self) -> ControllerState {
+        ControllerState::stateless(self.name())
+    }
+
+    /// Restores a snapshot taken by [`OsPolicy::save_state`]. Same
+    /// contract as [`HwPolicy::restore_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSolution`] if the snapshot came from a different policy
+    /// or has the wrong payload shape.
+    fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        state.check(self.name(), 0, 0)
+    }
 }

@@ -8,7 +8,7 @@ use yukta_control::dk::SsvSynthesis;
 use yukta_control::runtime::ObsAwController;
 use yukta_linalg::Result;
 
-use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::controllers::{ControllerState, HwPolicy, HwSense, OsPolicy, OsSense};
 use crate::optimizer::{HwOptimizer, OsOptimizer};
 use crate::signals::{ActuatorGrids, HwInputs, HwOutputs, OsInputs, OsOutputs, SignalRanges};
 
@@ -138,6 +138,49 @@ impl HwPolicy for SsvHwController {
     fn reset(&mut self) {
         self.rt.reset();
     }
+
+    /// Floats: observer state, then the 4 targets, then the optimizer
+    /// payload (if present). Ints: optimizer-present flag, then the
+    /// optimizer's ints.
+    fn save_state(&self) -> ControllerState {
+        let mut s = ControllerState::stateless(self.name());
+        s.floats.extend_from_slice(self.rt.state());
+        s.floats.extend_from_slice(&self.targets.to_vec());
+        s.ints.push(i64::from(self.optimizer.is_some()));
+        if let Some(opt) = &self.optimizer {
+            opt.save_state(&mut s.floats, &mut s.ints);
+        }
+        s
+    }
+
+    fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        let n = self.rt.state().len();
+        let (nf, ni) = match &self.optimizer {
+            Some(_) => (
+                n + 4 + HwOptimizer::STATE_FLOATS,
+                1 + HwOptimizer::STATE_INTS,
+            ),
+            None => (n + 4, 1),
+        };
+        state.check(self.name(), nf, ni)?;
+        if (state.ints[0] != 0) != self.optimizer.is_some() {
+            return Err(yukta_linalg::Error::NoSolution {
+                op: "controller_restore_state",
+                why: "optimizer presence mismatch",
+            });
+        }
+        self.rt.set_state(&state.floats[..n])?;
+        self.targets = HwOutputs {
+            perf: state.floats[n],
+            p_big: state.floats[n + 1],
+            p_little: state.floats[n + 2],
+            temp: state.floats[n + 3],
+        };
+        if let Some(opt) = &mut self.optimizer {
+            opt.restore_state(&state.floats[n + 4..], &state.ints[1..]);
+        }
+        Ok(())
+    }
 }
 
 /// The software-layer SSV controller (Table III) at runtime.
@@ -261,6 +304,48 @@ impl OsPolicy for SsvOsController {
     fn reset(&mut self) {
         self.rt.reset();
     }
+
+    /// Floats: observer state, then the 3 targets, then the optimizer
+    /// payload (if present). Ints: optimizer-present flag, then the
+    /// optimizer's ints.
+    fn save_state(&self) -> ControllerState {
+        let mut s = ControllerState::stateless(self.name());
+        s.floats.extend_from_slice(self.rt.state());
+        s.floats.extend_from_slice(&self.targets.to_vec());
+        s.ints.push(i64::from(self.optimizer.is_some()));
+        if let Some(opt) = &self.optimizer {
+            opt.save_state(&mut s.floats, &mut s.ints);
+        }
+        s
+    }
+
+    fn restore_state(&mut self, state: &ControllerState) -> Result<()> {
+        let n = self.rt.state().len();
+        let (nf, ni) = match &self.optimizer {
+            Some(_) => (
+                n + 3 + OsOptimizer::STATE_FLOATS,
+                1 + OsOptimizer::STATE_INTS,
+            ),
+            None => (n + 3, 1),
+        };
+        state.check(self.name(), nf, ni)?;
+        if (state.ints[0] != 0) != self.optimizer.is_some() {
+            return Err(yukta_linalg::Error::NoSolution {
+                op: "controller_restore_state",
+                why: "optimizer presence mismatch",
+            });
+        }
+        self.rt.set_state(&state.floats[..n])?;
+        self.targets = OsOutputs {
+            perf_little: state.floats[n],
+            perf_big: state.floats[n + 1],
+            spare_diff: state.floats[n + 2],
+        };
+        if let Some(opt) = &mut self.optimizer {
+            opt.restore_state(&state.floats[n + 3..], &state.ints[1..]);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +445,36 @@ mod tests {
         c.invoke(&hw_sense()).unwrap();
         let t2 = c.targets();
         assert!((t2.perf - t1.perf).abs() > 1e-9);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_hw_controller_bit_for_bit() {
+        let mut c =
+            SsvHwController::new(&dummy_hw_synthesis(), HwOptimizer::new(Limits::default()));
+        for _ in 0..5 {
+            c.invoke(&hw_sense()).unwrap();
+        }
+        let snap = c.save_state();
+        let mut twin = c.clone();
+        // Diverge, then restore from the snapshot.
+        for _ in 0..7 {
+            c.invoke(&hw_sense()).unwrap();
+        }
+        c.restore_state(&snap).unwrap();
+        for k in 0..4 {
+            let mut sense = hw_sense();
+            sense.outputs.perf += 0.1 * k as f64;
+            let a = c.invoke(&sense).unwrap();
+            let b = twin.invoke(&sense).unwrap();
+            for (x, y) in a.to_vec().iter().zip(&b.to_vec()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "invocation {k}");
+            }
+        }
+        assert_eq!(c.targets(), twin.targets());
+        // A foreign snapshot is rejected with a typed error.
+        let mut os = SsvOsController::new(&dummy_os_synthesis(), OsOptimizer::new());
+        assert!(OsPolicy::restore_state(&mut os, &ControllerState::stateless("os-ssv")).is_err());
+        assert!(HwPolicy::restore_state(&mut c, &ControllerState::stateless("os-ssv")).is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   watches for stuck sensors, degrades SSV/LQG schemes to the
 //!   coordinated heuristic (and ultimately a safe static configuration),
 //!   and re-engages them with hysteresis.
+//! * [`recorder`] — the crash-tolerance flight recorder: an append-only
+//!   journal of every invocation with a compact binary wire format and a
+//!   bit-exact replay verifier, feeding
+//!   [`runtime::Experiment::run_recoverable`]'s checkpoint/restore path.
 //!
 //! ```no_run
 //! use yukta_core::runtime::Experiment;
@@ -38,11 +42,19 @@ pub mod controllers;
 pub mod design;
 pub mod metrics;
 pub mod optimizer;
+pub mod recorder;
 pub mod runtime;
 pub mod schemes;
 pub mod signals;
 pub mod supervisor;
 
+pub use controllers::ControllerState;
 pub use metrics::{FaultReport, Metrics, Report};
-pub use schemes::Scheme;
-pub use supervisor::{Supervisor, SupervisorConfig, SupervisorMode, SupervisorStats};
+pub use recorder::{Journal, JournalRecord, ReplayOutcome};
+pub use runtime::{
+    Experiment, InjectedCrash, RecoveredRun, RecoveryOptions, RecoveryReport, RunOptions,
+};
+pub use schemes::{ControllersState, Scheme};
+pub use supervisor::{
+    Supervisor, SupervisorConfig, SupervisorMode, SupervisorState, SupervisorStats,
+};

@@ -131,6 +131,63 @@ pub struct Report {
     pub faults: Option<FaultReport>,
 }
 
+impl Report {
+    /// Whether two reports are *bit-identical*: every `f64` compared via
+    /// [`f64::to_bits`] (so `-0.0 ≠ 0.0` and NaN payloads matter), all
+    /// discrete fields via equality. This is the crash-recovery
+    /// acceptance predicate: a recovered run must reproduce the
+    /// uninterrupted run's report exactly, not approximately.
+    pub fn bit_identical(&self, other: &Report) -> bool {
+        let metrics_ok = self.metrics.energy_joules.to_bits()
+            == other.metrics.energy_joules.to_bits()
+            && self.metrics.delay_seconds.to_bits() == other.metrics.delay_seconds.to_bits()
+            && self.metrics.completed == other.metrics.completed;
+        let trace_ok = self.trace.samples.len() == other.trace.samples.len()
+            && self
+                .trace
+                .samples
+                .iter()
+                .zip(&other.trace.samples)
+                .all(|(a, b)| {
+                    a.time.to_bits() == b.time.to_bits()
+                        && a.p_big.to_bits() == b.p_big.to_bits()
+                        && a.p_little.to_bits() == b.p_little.to_bits()
+                        && a.temp.to_bits() == b.temp.to_bits()
+                        && a.bips.to_bits() == b.bips.to_bits()
+                        && a.bips_big.to_bits() == b.bips_big.to_bits()
+                        && a.bips_little.to_bits() == b.bips_little.to_bits()
+                        && a.f_big.to_bits() == b.f_big.to_bits()
+                        && a.f_little.to_bits() == b.f_little.to_bits()
+                        && a.big_cores == b.big_cores
+                        && a.little_cores == b.little_cores
+                        && a.threads_big == b.threads_big
+                        && a.active_threads == b.active_threads
+                });
+        let faults_ok = match (&self.faults, &other.faults) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.seed == b.seed
+                    && a.severity.to_bits() == b.severity.to_bits()
+                    && a.stats == b.stats
+                    && a.trace.len() == b.trace.len()
+                    && a.trace.iter().zip(&b.trace).all(|(x, y)| {
+                        x.time.to_bits() == y.time.to_bits()
+                            && x.kind == y.kind
+                            && x.channel == y.channel
+                            && x.value.to_bits() == y.value.to_bits()
+                    })
+            }
+            _ => false,
+        };
+        metrics_ok
+            && trace_ok
+            && faults_ok
+            && self.supervisor == other.supervisor
+            && self.workload == other.workload
+            && self.scheme == other.scheme
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

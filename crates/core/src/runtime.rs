@@ -1,23 +1,40 @@
 //! The two-layer runtime: wires controllers to the simulated board and a
 //! workload, invoking each controller every 500 ms exactly as the
 //! prototype's privileged processes did.
+//!
+//! Besides the plain run paths, the runtime is *crash-tolerant*
+//! (DESIGN.md §11): [`Experiment::run_recoverable`] journals every
+//! invocation into a [`Journal`], checkpoints the complete resumable state
+//! periodically, injects controller-process crashes from the fault plan
+//! ([`yukta_board::FaultKind::Crash`]), and recovers by restoring the
+//! latest checkpoint and replaying the journal suffix — bit-identically to
+//! a run that never crashed.
+
+use std::panic::{AssertUnwindSafe, catch_unwind, resume_unwind};
 
 use yukta_board::{Actuation, Board, BoardConfig, Cluster, FaultPlan, Placement};
-use yukta_linalg::Result;
+use yukta_linalg::{Error, Result};
 use yukta_workloads::{Workload, WorkloadRun};
 
 use crate::controllers::{HwSense, OsSense};
 use crate::design::{Design, default_design};
 use crate::metrics::{FaultReport, Metrics, Report, Trace, TraceSample};
-use crate::schemes::{Controllers, Scheme};
+use crate::recorder::{Journal, JournalRecord, ReplayOutcome, replay_with};
+use crate::schemes::{Controllers, ControllersState, Scheme};
 use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, spare_capacity};
-use crate::supervisor::{Supervisor, SupervisorConfig};
+use crate::supervisor::{Supervisor, SupervisorConfig, SupervisorMode, SupervisorState};
 
 /// The invocation engine of one run: either the controllers directly (the
 /// paper's experiments) or the fault-containment supervisor wrapping them.
 enum Engine {
     Raw(Controllers),
     Supervised(Box<Supervisor>),
+}
+
+/// A snapshot of an [`Engine`], mirroring its shape.
+enum EngineState {
+    Raw(ControllersState),
+    Supervised(Box<SupervisorState>),
 }
 
 impl Engine {
@@ -30,6 +47,43 @@ impl Engine {
             Engine::Supervised(s) => Ok(s.step(hw_sense, os_sense)),
         }
     }
+
+    /// The supervisor mode serving invocations (`None` for raw engines).
+    fn mode(&self) -> Option<SupervisorMode> {
+        match self {
+            Engine::Raw(_) => None,
+            Engine::Supervised(s) => Some(s.mode()),
+        }
+    }
+
+    fn save_state(&self) -> EngineState {
+        match self {
+            Engine::Raw(c) => EngineState::Raw(c.save_state()),
+            Engine::Supervised(s) => EngineState::Supervised(Box::new(s.save_state())),
+        }
+    }
+
+    fn restore_state(&mut self, state: &EngineState) -> Result<()> {
+        match (self, state) {
+            (Engine::Raw(c), EngineState::Raw(s)) => c.restore_state(s),
+            (Engine::Supervised(sup), EngineState::Supervised(s)) => sup.restore_state(s),
+            _ => Err(Error::NoSolution {
+                op: "engine_restore_state",
+                why: "raw/supervised shape mismatch",
+            }),
+        }
+    }
+}
+
+/// The panic payload of an injected controller-process crash
+/// ([`yukta_board::FaultKind::Crash`]). Thrown inside the runtime loop via
+/// [`std::panic::panic_any`] and caught by
+/// [`Experiment::run_recoverable`]'s `catch_unwind`; any other panic is a
+/// real bug and is re-raised.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedCrash {
+    /// Invocation index at which the crash fired.
+    pub step: u64,
 }
 
 /// Options controlling one experiment run.
@@ -55,6 +109,79 @@ impl Default for RunOptions {
             keep_trace: true,
         }
     }
+}
+
+/// Options controlling the crash-tolerance machinery of
+/// [`Experiment::run_recoverable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Checkpoint every this many controller invocations (clamped to ≥ 1).
+    pub checkpoint_interval: u64,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            checkpoint_interval: 20,
+        }
+    }
+}
+
+/// What the crash-tolerance machinery did during one recoverable run.
+/// Reported out-of-band so the recovered [`Report`] stays bit-identical to
+/// an uninterrupted run of the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Injected crashes that fired.
+    pub crashes: u64,
+    /// Successful recoveries (always equals `crashes` on success).
+    pub recoveries: u64,
+    /// Checkpoints taken (including the initial step-0 checkpoint).
+    pub checkpoints: u64,
+    /// Journal records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// Replayed invocations that failed to reproduce the journaled record
+    /// bit-for-bit. Must be zero for a deterministic stack.
+    pub replay_divergences: u64,
+}
+
+/// The outcome of [`Experiment::run_recoverable`].
+#[derive(Debug)]
+pub struct RecoveredRun {
+    /// The run's report — bit-identical to an uninterrupted run.
+    pub report: Report,
+    /// The complete flight-recorder journal of the run.
+    pub journal: Journal,
+    /// Crash/recovery counters.
+    pub recovery: RecoveryReport,
+}
+
+/// The complete resumable state of a run between controller invocations:
+/// the board (plant, sensors, TMU, fault injector, RNGs), the workload
+/// position, the accumulated trace, and the windowed-BIPS bookkeeping.
+#[derive(Clone)]
+struct RunState {
+    board: Board,
+    run: WorkloadRun,
+    trace: Trace,
+    steps_per_invocation: usize,
+    last_instr_big: f64,
+    last_instr_little: f64,
+    completed: bool,
+    done: bool,
+    /// Completed controller invocations so far.
+    step: u64,
+    /// Length of the board's fault trace already attributed to journal
+    /// records (the next record carries the delta).
+    fault_trace_len: usize,
+}
+
+/// One recovery point: a deep copy of the run state, the engine snapshot,
+/// and how much of the journal was already written when it was taken.
+struct Checkpoint {
+    state: RunState,
+    engine: EngineState,
+    journal_len: usize,
 }
 
 /// An experiment: a scheme plus the design artifacts it deploys.
@@ -134,7 +261,10 @@ impl Experiment {
     ///
     /// With `plan = None` (or a zero-severity plan) the supervisor is
     /// transparent and the resulting metrics are bit-identical to
-    /// [`Experiment::run`].
+    /// [`Experiment::run`]. Crash points in the plan are ignored here —
+    /// only [`Experiment::run_recoverable`] injects them — so a plan with
+    /// crashes runs uninterrupted, which is exactly the baseline the
+    /// recovery verifier compares against.
     ///
     /// # Errors
     ///
@@ -167,147 +297,350 @@ impl Experiment {
         self.execute(workload, Engine::Supervised(sup), plan)
     }
 
+    /// Instantiates the engine for this experiment: the scheme's
+    /// controllers, raw or wrapped in a supervisor. Recovery rebuilds the
+    /// engine through the same path (a crashed daemon restarts from its
+    /// binary, not from its heap).
+    fn build_engine(&self, sup_cfg: Option<SupervisorConfig>) -> Result<Engine> {
+        let controllers = self.scheme.instantiate(&self.design, self.options.limits)?;
+        Ok(match sup_cfg {
+            None => Engine::Raw(controllers),
+            Some(cfg) => Engine::Supervised(Box::new(Supervisor::new(controllers, cfg))),
+        })
+    }
+
+    /// Fresh run state at simulated time zero.
+    fn init_state(&self, workload: &Workload, plan: Option<&FaultPlan>) -> RunState {
+        let mut cfg = BoardConfig::odroid_xu3();
+        if let Some(seed) = self.options.board_seed {
+            cfg.seed = seed;
+        }
+        let steps_per_invocation = (0.5 / cfg.dt).round() as usize;
+        let board = match plan {
+            Some(p) => Board::with_faults(cfg, p.clone()),
+            None => Board::new(cfg),
+        };
+        RunState {
+            board,
+            run: WorkloadRun::new(workload),
+            trace: Trace::new(),
+            steps_per_invocation,
+            last_instr_big: 0.0,
+            last_instr_little: 0.0,
+            completed: false,
+            done: false,
+            step: 0,
+            fault_trace_len: 0,
+        }
+    }
+
+    /// One controller period: evolve the plant for 500 ms, gather both
+    /// layers' sensor views, invoke the engine, actuate, and journal.
+    ///
+    /// Returns `None` when the run ended (workload done or timeout) during
+    /// the plant-evolution phase, before the controllers were invoked.
+    ///
+    /// With `crash_here` the injected crash fires after the plant evolved
+    /// but before the sense/invoke/actuate half of the invocation — the
+    /// partial step must be discarded by recovery, exactly as a daemon
+    /// dying between sysfs reads would lose its in-flight work.
+    fn step_invocation(
+        &self,
+        st: &mut RunState,
+        engine: &mut Engine,
+        crash_here: bool,
+    ) -> Result<Option<JournalRecord>> {
+        // One controller period of plant evolution.
+        for _ in 0..st.steps_per_invocation {
+            let loads = st.run.loads();
+            let rep = st.board.step(&loads);
+            st.run.advance(&rep.thread_progress);
+            if st.run.is_done() {
+                st.completed = true;
+                st.done = true;
+                return Ok(None);
+            }
+            if st.board.time() >= self.options.timeout_s {
+                st.done = true;
+                return Ok(None);
+            }
+        }
+        if crash_here {
+            std::panic::panic_any(InjectedCrash { step: st.step });
+        }
+        // Gather both layers' sensor views.
+        let bs = st.board.state();
+        let now = st.board.time();
+        let ib = st.board.instructions(Cluster::Big);
+        let il = st.board.instructions(Cluster::Little);
+        let bips_big = (ib - st.last_instr_big) / 0.5;
+        let bips_little = (il - st.last_instr_little) / 0.5;
+        st.last_instr_big = ib;
+        st.last_instr_little = il;
+        let n_active = st.run.active_threads();
+        let tb_actual = bs.placement.threads_big.min(n_active);
+        let hw_outputs = HwOutputs {
+            perf: bips_big + bips_little,
+            p_big: st.board.read_power(Cluster::Big),
+            p_little: st.board.read_power(Cluster::Little),
+            temp: st.board.read_temp(),
+        };
+        let os_outputs = OsOutputs {
+            perf_little: bips_little,
+            perf_big: bips_big,
+            spare_diff: spare_capacity(bs.big_cores, tb_actual)
+                - spare_capacity(bs.little_cores, n_active - tb_actual),
+        };
+        let current_hw = HwInputs {
+            big_cores: bs.big_cores as f64,
+            little_cores: bs.little_cores as f64,
+            f_big: bs.f_big,
+            f_little: bs.f_little,
+        };
+        let current_os = OsInputs {
+            threads_big: tb_actual as f64,
+            packing_big: bs.placement.packing_big,
+            packing_little: bs.placement.packing_little,
+        };
+        let hw_sense = HwSense {
+            outputs: hw_outputs,
+            ext: current_os,
+            current: current_hw,
+            active_threads: n_active,
+            limits: self.options.limits,
+        };
+        let os_sense = OsSense {
+            outputs: os_outputs,
+            ext: current_hw,
+            current: current_os,
+            active_threads: n_active,
+            system: hw_outputs,
+            limits: self.options.limits,
+        };
+        // Invoke the controllers (both see the pre-invocation state,
+        // like the prototype's independent processes).
+        let (hw_u, os_u) = engine.invoke(&hw_sense, &os_sense)?;
+        st.board.actuate(&Actuation {
+            f_big: Some(hw_u.f_big),
+            f_little: Some(hw_u.f_little),
+            big_cores: Some(hw_u.big_cores.round() as usize),
+            little_cores: Some(hw_u.little_cores.round() as usize),
+            placement: Some(Placement {
+                threads_big: os_u.threads_big.round() as usize,
+                packing_big: os_u.packing_big,
+                packing_little: os_u.packing_little,
+            }),
+        });
+        if self.options.keep_trace {
+            st.trace.push(TraceSample {
+                time: now,
+                p_big: hw_outputs.p_big,
+                p_little: hw_outputs.p_little,
+                temp: bs.t_hot,
+                bips: hw_outputs.perf,
+                bips_big,
+                bips_little,
+                f_big: bs.f_big,
+                f_little: bs.f_little,
+                big_cores: bs.big_cores,
+                little_cores: bs.little_cores,
+                threads_big: tb_actual,
+                active_threads: n_active,
+            });
+        }
+        // Fault events injected during this period (sensor faults from the
+        // reads above, actuator faults from the actuation just applied).
+        let fault_events = match st.board.fault_trace() {
+            Some(t) => {
+                let ev = t[st.fault_trace_len..].to_vec();
+                st.fault_trace_len = t.len();
+                ev
+            }
+            None => Vec::new(),
+        };
+        let record = JournalRecord {
+            step: st.step,
+            time: now,
+            hw_sense,
+            os_sense,
+            hw_u,
+            os_u,
+            mode: engine.mode(),
+            fault_events,
+        };
+        st.step += 1;
+        Ok(Some(record))
+    }
+
+    /// Assembles the final report from a finished run state.
+    fn finish(
+        &self,
+        st: RunState,
+        engine: &Engine,
+        plan: Option<&FaultPlan>,
+        workload: &Workload,
+    ) -> Report {
+        let supervisor = match engine {
+            Engine::Supervised(s) => Some(s.stats()),
+            Engine::Raw(_) => None,
+        };
+        let faults = plan.map(|p| FaultReport {
+            seed: p.seed,
+            severity: p.severity,
+            stats: st.board.fault_stats().unwrap_or_default(),
+            trace: st.board.fault_trace().unwrap_or_default().to_vec(),
+        });
+        Report {
+            workload: workload.name.clone(),
+            scheme: self.scheme.label().to_string(),
+            metrics: Metrics {
+                energy_joules: st.board.energy(),
+                delay_seconds: st.board.time(),
+                completed: st.completed,
+            },
+            trace: st.trace,
+            supervisor,
+            faults,
+        }
+    }
+
     fn execute(
         &self,
         workload: &Workload,
         mut engine: Engine,
         plan: Option<FaultPlan>,
     ) -> Result<Report> {
-        let mut cfg = BoardConfig::odroid_xu3();
-        if let Some(seed) = self.options.board_seed {
-            cfg.seed = seed;
+        let mut st = self.init_state(workload, plan.as_ref());
+        while !st.done {
+            self.step_invocation(&mut st, &mut engine, false)?;
         }
-        let dt = cfg.dt;
-        let steps_per_invocation = (0.5 / dt).round() as usize;
-        let mut board = match &plan {
-            Some(p) => Board::with_faults(cfg, p.clone()),
-            None => Board::new(cfg),
-        };
-        let mut run = WorkloadRun::new(workload);
-        let mut trace = Trace::new();
-        // Windowed BIPS state.
-        let mut last_instr_big = 0.0;
-        let mut last_instr_little = 0.0;
-        let limits = self.options.limits;
-        let mut completed = false;
+        Ok(self.finish(st, &engine, plan.as_ref(), workload))
+    }
 
-        'outer: loop {
-            // One controller period of plant evolution.
-            for _ in 0..steps_per_invocation {
-                let loads = run.loads();
-                let rep = board.step(&loads);
-                run.advance(&rep.thread_progress);
-                if run.is_done() {
-                    completed = true;
-                    break 'outer;
-                }
-                if board.time() >= self.options.timeout_s {
-                    break 'outer;
-                }
+    /// Runs the workload under the crash-tolerance machinery: every
+    /// invocation is journaled, the complete run state is checkpointed
+    /// every [`RecoveryOptions::checkpoint_interval`] invocations, and the
+    /// plan's crash points ([`FaultPlan::with_crash`]) kill the controller
+    /// process mid-invocation. Each crash is recovered by rebuilding the
+    /// engine from scratch, restoring the latest checkpoint, and replaying
+    /// the journal suffix; the replayed records are verified bit-for-bit
+    /// against the journal as they are reproduced.
+    ///
+    /// The recovered [`Report`] is bit-identical to what
+    /// [`Experiment::run_supervised`] (with `sup_cfg = Some`) or
+    /// [`Experiment::run`]/[`Experiment::run_with_controllers`]
+    /// (`sup_cfg = None`, no plan) produces for the same seed: crashes are
+    /// driven by the invocation counter and reported out-of-band in the
+    /// [`RecoveryReport`], so they never perturb the fault-injection RNG
+    /// stream or the plant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller-instantiation and restore failures. A panic
+    /// that is not an [`InjectedCrash`] is re-raised, not swallowed.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises non-injected panics from the controller stack.
+    pub fn run_recoverable(
+        &self,
+        workload: &Workload,
+        sup_cfg: Option<SupervisorConfig>,
+        plan: Option<FaultPlan>,
+        ropts: RecoveryOptions,
+    ) -> Result<RecoveredRun> {
+        let interval = ropts.checkpoint_interval.max(1);
+        // Crash points, soonest first; consumed as they fire so recovery
+        // does not re-crash at the same step.
+        let mut pending: Vec<u64> = plan
+            .as_ref()
+            .map(FaultPlan::crash_steps)
+            .unwrap_or_default();
+        let mut engine = self.build_engine(sup_cfg)?;
+        let mut st = self.init_state(workload, plan.as_ref());
+        let mut journal = Journal::new();
+        let mut recovery = RecoveryReport::default();
+        let mut ckpt = Checkpoint {
+            state: st.clone(),
+            engine: engine.save_state(),
+            journal_len: 0,
+        };
+        recovery.checkpoints = 1;
+        while !st.done {
+            if st.step > ckpt.state.step && st.step.is_multiple_of(interval) {
+                ckpt = Checkpoint {
+                    state: st.clone(),
+                    engine: engine.save_state(),
+                    journal_len: journal.len(),
+                };
+                recovery.checkpoints += 1;
             }
-            // Gather both layers' sensor views.
-            let st = board.state();
-            let now = board.time();
-            let ib = board.instructions(Cluster::Big);
-            let il = board.instructions(Cluster::Little);
-            let bips_big = (ib - last_instr_big) / 0.5;
-            let bips_little = (il - last_instr_little) / 0.5;
-            last_instr_big = ib;
-            last_instr_little = il;
-            let n_active = run.active_threads();
-            let tb_actual = st.placement.threads_big.min(n_active);
-            let hw_outputs = HwOutputs {
-                perf: bips_big + bips_little,
-                p_big: board.read_power(Cluster::Big),
-                p_little: board.read_power(Cluster::Little),
-                temp: board.read_temp(),
-            };
-            let os_outputs = OsOutputs {
-                perf_little: bips_little,
-                perf_big: bips_big,
-                spare_diff: spare_capacity(st.big_cores, tb_actual)
-                    - spare_capacity(st.little_cores, n_active - tb_actual),
-            };
-            let current_hw = HwInputs {
-                big_cores: st.big_cores as f64,
-                little_cores: st.little_cores as f64,
-                f_big: st.f_big,
-                f_little: st.f_little,
-            };
-            let current_os = OsInputs {
-                threads_big: tb_actual as f64,
-                packing_big: st.placement.packing_big,
-                packing_little: st.placement.packing_little,
-            };
-            let hw_sense = HwSense {
-                outputs: hw_outputs,
-                ext: current_os,
-                current: current_hw,
-                active_threads: n_active,
-                limits,
-            };
-            let os_sense = OsSense {
-                outputs: os_outputs,
-                ext: current_hw,
-                current: current_os,
-                active_threads: n_active,
-                system: hw_outputs,
-                limits,
-            };
-            // Invoke the controllers (both see the pre-invocation state,
-            // like the prototype's independent processes).
-            let (hw_u, os_u) = engine.invoke(&hw_sense, &os_sense)?;
-            board.actuate(&Actuation {
-                f_big: Some(hw_u.f_big),
-                f_little: Some(hw_u.f_little),
-                big_cores: Some(hw_u.big_cores.round() as usize),
-                little_cores: Some(hw_u.little_cores.round() as usize),
-                placement: Some(Placement {
-                    threads_big: os_u.threads_big.round() as usize,
-                    packing_big: os_u.packing_big,
-                    packing_little: os_u.packing_little,
-                }),
-            });
-            if self.options.keep_trace {
-                trace.push(TraceSample {
-                    time: now,
-                    p_big: hw_outputs.p_big,
-                    p_little: hw_outputs.p_little,
-                    temp: st.t_hot,
-                    bips: hw_outputs.perf,
-                    bips_big,
-                    bips_little,
-                    f_big: st.f_big,
-                    f_little: st.f_little,
-                    big_cores: st.big_cores,
-                    little_cores: st.little_cores,
-                    threads_big: tb_actual,
-                    active_threads: n_active,
-                });
+            let crash_here = pending.first() == Some(&st.step);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.step_invocation(&mut st, &mut engine, crash_here)
+            }));
+            match outcome {
+                Ok(result) => {
+                    if let Some(record) = result? {
+                        journal.push(record);
+                    }
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<InjectedCrash>().is_none() {
+                        resume_unwind(payload);
+                    }
+                    pending.remove(0);
+                    recovery.crashes += 1;
+                    // The daemon died mid-invocation: its partial step is
+                    // lost. Restart from the binary (fresh instantiation),
+                    // load the checkpoint, replay the journal suffix.
+                    engine = self.build_engine(sup_cfg)?;
+                    engine.restore_state(&ckpt.engine)?;
+                    st = ckpt.state.clone();
+                    for i in ckpt.journal_len..journal.len() {
+                        match self.step_invocation(&mut st, &mut engine, false)? {
+                            Some(r) => {
+                                recovery.replayed_records += 1;
+                                if !r.bit_identical(&journal.records()[i]) {
+                                    recovery.replay_divergences += 1;
+                                }
+                            }
+                            None => {
+                                // The journal says this invocation completed;
+                                // ending early is a divergence.
+                                recovery.replay_divergences += 1;
+                                break;
+                            }
+                        }
+                    }
+                    recovery.recoveries += 1;
+                }
             }
         }
-        let supervisor = match &engine {
-            Engine::Supervised(s) => Some(s.stats()),
-            Engine::Raw(_) => None,
-        };
-        let faults = plan.as_ref().map(|p| FaultReport {
-            seed: p.seed,
-            severity: p.severity,
-            stats: board.fault_stats().unwrap_or_default(),
-            trace: board.fault_trace().unwrap_or_default().to_vec(),
-        });
-        Ok(Report {
-            workload: workload.name.clone(),
-            scheme: self.scheme.label().to_string(),
-            metrics: Metrics {
-                energy_joules: board.energy(),
-                delay_seconds: board.time(),
-                completed,
-            },
-            trace,
-            supervisor,
-            faults,
+        let report = self.finish(st, &engine, plan.as_ref(), workload);
+        Ok(RecoveredRun {
+            report,
+            journal,
+            recovery,
         })
+    }
+
+    /// Replays a journal against a freshly instantiated engine for this
+    /// experiment's scheme, comparing every actuation bit-for-bit. This is
+    /// the standing determinism invariant: `replay(journal)` must equal
+    /// the original actuation stream exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller-instantiation failures and raw-engine
+    /// controller errors.
+    pub fn replay_journal(
+        &self,
+        journal: &Journal,
+        sup_cfg: Option<SupervisorConfig>,
+    ) -> Result<ReplayOutcome> {
+        let mut engine = self.build_engine(sup_cfg)?;
+        replay_with(journal, |hw, os| engine.invoke(hw, os))
     }
 }
 
@@ -473,35 +806,11 @@ mod tests {
         let b = exp
             .run_supervised(&wl, SupervisorConfig::default(), Some(plan))
             .unwrap();
-        assert_eq!(
-            a.metrics.energy_joules.to_bits(),
-            b.metrics.energy_joules.to_bits()
+        assert!(a.bit_identical(&b), "same seed+plan must reproduce exactly");
+        assert!(
+            !a.faults.as_ref().unwrap().trace.is_empty(),
+            "severity 0.6 should inject something"
         );
-        assert_eq!(
-            a.metrics.delay_seconds.to_bits(),
-            b.metrics.delay_seconds.to_bits()
-        );
-        assert_eq!(a.supervisor, b.supervisor);
-        let (fa, fb) = (a.faults.unwrap(), b.faults.unwrap());
-        assert_eq!(fa.stats, fb.stats);
-        assert_eq!(fa.trace.len(), fb.trace.len());
-        assert!(!fa.trace.is_empty(), "severity 0.6 should inject something");
-        for (x, y) in fa.trace.iter().zip(&fb.trace) {
-            assert_eq!(x.time.to_bits(), y.time.to_bits());
-            assert_eq!(x.kind, y.kind);
-            assert_eq!(x.channel, y.channel);
-            assert_eq!(x.value.to_bits(), y.value.to_bits());
-        }
-        // The per-sample traces agree bit-for-bit as well.
-        assert_eq!(a.trace.samples.len(), b.trace.samples.len());
-        for (x, y) in a.trace.samples.iter().zip(&b.trace.samples) {
-            assert_eq!(x.time.to_bits(), y.time.to_bits());
-            assert_eq!(x.p_big.to_bits(), y.p_big.to_bits());
-            assert_eq!(x.temp.to_bits(), y.temp.to_bits());
-            assert_eq!(x.bips.to_bits(), y.bips.to_bits());
-            assert_eq!(x.f_big.to_bits(), y.f_big.to_bits());
-            assert_eq!(x.threads_big, y.threads_big);
-        }
     }
 
     #[test]
@@ -511,5 +820,119 @@ mod tests {
             .with_options(quick_options());
         let rep = exp.run(&catalog::spec::gamess()).unwrap();
         assert!(rep.metrics.delay_seconds > 0.0);
+    }
+
+    #[test]
+    fn recoverable_without_crashes_matches_supervised_run_bit_for_bit() {
+        let wl = catalog::parsec::blackscholes();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let plan = FaultPlan::uniform(17, 0.3);
+        let base = exp
+            .run_supervised(&wl, SupervisorConfig::default(), Some(plan.clone()))
+            .unwrap();
+        let rec = exp
+            .run_recoverable(
+                &wl,
+                Some(SupervisorConfig::default()),
+                Some(plan),
+                RecoveryOptions::default(),
+            )
+            .unwrap();
+        assert!(
+            rec.report.bit_identical(&base),
+            "journaling changed the run"
+        );
+        assert_eq!(rec.recovery.crashes, 0);
+        assert_eq!(rec.recovery.replay_divergences, 0);
+        assert!(rec.recovery.checkpoints >= 1);
+        // The journal covers every invocation and survives the wire.
+        assert_eq!(rec.journal.len(), base.trace.samples.len());
+        let back = Journal::from_bytes(&rec.journal.to_bytes()).unwrap();
+        assert_eq!(back.len(), rec.journal.len());
+        for (a, b) in rec.journal.records().iter().zip(back.records()) {
+            assert!(a.bit_identical(b));
+        }
+        // Standing invariant: a fresh controller stack replays the journal
+        // with zero divergences.
+        let replay = exp
+            .replay_journal(&rec.journal, Some(SupervisorConfig::default()))
+            .unwrap();
+        assert_eq!(replay.steps, rec.journal.len() as u64);
+        assert!(replay.is_exact(), "{replay:?}");
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_uninterrupted_run_bit_for_bit() {
+        let wl = catalog::spec::gamess();
+        let exp = Experiment::new(Scheme::MonolithicLqg)
+            .unwrap()
+            .with_options(quick_options());
+        let plan = FaultPlan::uniform(21, 0.5).with_crash(9).with_crash(31);
+        // run_supervised ignores crash points, so the same plan doubles as
+        // the uninterrupted baseline.
+        let base = exp
+            .run_supervised(&wl, SupervisorConfig::default(), Some(plan.clone()))
+            .unwrap();
+        let rec = exp
+            .run_recoverable(
+                &wl,
+                Some(SupervisorConfig::default()),
+                Some(plan),
+                RecoveryOptions {
+                    checkpoint_interval: 8,
+                },
+            )
+            .unwrap();
+        assert_eq!(rec.recovery.crashes, 2, "both crashes must fire");
+        assert_eq!(rec.recovery.recoveries, 2);
+        assert!(rec.recovery.replayed_records > 0, "crash off checkpoint");
+        assert_eq!(rec.recovery.replay_divergences, 0, "replay diverged");
+        assert!(
+            rec.report.bit_identical(&base),
+            "recovered run differs from uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn raw_engine_crash_recovery_matches_plain_run() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::DecoupledLqg)
+            .unwrap()
+            .with_options(quick_options());
+        let base = exp.run(&wl).unwrap();
+        // A zero-severity plan leaves the board identical to a plan-less
+        // run; only the crash point differs from `run`.
+        let plan = FaultPlan::uniform(5, 0.0).with_crash(6);
+        let rec = exp
+            .run_recoverable(
+                &wl,
+                None,
+                Some(plan),
+                RecoveryOptions {
+                    checkpoint_interval: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(rec.recovery.crashes, 1);
+        assert_eq!(rec.recovery.replay_divergences, 0);
+        assert_eq!(
+            rec.report.metrics.energy_joules.to_bits(),
+            base.metrics.energy_joules.to_bits()
+        );
+        assert_eq!(
+            rec.report.metrics.delay_seconds.to_bits(),
+            base.metrics.delay_seconds.to_bits()
+        );
+        assert_eq!(rec.report.metrics.completed, base.metrics.completed);
+        assert_eq!(rec.report.trace.samples.len(), base.trace.samples.len());
+        for (a, b) in rec.report.trace.samples.iter().zip(&base.trace.samples) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.p_big.to_bits(), b.p_big.to_bits());
+            assert_eq!(a.f_big.to_bits(), b.f_big.to_bits());
+        }
+        // Raw-engine records carry no supervisor mode.
+        assert!(rec.journal.records().iter().all(|r| r.mode.is_none()));
     }
 }

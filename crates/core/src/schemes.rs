@@ -10,7 +10,7 @@ use crate::controllers::heuristic::{
 };
 use crate::controllers::lqg_ctl::{LqgHwController, LqgOsController, MonolithicLqg};
 use crate::controllers::ssv::{SsvHwController, SsvOsController};
-use crate::controllers::{HwPolicy, OsPolicy};
+use crate::controllers::{ControllerState, HwPolicy, OsPolicy};
 use crate::design::Design;
 use crate::optimizer::{HwOptimizer, OsOptimizer};
 use crate::signals::Limits;
@@ -151,6 +151,53 @@ impl Controllers {
             Controllers::Monolithic(m) => m.reset(),
         }
     }
+
+    /// Snapshots both layers' controller state for a checkpoint.
+    pub fn save_state(&self) -> ControllersState {
+        match self {
+            Controllers::Split { hw, os } => ControllersState::Split {
+                hw: hw.save_state(),
+                os: os.save_state(),
+            },
+            Controllers::Monolithic(m) => ControllersState::Monolithic(m.save_state()),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Controllers::save_state`] into a
+    /// freshly instantiated copy of the same scheme. After a restore the
+    /// controllers reproduce subsequent invocations bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`yukta_linalg::Error::NoSolution`] if the snapshot's shape does
+    /// not match this scheme's controllers.
+    pub fn restore_state(&mut self, state: &ControllersState) -> Result<()> {
+        match (self, state) {
+            (Controllers::Split { hw, os }, ControllersState::Split { hw: sh, os: so }) => {
+                hw.restore_state(sh)?;
+                os.restore_state(so)
+            }
+            (Controllers::Monolithic(m), ControllersState::Monolithic(sm)) => m.restore_state(sm),
+            _ => Err(yukta_linalg::Error::NoSolution {
+                op: "controllers_restore_state",
+                why: "split/monolithic shape mismatch",
+            }),
+        }
+    }
+}
+
+/// A snapshot of a [`Controllers`] instance, mirroring its shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllersState {
+    /// Snapshots of independent per-layer controllers.
+    Split {
+        /// Hardware-layer snapshot.
+        hw: ControllerState,
+        /// Software-layer snapshot.
+        os: ControllerState,
+    },
+    /// Snapshot of one cross-layer controller.
+    Monolithic(ControllerState),
 }
 
 impl Scheme {

@@ -31,9 +31,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use yukta_linalg::Result;
+
 use crate::controllers::heuristic::{CoordinatedHeuristicHw, CoordinatedHeuristicOs};
 use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
-use crate::schemes::Controllers;
+use crate::schemes::{Controllers, ControllersState};
 use crate::signals::{HwInputs, HwOutputs, OsInputs, OsOutputs};
 
 /// Tuning knobs of the supervisor's fault handling.
@@ -115,6 +117,30 @@ impl SupervisorStats {
 struct StuckChannel {
     last_bits: u64,
     repeats: u32,
+}
+
+/// Complete resumable snapshot of a [`Supervisor`], including the wrapped
+/// primary controllers. The fallback heuristics are memoryless and are
+/// rebuilt fresh on restore. Produced by [`Supervisor::save_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorState {
+    /// Mode of the state machine.
+    pub mode: SupervisorMode,
+    /// Consecutive clean samples toward re-engagement.
+    pub clean_streak: u32,
+    /// Consecutive actuation-clamped samples toward an anti-windup reset.
+    pub clamp_streak: u32,
+    /// Stuck-sensor watchdogs as `(last_bits, repeats)` per channel
+    /// (p_big, p_little, temp).
+    pub watchdogs: [(u64, u32); 3],
+    /// Last sanitized hardware-layer outputs.
+    pub last_good_hw: HwOutputs,
+    /// Last sanitized software-layer outputs.
+    pub last_good_os: OsOutputs,
+    /// Counters accumulated so far.
+    pub stats: SupervisorStats,
+    /// Snapshot of the wrapped primary controllers.
+    pub primary: ControllersState,
 }
 
 /// Physical plausibility rails for sanitization. Values outside these are
@@ -216,6 +242,52 @@ impl Supervisor {
     /// A label combining the supervised controllers' names.
     pub fn label(&self) -> String {
         format!("supervised({})", self.primary.label())
+    }
+
+    /// Snapshots the complete supervisor state (mode machine, watchdogs,
+    /// hysteresis counters, stats, and the wrapped primary controllers)
+    /// for a checkpoint.
+    pub fn save_state(&self) -> SupervisorState {
+        SupervisorState {
+            mode: self.mode,
+            clean_streak: self.clean_streak,
+            clamp_streak: self.clamp_streak,
+            watchdogs: [
+                (self.watchdogs[0].last_bits, self.watchdogs[0].repeats),
+                (self.watchdogs[1].last_bits, self.watchdogs[1].repeats),
+                (self.watchdogs[2].last_bits, self.watchdogs[2].repeats),
+            ],
+            last_good_hw: self.last_good_hw,
+            last_good_os: self.last_good_os,
+            stats: self.stats,
+            primary: self.primary.save_state(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Supervisor::save_state`] into a
+    /// supervisor wrapping a freshly instantiated copy of the same scheme.
+    /// After a restore, subsequent [`Supervisor::step`] calls reproduce
+    /// the checkpointed instance bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`yukta_linalg::Error::NoSolution`] if the primary-controller
+    /// snapshot does not match the wrapped scheme.
+    pub fn restore_state(&mut self, state: &SupervisorState) -> Result<()> {
+        self.primary.restore_state(&state.primary)?;
+        self.fb_hw = CoordinatedHeuristicHw::new();
+        self.fb_os = CoordinatedHeuristicOs::new();
+        self.mode = state.mode;
+        self.clean_streak = state.clean_streak;
+        self.clamp_streak = state.clamp_streak;
+        for (w, &(bits, repeats)) in self.watchdogs.iter_mut().zip(&state.watchdogs) {
+            w.last_bits = bits;
+            w.repeats = repeats;
+        }
+        self.last_good_hw = state.last_good_hw;
+        self.last_good_os = state.last_good_os;
+        self.stats = state.stats;
+        Ok(())
     }
 
     /// One supervised controller invocation. Never panics and never
@@ -681,5 +753,130 @@ mod tests {
         }
         assert!(sup.stats().nonfinite_repairs >= 70);
         assert_ne!(sup.mode(), SupervisorMode::Primary);
+    }
+
+    /// Demotes a fresh supervisor to Fallback with one NaN sample, then
+    /// feeds `n` clean samples. Returns the supervisor for inspection.
+    fn demoted_then_clean(cfg: SupervisorConfig, n: u32) -> Supervisor {
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let mut hw = clean_hw_sense();
+        let mut os = clean_os_sense();
+        jitter(&mut hw, &mut os, 0);
+        sup.step(&hw, &os);
+        let mut bad = hw;
+        bad.outputs.p_big = f64::NAN;
+        sup.step(&bad, &os);
+        assert_eq!(sup.mode(), SupervisorMode::Fallback);
+        for k in 0..n {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k as usize + 1);
+            sup.step(&h, &o);
+        }
+        sup
+    }
+
+    #[test]
+    fn reengagement_boundary_one_below_threshold_stays_fallback() {
+        let cfg = SupervisorConfig::default();
+        let sup = demoted_then_clean(cfg, cfg.reengage_after - 1);
+        assert_eq!(sup.mode(), SupervisorMode::Fallback);
+        assert_eq!(sup.stats().fallback_exits, 0);
+    }
+
+    #[test]
+    fn reengagement_boundary_exactly_at_threshold_promotes_and_serves_primary() {
+        let cfg = SupervisorConfig::default();
+        let mut sup = demoted_then_clean(cfg, cfg.reengage_after - 1);
+        // The Nth clean sample promotes *before* the invocation is routed,
+        // so Primary serves it: the returned actuation must match a bare
+        // primary that was reset at the promotion (stale-state discard).
+        let mut h = clean_hw_sense();
+        let mut o = clean_os_sense();
+        jitter(&mut h, &mut o, 50);
+        let (hu, ou) = sup.step(&h, &o);
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        assert_eq!(sup.stats().fallback_exits, 1);
+        let mut bare_hw = DecoupledHeuristicHw::new();
+        let mut bare_os = DecoupledHeuristicOs::new();
+        assert_eq!(hu, bare_hw.invoke(&h).unwrap());
+        assert_eq!(ou, bare_os.invoke(&o).unwrap());
+        // The promoting sample itself was served by Primary, so it does
+        // not count as degraded.
+        assert_eq!(
+            sup.stats().degraded_invocations,
+            u64::from(cfg.reengage_after)
+        );
+    }
+
+    #[test]
+    fn reengagement_boundary_one_past_threshold_does_not_flap() {
+        let cfg = SupervisorConfig::default();
+        let mut sup = demoted_then_clean(cfg, cfg.reengage_after);
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        // Continued clean samples: mode stays Primary, no extra
+        // entries/exits — a single demotion episode, no flapping.
+        for k in 0..2 * cfg.reengage_after {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, 60 + k as usize);
+            sup.step(&h, &o);
+            assert_eq!(sup.mode(), SupervisorMode::Primary, "sample {k}");
+        }
+        assert_eq!(sup.stats().fallback_entries, 1);
+        assert_eq!(sup.stats().fallback_exits, 1);
+    }
+
+    #[test]
+    fn dirty_sample_mid_streak_restarts_the_hysteresis_count() {
+        let cfg = SupervisorConfig::default();
+        let mut sup = demoted_then_clean(cfg, cfg.reengage_after - 1);
+        // A dirty sample resets the streak: N−1 more clean samples are
+        // again not enough…
+        let mut bad = clean_hw_sense();
+        bad.outputs.temp = f64::NAN;
+        let os = clean_os_sense();
+        sup.step(&bad, &os);
+        assert_eq!(sup.mode(), SupervisorMode::Fallback);
+        for k in 0..cfg.reengage_after - 1 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, 70 + k as usize);
+            sup.step(&h, &o);
+            assert_eq!(sup.mode(), SupervisorMode::Fallback, "sample {k}");
+        }
+        // …but the full streak is.
+        let mut h = clean_hw_sense();
+        let mut o = clean_os_sense();
+        jitter(&mut h, &mut o, 99);
+        sup.step(&h, &o);
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        assert_eq!(sup.stats().fallback_entries, 1, "one episode, no flap");
+        assert_eq!(sup.stats().fallback_exits, 1);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_supervisor_bit_for_bit() {
+        let cfg = SupervisorConfig::default();
+        // Capture mid-episode: demoted, partway through a clean streak.
+        let mut sup = demoted_then_clean(cfg, 2);
+        let snap = sup.save_state();
+        assert_eq!(snap.mode, SupervisorMode::Fallback);
+        assert_eq!(snap.clean_streak, 2);
+        // "Restart the daemon": a fresh supervisor around fresh
+        // controllers, restored from the snapshot.
+        let mut restored = Supervisor::new(heuristic_primary(), cfg);
+        restored.restore_state(&snap).unwrap();
+        for k in 0..3 * cfg.reengage_after {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, 10 + k as usize);
+            let (ah, ao) = sup.step(&h, &o);
+            let (bh, bo) = restored.step(&h, &o);
+            assert_eq!(ah, bh, "sample {k}");
+            assert_eq!(ao, bo, "sample {k}");
+            assert_eq!(sup.mode(), restored.mode(), "sample {k}");
+        }
+        assert_eq!(sup.stats(), restored.stats());
     }
 }
