@@ -14,14 +14,26 @@
 //! * `fast_parallel` — the same fast path through the chunked
 //!   crossbeam sweep driver (`mu_peak`); identical results, fans out on
 //!   multi-core hosts.
+//!
+//! A second table (`simd_rows`) pits the scalar reference kernels against
+//! the AVX2/FMA path (`SimdPolicy::ForceScalar` vs `ForceSimd`) on the
+//! same sweeps, for two block structures: `two_1x1` (D-scaling-search
+//! dominated — the honest end-to-end number) and `full_2x2` (a single
+//! full block, µ = σ̄, so the sweep is evaluation-dominated and shows the
+//! kernel speedup itself).
+//!
+//! `--quick` runs only the order-16/120-point SIMD comparison and fails
+//! if the SIMD path is slower than scalar — the CI regression gate. It
+//! does not rewrite `results/BENCH_sweep.json`.
 
 use std::time::Instant;
 
 use yukta_bench::write_results;
-use yukta_control::mu::{MuBlock, MuPeak, log_grid, mu_peak, mu_peak_serial};
+use yukta_control::mu::{MuBlock, MuPeak, log_grid, mu_peak, mu_peak_serial, mu_peak_serial_with};
 use yukta_control::ss::StateSpace;
+use yukta_control::sweep::SimdPolicy;
 use yukta_linalg::svd::sigma_max_power;
-use yukta_linalg::{C64, CMat, Mat};
+use yukta_linalg::{C64, CMat, Mat, simd};
 
 /// Deterministic pseudo-random value in `[-0.5, 0.5)`.
 fn splitmix(s: &mut u64) -> f64 {
@@ -144,22 +156,109 @@ fn mu_peak_naive(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> MuPeak {
     peak
 }
 
-/// Median wall time over `reps` runs, in seconds.
-fn time_median(reps: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
-    let mut times = Vec::with_capacity(reps);
+/// Best (minimum) wall time over `reps` runs after one untimed warmup,
+/// in seconds. Scheduler interference and frequency ramps only ever add
+/// time, so the minimum is the robust location estimator at the
+/// sub-millisecond scale of these sweeps; the warmup keeps one-time
+/// costs (lazy Hessenberg construction, cold caches) out of every rep.
+fn time_best(reps: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+    f(); // warmup, untimed
+    let mut best = f64::INFINITY;
     let mut last = 0.0;
     for _ in 0..reps {
         let t0 = Instant::now();
         last = f();
-        times.push(t0.elapsed().as_secs_f64());
+        best = best.min(t0.elapsed().as_secs_f64());
     }
-    times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], last)
+    (best, last)
+}
+
+/// Times one scalar-vs-SIMD µ-sweep comparison and returns
+/// `(json_row, speedup)`, or `None` when the host has no AVX2/FMA.
+///
+/// Both paths run on the same cached `FreqSystem`, so the comparison
+/// isolates the per-point kernels; peaks must agree to 1e-9 relative
+/// (the D-scaling golden-section search can amplify last-ulp kernel
+/// differences, so bitwise equality only holds within a path).
+fn simd_row(
+    order: usize,
+    points: usize,
+    blocks: &[MuBlock],
+    label: &str,
+    reps: usize,
+) -> Option<(String, f64)> {
+    if !simd::detected() {
+        return None;
+    }
+    let sys = stable_sys(order, order as u64);
+    let grid = log_grid(1e-3, 0.98 * std::f64::consts::PI / 0.5, points);
+    let run = |policy: SimdPolicy| {
+        mu_peak_serial_with(&sys, blocks, &grid, policy)
+            .unwrap()
+            .peak
+    };
+    // Interleave the two paths rep-by-rep so slow drift (frequency
+    // ramps, noisy neighbors on shared hosts) hits both minimums alike
+    // instead of biasing whichever path was measured later.
+    let (mut p_scalar, mut p_simd) = (run(SimdPolicy::ForceScalar), run(SimdPolicy::ForceSimd));
+    let (mut t_scalar, mut t_simd) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        p_scalar = run(SimdPolicy::ForceScalar);
+        t_scalar = t_scalar.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        p_simd = run(SimdPolicy::ForceSimd);
+        t_simd = t_simd.min(t0.elapsed().as_secs_f64());
+    }
+    assert!(
+        (p_scalar - p_simd).abs() <= 1e-9 * p_scalar.abs().max(1.0),
+        "SIMD path diverged from scalar on {label}: {p_scalar} vs {p_simd}"
+    );
+    let speedup = t_scalar / t_simd;
+    println!(
+        "{:>6} {:>6} {:>9} | {:>12.6} {:>12.6} | {:>8.2}",
+        order, points, label, t_scalar, t_simd, speedup
+    );
+    let row = format!(
+        concat!(
+            "    {{\"order\": {}, \"grid_points\": {}, \"blocks\": \"{}\", ",
+            "\"scalar_s\": {:.6}, \"simd_s\": {:.6}, ",
+            "\"speedup_simd\": {:.2}, \"peak\": {:.12}}}"
+        ),
+        order, points, label, t_scalar, t_simd, speedup, p_simd
+    );
+    Some((row, speedup))
+}
+
+const TWO_1X1: [MuBlock; 2] = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
+const FULL_2X2: [MuBlock; 1] = [MuBlock { n_out: 2, n_in: 2 }];
+
+/// CI gate: order-16/120-point sweep only; fails the process if the SIMD
+/// path is slower than scalar on the evaluation-dominated row.
+fn run_quick() {
+    if !simd::detected() {
+        println!("bench_sweep --quick: no AVX2/FMA on this host, nothing to gate");
+        return;
+    }
+    println!(
+        "{:>6} {:>6} {:>9} | {:>12} {:>12} | {:>8}",
+        "order", "grid", "blocks", "scalar (s)", "simd (s)", "simd x"
+    );
+    let (_, full_speedup) = simd_row(16, 120, &FULL_2X2, "full_2x2", 9).expect("detected above");
+    simd_row(16, 120, &TWO_1X1, "two_1x1", 9);
+    assert!(
+        full_speedup >= 1.0,
+        "SIMD path slower than scalar on the order-16/120-point sweep: {full_speedup:.2}x"
+    );
 }
 
 fn main() {
-    let blocks = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
-    let reps = 5;
+    if std::env::args().any(|a| a == "--quick") {
+        run_quick();
+        return;
+    }
+    let blocks = TWO_1X1;
+    let reps = 9;
     let mut rows = Vec::new();
     println!(
         "{:>6} {:>6} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
@@ -169,10 +268,10 @@ fn main() {
         for &points in &[30usize, 60, 120] {
             let sys = stable_sys(order, order as u64);
             let grid = log_grid(1e-3, 0.98 * std::f64::consts::PI / 0.5, points);
-            let (t_naive, p_naive) = time_median(reps, || mu_peak_naive(&sys, &blocks, &grid).peak);
+            let (t_naive, p_naive) = time_best(reps, || mu_peak_naive(&sys, &blocks, &grid).peak);
             let (t_fast, p_fast) =
-                time_median(reps, || mu_peak_serial(&sys, &blocks, &grid).unwrap().peak);
-            let (t_par, p_par) = time_median(reps, || mu_peak(&sys, &blocks, &grid).unwrap().peak);
+                time_best(reps, || mu_peak_serial(&sys, &blocks, &grid).unwrap().peak);
+            let (t_par, p_par) = time_best(reps, || mu_peak(&sys, &blocks, &grid).unwrap().peak);
             // The fast path swaps the iterative σ̄ for an exact closed
             // form, so agreement is to σ̄'s convergence tolerance, not ULP.
             assert!(
@@ -212,14 +311,35 @@ fn main() {
             ));
         }
     }
+    println!();
+    println!(
+        "{:>6} {:>6} {:>9} | {:>12} {:>12} | {:>8}",
+        "order", "grid", "blocks", "scalar (s)", "simd (s)", "simd x"
+    );
+    let mut simd_rows = Vec::new();
+    for &order in &[4usize, 8, 16] {
+        for &points in &[30usize, 60, 120] {
+            if let Some((row, _)) = simd_row(order, points, &FULL_2X2, "full_2x2", reps) {
+                simd_rows.push(row);
+            }
+            if let Some((row, _)) = simd_row(order, points, &TWO_1X1, "two_1x1", reps) {
+                simd_rows.push(row);
+            }
+        }
+    }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"threads\": {},\n  \"reps\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"threads\": {},\n  \"reps\": {},\n  \"simd_detected\": {},\n",
+            "  \"rows\": [\n{}\n  ],\n  \"simd_rows\": [\n{}\n  ]\n}}\n"
+        ),
         threads,
         reps,
-        rows.join(",\n")
+        simd::detected(),
+        rows.join(",\n"),
+        simd_rows.join(",\n")
     );
     write_results("BENCH_sweep.json", &json);
 }

@@ -343,6 +343,48 @@ pub fn mu_peak_serial(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Res
     Ok(fold_peak(grid, results, blocks))
 }
 
+/// [`mu_peak`] under an explicit [`sweep::SimdPolicy`], resolved strictly
+/// (the policy-less variants use the process-wide `YUKTA_SIMD` policy).
+///
+/// # Errors
+///
+/// Same as [`mu_peak`], plus
+/// [`yukta_linalg::Error::SimdUnsupported`] for
+/// [`sweep::SimdPolicy::ForceSimd`] on hardware without AVX2+FMA.
+pub fn mu_peak_with(
+    sys: &StateSpace,
+    blocks: &[MuBlock],
+    grid: &[f64],
+    policy: sweep::SimdPolicy,
+) -> Result<MuPeak> {
+    check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let ts = sys.ts();
+    let results = sweep::sweep_with(sys.freq_system(), grid, policy, |_, w, ev| {
+        mu_at(ev, ts, w, blocks)
+    })?;
+    Ok(fold_peak(grid, results, blocks))
+}
+
+/// [`mu_peak_serial`] under an explicit [`sweep::SimdPolicy`], resolved
+/// strictly.
+///
+/// # Errors
+///
+/// Same as [`mu_peak_with`].
+pub fn mu_peak_serial_with(
+    sys: &StateSpace,
+    blocks: &[MuBlock],
+    grid: &[f64],
+    policy: sweep::SimdPolicy,
+) -> Result<MuPeak> {
+    check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let ts = sys.ts();
+    let results = sweep::sweep_serial_with(sys.freq_system(), grid, policy, |_, w, ev| {
+        mu_at(ev, ts, w, blocks)
+    })?;
+    Ok(fold_peak(grid, results, blocks))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

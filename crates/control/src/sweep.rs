@@ -4,7 +4,7 @@
 //! ([`crate::mu::mu_peak`]), H∞ norm estimates, D-scale fitting inside
 //! D–K iteration — is a map over a frequency grid where each point is
 //! independent: evaluate the transfer matrix, reduce it to a scalar or a
-//! small record. This module provides that map once, with three
+//! small record. This module provides that map once, with four
 //! guarantees:
 //!
 //! 1. **One Hessenberg reduction per sweep.** The caller supplies a
@@ -12,17 +12,37 @@
 //!    solve through a per-worker [`FreqEvaluator`] whose scratch buffers
 //!    are reused across the whole chunk.
 //! 2. **Deterministic results.** The grid is split into contiguous
-//!    chunks, one worker per chunk, and chunk outputs are concatenated in
-//!    grid order. Each point's computation is identical in serial and
-//!    parallel mode, so [`sweep`] is *bit-identical* to [`sweep_serial`].
-//! 3. **Graceful degradation.** Short grids and single-core hosts skip
-//!    the fan-out entirely and run the serial path.
+//!    chunks, workers claim chunks round-robin, and chunk outputs are
+//!    reassembled in grid order. Each point's computation is identical in
+//!    serial and parallel mode, so [`sweep`] is *bit-identical* to
+//!    [`sweep_serial`].
+//! 3. **Cache-footprint chunking.** Chunk sizes come from the
+//!    evaluator's working-set bytes against a 256 KiB L2 budget
+//!    ([`FreqSystem::working_set_bytes`]) rather than `len / workers`:
+//!    big systems get short chunks that keep their scratch hot, small
+//!    systems get long chunks that amortize thread handoff.
+//! 4. **Kernel-path control.** The `_with` variants take a
+//!    [`SimdPolicy`] resolved *strictly* (so `ForceSimd` on unsupported
+//!    hardware is a typed error); the policy-less variants use the
+//!    process-wide `YUKTA_SIMD` policy leniently. Every worker of one
+//!    sweep runs the same resolved [`SimdPath`].
 
+use yukta_linalg::Result;
 use yukta_linalg::freq::{FreqEvaluator, FreqSystem};
+use yukta_linalg::simd;
+pub use yukta_linalg::simd::{SimdPath, SimdPolicy};
 
 /// Fewest grid points a worker must receive before thread fan-out pays
-/// for itself; shorter sweeps run serially.
+/// for itself; shorter sweeps run serially. Also the floor on
+/// [`chunk_points`], so chunking never degenerates to per-point handoff.
 const MIN_POINTS_PER_WORKER: usize = 8;
+
+/// Per-sweep L2 working-set budget used to size grid chunks.
+const L2_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Ceiling on [`chunk_points`] so tiny systems still split a long grid
+/// into enough chunks to occupy every worker.
+const MAX_CHUNK_POINTS: usize = 256;
 
 /// Number of workers a sweep of `len` points should use on this host.
 fn worker_count(len: usize) -> usize {
@@ -32,9 +52,22 @@ fn worker_count(len: usize) -> usize {
     cores.min(len / MIN_POINTS_PER_WORKER).max(1)
 }
 
+/// Grid points per chunk for `sys`: how many evaluations fit the L2
+/// budget given the evaluator's working set, clamped to
+/// `[MIN_POINTS_PER_WORKER, MAX_CHUNK_POINTS]`.
+///
+/// The working set is what one evaluation streams over (scratch planes +
+/// system tables + output); a chunk whose point count times its handoff
+/// overhead stays small relative to that keeps each worker's scratch
+/// resident for the whole chunk.
+fn chunk_points(sys: &FreqSystem) -> usize {
+    let ws = sys.working_set_bytes().max(1);
+    (L2_BUDGET_BYTES / ws).clamp(MIN_POINTS_PER_WORKER, MAX_CHUNK_POINTS)
+}
+
 /// Maps `f` over every grid point in order, single-threaded, reusing one
-/// evaluator. `f` receives the point's index in `grid`, its value, and
-/// the evaluator.
+/// evaluator on the process-global kernel path. `f` receives the point's
+/// index in `grid`, its value, and the evaluator.
 ///
 /// This is the reference semantics for [`sweep`]; the two are
 /// bit-identical by construction.
@@ -42,50 +75,115 @@ pub fn sweep_serial<T, F>(sys: &FreqSystem, grid: &[f64], f: F) -> Vec<T>
 where
     F: Fn(usize, f64, &mut FreqEvaluator<'_>) -> T,
 {
-    let mut ev = sys.evaluator();
+    sweep_serial_for_path(sys, grid, simd::global_path(), f)
+}
+
+/// [`sweep_serial`] under an explicit [`SimdPolicy`], resolved strictly.
+///
+/// # Errors
+///
+/// Returns [`yukta_linalg::Error::SimdUnsupported`] for
+/// [`SimdPolicy::ForceSimd`] on hardware without AVX2+FMA.
+pub fn sweep_serial_with<T, F>(
+    sys: &FreqSystem,
+    grid: &[f64],
+    policy: SimdPolicy,
+    f: F,
+) -> Result<Vec<T>>
+where
+    F: Fn(usize, f64, &mut FreqEvaluator<'_>) -> T,
+{
+    let path = simd::resolve(policy, simd::detected())?;
+    Ok(sweep_serial_for_path(sys, grid, path, f))
+}
+
+fn sweep_serial_for_path<T, F>(sys: &FreqSystem, grid: &[f64], path: SimdPath, f: F) -> Vec<T>
+where
+    F: Fn(usize, f64, &mut FreqEvaluator<'_>) -> T,
+{
+    let mut ev = sys.evaluator_for_path(path);
     grid.iter()
         .enumerate()
         .map(|(k, &w)| f(k, w, &mut ev))
         .collect()
 }
 
-/// Maps `f` over every grid point, fanning out across contiguous chunks
-/// on multi-core hosts. Results come back in grid order and are
-/// bit-identical to [`sweep_serial`] with the same arguments.
+/// Maps `f` over every grid point, fanning out across cache-sized
+/// contiguous chunks on multi-core hosts. Results come back in grid order
+/// and are bit-identical to [`sweep_serial`] with the same arguments.
 pub fn sweep<T, F>(sys: &FreqSystem, grid: &[f64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, f64, &mut FreqEvaluator<'_>) -> T + Sync,
+{
+    sweep_for_path(sys, grid, simd::global_path(), f)
+}
+
+/// [`sweep`] under an explicit [`SimdPolicy`], resolved strictly.
+///
+/// # Errors
+///
+/// Returns [`yukta_linalg::Error::SimdUnsupported`] for
+/// [`SimdPolicy::ForceSimd`] on hardware without AVX2+FMA.
+pub fn sweep_with<T, F>(sys: &FreqSystem, grid: &[f64], policy: SimdPolicy, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, f64, &mut FreqEvaluator<'_>) -> T + Sync,
+{
+    let path = simd::resolve(policy, simd::detected())?;
+    Ok(sweep_for_path(sys, grid, path, f))
+}
+
+fn sweep_for_path<T, F>(sys: &FreqSystem, grid: &[f64], path: SimdPath, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, f64, &mut FreqEvaluator<'_>) -> T + Sync,
 {
     let workers = worker_count(grid.len());
     if workers <= 1 {
-        return sweep_serial(sys, grid, f);
+        return sweep_serial_for_path(sys, grid, path, f);
     }
-    let chunk = grid.len().div_ceil(workers);
-    let per_chunk: Vec<Vec<T>> = crossbeam::scope(|scope| {
+    let chunk = chunk_points(sys);
+    let nchunks = grid.len().div_ceil(chunk);
+    let workers = workers.min(nchunks);
+    if workers <= 1 {
+        return sweep_serial_for_path(sys, grid, path, f);
+    }
+    // Worker t claims chunks t, t + workers, t + 2·workers, … — a static
+    // round-robin that needs no work queue and keeps assignment (hence
+    // evaluator state per point) deterministic.
+    let mut tagged: Vec<(usize, Vec<T>)> = crossbeam::scope(|scope| {
         let f = &f;
-        let handles: Vec<_> = grid
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, points)| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
                 scope.spawn(move |_| {
-                    let mut ev = sys.evaluator();
-                    points
-                        .iter()
-                        .enumerate()
-                        .map(|(k, &w)| f(ci * chunk + k, w, &mut ev))
-                        .collect::<Vec<T>>()
+                    let mut ev = sys.evaluator_for_path(path);
+                    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
+                    let mut ci = t;
+                    while ci * chunk < grid.len() {
+                        let start = ci * chunk;
+                        let end = (start + chunk).min(grid.len());
+                        let vals: Vec<T> = grid[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &w)| f(start + k, w, &mut ev))
+                            .collect();
+                        parts.push((ci, vals));
+                        ci += workers;
+                    }
+                    parts
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     })
     .expect("sweep scope");
+    tagged.sort_by_key(|&(ci, _)| ci);
     let mut out = Vec::with_capacity(grid.len());
-    for mut part in per_chunk {
+    for (_, mut part) in tagged {
         out.append(&mut part);
     }
     out
@@ -94,7 +192,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use yukta_linalg::{C64, Mat};
+    use yukta_linalg::{C64, Error, Mat};
 
     fn sys() -> FreqSystem {
         let a = Mat::from_rows(&[&[-0.5, 0.2, 0.0], &[0.1, -1.0, 0.3], &[0.0, 0.4, -2.0]]);
@@ -104,18 +202,61 @@ mod tests {
         FreqSystem::new(&a, &b, &c, &d).unwrap()
     }
 
+    fn gain(_: usize, w: f64, ev: &mut FreqEvaluator<'_>) -> f64 {
+        ev.eval(C64::new(0.0, w)).unwrap().get(0, 0).abs()
+    }
+
     #[test]
     fn parallel_bit_identical_to_serial() {
         let s = sys();
         let grid: Vec<f64> = (0..200).map(|k| 0.01 * 1.05f64.powi(k)).collect();
-        let gain = |_: usize, w: f64, ev: &mut FreqEvaluator<'_>| {
-            ev.eval(C64::new(0.0, w)).unwrap().get(0, 0).abs()
-        };
         let serial = sweep_serial(&s, &grid, gain);
         let parallel = sweep(&s, &grid, gain);
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_serial_under_each_policy() {
+        let s = sys();
+        let grid: Vec<f64> = (0..300).map(|k| 0.01 * 1.04f64.powi(k)).collect();
+        for policy in [
+            SimdPolicy::Auto,
+            SimdPolicy::ForceScalar,
+            SimdPolicy::ForceSimd,
+        ] {
+            let serial = match sweep_serial_with(&s, &grid, policy, gain) {
+                Ok(v) => v,
+                // ForceSimd on a host without AVX2+FMA: the parallel
+                // variant must fail identically.
+                Err(Error::SimdUnsupported { .. }) => {
+                    assert!(matches!(
+                        sweep_with(&s, &grid, policy, gain),
+                        Err(Error::SimdUnsupported { .. })
+                    ));
+                    continue;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            let parallel = sweep_with(&s, &grid, policy, gain).unwrap();
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_policies_agree() {
+        let s = sys();
+        let grid: Vec<f64> = (0..120).map(|k| 0.01 * 1.07f64.powi(k)).collect();
+        let scalar = sweep_serial_with(&s, &grid, SimdPolicy::ForceScalar, gain).unwrap();
+        let Ok(simd) = sweep_serial_with(&s, &grid, SimdPolicy::ForceSimd, gain) else {
+            return; // host without AVX2+FMA: nothing to compare
+        };
+        for (a, b) in scalar.iter().zip(&simd) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
         }
     }
 
@@ -128,9 +269,36 @@ mod tests {
     }
 
     #[test]
+    fn indices_arrive_in_grid_order_across_many_chunks() {
+        // A grid much longer than one chunk exercises the round-robin
+        // reassembly even when chunk_points clamps low.
+        let s = sys();
+        let grid: Vec<f64> = (1..=1000).map(|k| k as f64 * 0.01).collect();
+        let idx = sweep(&s, &grid, |k, _, _| k);
+        assert_eq!(idx, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn empty_grid() {
         let s = sys();
         let out = sweep(&s, &[], |k, _, _| k);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_points_is_clamped() {
+        let c = chunk_points(&sys());
+        assert!((MIN_POINTS_PER_WORKER..=MAX_CHUNK_POINTS).contains(&c));
+        // A large system must get a chunk at the floor, not zero.
+        let n = 64;
+        let big = FreqSystem::new(
+            &Mat::diag(&vec![-1.0; n]),
+            &Mat::zeros(n, 8),
+            &Mat::zeros(8, n),
+            &Mat::zeros(8, 8),
+        )
+        .unwrap();
+        assert!(big.working_set_bytes() > L2_BUDGET_BYTES / MIN_POINTS_PER_WORKER);
+        assert_eq!(chunk_points(&big), MIN_POINTS_PER_WORKER);
     }
 }

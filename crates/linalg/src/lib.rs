@@ -26,6 +26,9 @@
 //! * [`riccati`] — CARE (sign-function method) and DARE
 //!   (structure-preserving doubling).
 //! * [`lyap`] — small discrete Lyapunov solves via Kronecker vectorization.
+//! * [`simd`] — runtime-dispatched AVX2/FMA kernels behind a
+//!   [`simd::SimdPolicy`]; every vectorized hot loop keeps its scalar twin
+//!   as the always-available reference path.
 //!
 //! Sizes in this domain are small (controller state dimensions of a few
 //! tens), so all algorithms favour robustness and clarity over asymptotic
@@ -52,6 +55,7 @@ pub mod mat;
 pub mod qr;
 pub mod riccati;
 pub mod sign;
+pub mod simd;
 pub mod svd;
 pub mod symeig;
 
@@ -95,6 +99,12 @@ pub enum Error {
         /// Human-readable explanation.
         why: &'static str,
     },
+    /// A SIMD path was demanded ([`simd::SimdPolicy::ForceSimd`]) but the
+    /// host CPU lacks the required instruction-set extensions.
+    SimdUnsupported {
+        /// The missing feature set, e.g. `"avx2+fma"`.
+        required: &'static str,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -110,6 +120,9 @@ impl std::fmt::Display for Error {
                 write!(f, "{op} did not converge after {iters} iterations")
             }
             Error::NoSolution { op, why } => write!(f, "{op} has no valid solution: {why}"),
+            Error::SimdUnsupported { required } => {
+                write!(f, "SIMD path forced but host CPU lacks {required}")
+            }
         }
     }
 }

@@ -167,6 +167,17 @@ pub fn sigma_max(a: &CMat) -> f64 {
     if m == 0 || n == 0 {
         return 0.0;
     }
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::global_path() == crate::simd::SimdPath::Avx2Fma {
+        // SAFETY: global_path() only reports Avx2Fma when runtime
+        // detection confirmed AVX2+FMA on this host.
+        return unsafe { sigma_max_avx2(a, m, n) };
+    }
+    sigma_max_scalar(a, m, n)
+}
+
+/// Scalar reference path of [`sigma_max`] (always available).
+fn sigma_max_scalar(a: &CMat, m: usize, n: usize) -> f64 {
     // A vector's largest singular value is its 2-norm.
     if m == 1 || n == 1 {
         return a.fro_norm();
@@ -191,12 +202,144 @@ pub fn sigma_max(a: &CMat) -> f64 {
                 g01 += x.conj() * y;
             }
         }
-        let mid = 0.5 * (g00 + g11);
-        let half_gap = 0.5 * (g00 - g11);
-        let disc = (half_gap * half_gap + g01.abs_sq()).sqrt();
-        return (mid + disc).max(0.0).sqrt();
+        return gram2_sigma(g00, g11, g01.abs_sq());
     }
     sigma_max_power(a)
+}
+
+/// σ₁ of a Hermitian 2×2 Gram matrix `[[g00, g01], [ḡ01, g11]]` given
+/// `|g01|²`: the square root of its largest eigenvalue.
+fn gram2_sigma(g00: f64, g11: f64, g01_abs_sq: f64) -> f64 {
+    let mid = 0.5 * (g00 + g11);
+    let half_gap = 0.5 * (g00 - g11);
+    let disc = (half_gap * half_gap + g01_abs_sq).sqrt();
+    (mid + disc).max(0.0).sqrt()
+}
+
+/// AVX2/FMA twin of [`sigma_max_scalar`]: the vector and rank-2 Gram
+/// reductions stream the interleaved `[re, im, …]` column data through
+/// 4-lane FMAs; general shapes still use [`sigma_max_power`].
+///
+/// # Safety
+///
+/// Caller must guarantee the host supports AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sigma_max_avx2(a: &CMat, m: usize, n: usize) -> f64 {
+    use crate::simd::avx2::{c64_as_f64, sum_sq};
+
+    if m == 1 || n == 1 {
+        return sum_sq(c64_as_f64(a.as_slice())).sqrt();
+    }
+    if m == 2 {
+        // Rows are contiguous: Gram-reduce the two row slices directly.
+        let d = a.as_slice();
+        let (g00, g11, g01_re, g01_im) = gram2_rows_avx2(&d[..n], &d[n..]);
+        return gram2_sigma(g00, g11, g01_re * g01_re + g01_im * g01_im);
+    }
+    if n == 2 {
+        // Each row is one 256-bit vector [xr, xi, yr, yi].
+        let (g00, g11, g01_re, g01_im) = gram2_cols_avx2(a.as_slice());
+        return gram2_sigma(g00, g11, g01_re * g01_re + g01_im * g01_im);
+    }
+    sigma_max_power(a)
+}
+
+/// Gram reduction for a two-row matrix: returns
+/// `(‖x‖², ‖y‖², Re⟨x, ȳ⟩, Im⟨x, ȳ⟩)` for rows `x`, `y`, accumulating
+/// `x·ȳ` like the scalar `m == 2` branch.
+///
+/// # Safety
+///
+/// Caller must guarantee the host supports AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gram2_rows_avx2(row0: &[C64], row1: &[C64]) -> (f64, f64, f64, f64) {
+    use core::arch::x86_64::*;
+
+    use crate::simd::avx2::{c64_as_f64, hsum};
+
+    let x = c64_as_f64(row0);
+    let y = c64_as_f64(row1);
+    let len = x.len();
+    let mut a00 = _mm256_setzero_pd();
+    let mut a11 = _mm256_setzero_pd();
+    let mut are = _mm256_setzero_pd();
+    let mut aim = _mm256_setzero_pd();
+    // Lane signs [+, −, +, −] turn swapped pairs [xi, xr] into
+    // [xi, −xr], whose dot with [yr, yi] is Im(x · ȳ) = xi·yr − xr·yi.
+    let sign = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+    let mut j = 0;
+    while j + 4 <= len {
+        let vx = _mm256_loadu_pd(x.as_ptr().add(j));
+        let vy = _mm256_loadu_pd(y.as_ptr().add(j));
+        a00 = _mm256_fmadd_pd(vx, vx, a00);
+        a11 = _mm256_fmadd_pd(vy, vy, a11);
+        // Re(x · ȳ) = xr·yr + xi·yi: plain lane dot.
+        are = _mm256_fmadd_pd(vx, vy, are);
+        let sxs = _mm256_xor_pd(_mm256_permute_pd(vx, 0b0101), sign);
+        aim = _mm256_fmadd_pd(sxs, vy, aim);
+        j += 4;
+    }
+    let mut g00 = hsum(a00);
+    let mut g11 = hsum(a11);
+    let mut re = hsum(are);
+    let mut im = hsum(aim);
+    while j + 2 <= len {
+        let (xr, xi) = (x[j], x[j + 1]);
+        let (yr, yi) = (y[j], y[j + 1]);
+        g00 = xi.mul_add(xi, xr.mul_add(xr, g00));
+        g11 = yi.mul_add(yi, yr.mul_add(yr, g11));
+        re = xi.mul_add(yi, xr.mul_add(yr, re));
+        im = xr.mul_add(-yi, xi.mul_add(yr, im));
+        j += 2;
+    }
+    (g00, g11, re, im)
+}
+
+/// Gram reduction for a two-column matrix: each row `[xr, xi, yr, yi]` is
+/// exactly one 256-bit vector; returns
+/// `(‖x‖², ‖y‖², Re⟨x̄, y⟩, Im⟨x̄, y⟩)` for columns `x`, `y`, accumulating
+/// `x̄·y` like the scalar `n == 2` branch.
+///
+/// # Safety
+///
+/// Caller must guarantee the host supports AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gram2_cols_avx2(data: &[C64]) -> (f64, f64, f64, f64) {
+    use core::arch::x86_64::*;
+
+    use crate::simd::avx2::c64_as_f64;
+
+    let d = c64_as_f64(data);
+    let mut asq = _mm256_setzero_pd();
+    let mut are = _mm256_setzero_pd();
+    let mut aim = _mm256_setzero_pd();
+    for i in 0..data.len() / 2 {
+        let v = _mm256_loadu_pd(d.as_ptr().add(4 * i));
+        // v·v: lanes 0–1 accumulate ‖x‖², lanes 2–3 accumulate ‖y‖².
+        asq = _mm256_fmadd_pd(v, v, asq);
+        // w = [yr, yi, xr, xi]; v·w lanes 0–1 sum to Re(x̄·y).
+        let w = _mm256_permute2f128_pd(v, v, 0x01);
+        are = _mm256_fmadd_pd(v, w, are);
+        // ws = [yi, yr, xi, xr]; v·ws lane0 − lane1 = xr·yi − xi·yr
+        // = Im(x̄·y).
+        let ws = _mm256_permute_pd(w, 0b0101);
+        aim = _mm256_fmadd_pd(v, ws, aim);
+    }
+    let mut sq = [0.0f64; 4];
+    let mut re4 = [0.0f64; 4];
+    let mut im4 = [0.0f64; 4];
+    _mm256_storeu_pd(sq.as_mut_ptr(), asq);
+    _mm256_storeu_pd(re4.as_mut_ptr(), are);
+    _mm256_storeu_pd(im4.as_mut_ptr(), aim);
+    (
+        sq[0] + sq[1],
+        sq[2] + sq[3],
+        re4[0] + re4[1],
+        im4[0] - im4[1],
+    )
 }
 
 /// Largest singular value via power iteration on `AᴴA`, with
@@ -214,13 +357,32 @@ pub fn sigma_max_power(a: &CMat) -> f64 {
         return 0.0;
     }
     let ah = a.h();
+    // Deterministic start seeded from the matrix itself: x₀ = Aᴴ eᵣ (the
+    // conjugated largest-2-norm row). A data-independent start such as a
+    // fixed ones-vector can be made exactly orthogonal to the leading
+    // right-singular subspace by an adversarial fixture, in which case the
+    // 1e-12 early-convergence break latches onto a smaller singular value
+    // before rounding contamination can pull the iterate back; Aᴴeᵣ can
+    // only be orthogonal to that subspace if the row itself is.
+    let mut seed_row = 0usize;
+    let mut seed_norm = -1.0f64;
+    for i in 0..m {
+        let norm: f64 = (0..n).map(|j| a.get(i, j).abs_sq()).sum();
+        if norm > seed_norm {
+            seed_norm = norm;
+            seed_row = i;
+        }
+    }
+    if seed_norm <= 0.0 {
+        return 0.0;
+    }
     let mut best = 0.0f64;
-    // Two deterministic starts: uniform, and alternating-phase.
+    // Two deterministic starts: matrix-seeded, and alternating-phase.
     for start in 0..2 {
         let mut x: Vec<C64> = (0..n)
             .map(|j| {
                 if start == 0 {
-                    C64::ONE
+                    a.get(seed_row, j).conj()
                 } else {
                     C64::cis(1.7 * j as f64 + 0.3)
                 }
@@ -356,6 +518,110 @@ mod tests {
                 assert!(
                     (exact - iterative).abs() < 1e-8 * exact.max(1.0),
                     "({m},{n}): closed form {exact} vs power {iterative}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_iteration_escapes_adversarial_orthogonal_starts() {
+        // Rank-2 matrix with σ₁ = 1, σ₂ = 0.1 whose leading right-singular
+        // vector is orthogonal to BOTH data-independent starts a fixed
+        // multi-start scheme would use (the ones-vector and the
+        // alternating-phase vector). A ones-vector start then sits exactly
+        // on the σ₂ eigenvector of AᴴA, the 1e-12 early-convergence break
+        // fires before rounding contamination can rotate the iterate, and
+        // the result stalls at ≈ 0.1. The matrix-seeded start (conjugated
+        // dominant row = the leading right-singular vector itself)
+        // recovers σ₁ = 1.
+        fn dot(u: &[C64], w: &[C64]) -> C64 {
+            u.iter()
+                .zip(w)
+                .fold(C64::ZERO, |s, (a, b)| s + a.conj() * *b)
+        }
+        fn normalize(u: &[C64]) -> Vec<C64> {
+            let norm = u.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
+            u.iter().map(|&v| v * (1.0 / norm)).collect()
+        }
+        fn orth(u: &[C64], basis: &[Vec<C64>]) -> Vec<C64> {
+            let mut out = u.to_vec();
+            for b in basis {
+                let c = dot(b, &out);
+                for (o, &bv) in out.iter_mut().zip(b) {
+                    *o = *o - c * bv;
+                }
+            }
+            out
+        }
+
+        let n = 4;
+        let s0: Vec<C64> = vec![C64::ONE; n];
+        let s1: Vec<C64> = (0..n).map(|j| C64::cis(1.7 * j as f64 + 0.3)).collect();
+        let w: Vec<C64> = vec![
+            C64::new(1.0, 0.0),
+            C64::new(0.0, 2.0),
+            C64::new(-1.0, 0.5),
+            C64::new(3.0, 0.0),
+        ];
+        let mut basis = vec![normalize(&s0)];
+        basis.push(normalize(&orth(&s1, &basis)));
+        let v1 = normalize(&orth(&w, &basis));
+        assert!(dot(&s0, &v1).abs() < 1e-12 && dot(&s1, &v1).abs() < 1e-12);
+        let v2 = normalize(&s0);
+        // A = u₁ v₁ᴴ + 0.1 u₂ v₂ᴴ with u₁ = e₀, u₂ = e₁.
+        let mut a = CMat::zeros(n, n);
+        for j in 0..n {
+            a.set(0, j, v1[j].conj());
+            a.set(1, j, v2[j].conj() * 0.1);
+        }
+        let got = sigma_max_power(&a);
+        assert!(
+            (got - 1.0).abs() < 1e-6,
+            "power iteration stalled below σ₁: got {got}"
+        );
+    }
+
+    #[test]
+    fn power_iteration_zero_matrix() {
+        assert_eq!(sigma_max_power(&CMat::zeros(4, 5)), 0.0);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_sigma_max_matches_scalar() {
+        if !crate::simd::detected() {
+            return;
+        }
+        let mut s = 23u64;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for &(m, n) in &[
+            (1, 1),
+            (1, 6),
+            (5, 1),
+            (2, 2),
+            (2, 9),
+            (7, 2),
+            (3, 3),
+            (6, 5),
+        ] {
+            for _ in 0..10 {
+                let mut a = CMat::zeros(m, n);
+                for i in 0..m {
+                    for j in 0..n {
+                        a.set(i, j, C64::new(next(), next()));
+                    }
+                }
+                let scalar = sigma_max_scalar(&a, m, n);
+                // SAFETY: detected() confirmed AVX2+FMA above.
+                let simd = unsafe { sigma_max_avx2(&a, m, n) };
+                assert!(
+                    (scalar - simd).abs() <= 1e-12 * scalar.max(1.0),
+                    "({m},{n}): scalar {scalar} vs simd {simd}"
                 );
             }
         }
