@@ -30,6 +30,7 @@ fn controllers(coordinated: bool) -> Controllers {
 }
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("ablation_extsig");
     let workloads = vec![
         catalog::spec::mcf(),
         catalog::spec::gamess(),

@@ -31,6 +31,7 @@ fn controllers(aware: bool) -> Controllers {
 }
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("ablation_quant");
     let workloads = vec![
         catalog::spec::gamess(),
         catalog::parsec::blackscholes(),

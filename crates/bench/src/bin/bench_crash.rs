@@ -34,6 +34,7 @@ use yukta_workloads::{Workload, catalog};
 const SEVERITY: f64 = 0.5;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("bench_crash");
     let quick = std::env::args().any(|a| a == "--quick");
     // Injected crashes unwind through `panic_any`; silence the default
     // hook's backtrace spam for those (and only those) payloads.

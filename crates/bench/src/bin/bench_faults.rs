@@ -28,6 +28,7 @@ use yukta_workloads::{Workload, catalog};
 const SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("bench_faults");
     let quick = std::env::args().any(|a| a == "--quick");
     let schemes: Vec<Scheme> = if quick {
         vec![Scheme::CoordinatedHeuristic, Scheme::DecoupledHeuristic]

@@ -22,14 +22,23 @@
 //! full block, µ = σ̄, so the sweep is evaluation-dominated and shows the
 //! kernel speedup itself).
 //!
-//! `--quick` runs only the order-16/120-point SIMD comparison and fails
-//! if the SIMD path is slower than scalar — the CI regression gate. It
-//! does not rewrite `results/BENCH_sweep.json`.
+//! A third measurement is the telemetry overhead gate: the same
+//! order-16/120-point sweep through the instrumented entry point
+//! (`mu_peak_serial_with`, no-op recorder) against the uninstrumented
+//! `mu_peak_serial_raw`. Disabled telemetry must cost < 2%; the measured
+//! number goes to `results/BENCH_obs.json`.
+//!
+//! `--quick` runs the overhead gate plus the order-16/120-point SIMD
+//! comparison (the latter only when the host has AVX2/FMA) and fails on
+//! either regression — the CI gate. It does not rewrite
+//! `results/BENCH_sweep.json`.
 
 use std::time::Instant;
 
 use yukta_bench::write_results;
-use yukta_control::mu::{MuBlock, MuPeak, log_grid, mu_peak, mu_peak_serial, mu_peak_serial_with};
+use yukta_control::mu::{
+    MuBlock, MuPeak, log_grid, mu_peak, mu_peak_serial, mu_peak_serial_raw, mu_peak_serial_with,
+};
 use yukta_control::ss::StateSpace;
 use yukta_control::sweep::SimdPolicy;
 use yukta_linalg::svd::sigma_max_power;
@@ -233,11 +242,77 @@ fn simd_row(
 const TWO_1X1: [MuBlock; 2] = [MuBlock { n_out: 1, n_in: 1 }, MuBlock { n_out: 1, n_in: 1 }];
 const FULL_2X2: [MuBlock; 1] = [MuBlock { n_out: 2, n_in: 2 }];
 
-/// CI gate: order-16/120-point sweep only; fails the process if the SIMD
-/// path is slower than scalar on the evaluation-dominated row.
+/// Telemetry overhead gate on the order-16/120-point sweep: the
+/// instrumented entry point under the **no-op** recorder
+/// (`mu_peak_serial_with`) against the fully uninstrumented baseline
+/// (`mu_peak_serial_raw`). Both run the scalar kernels so the gate is
+/// meaningful on any host, interleaved rep-by-rep like [`simd_row`].
+/// Writes `results/BENCH_obs.json` and fails the process beyond 2% —
+/// unless a recording (enabled) recorder is installed, in which case the
+/// measurement is of *enabled* capture and only reported.
+fn obs_overhead_gate() {
+    let (order, points, reps) = (16usize, 120usize, 15usize);
+    let sys = stable_sys(order, order as u64);
+    let grid = log_grid(1e-3, 0.98 * std::f64::consts::PI / 0.5, points);
+    let raw = || {
+        mu_peak_serial_raw(&sys, &TWO_1X1, &grid, SimdPolicy::ForceScalar)
+            .unwrap()
+            .peak
+    };
+    let noop = || {
+        mu_peak_serial_with(&sys, &TWO_1X1, &grid, SimdPolicy::ForceScalar)
+            .unwrap()
+            .peak
+    };
+    let (mut p_raw, mut p_inst) = (raw(), noop()); // warmup, untimed
+    let (mut t_raw, mut t_inst) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        p_raw = raw();
+        t_raw = t_raw.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        p_inst = noop();
+        t_inst = t_inst.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        p_raw.to_bits(),
+        p_inst.to_bits(),
+        "telemetry changed the sweep result"
+    );
+    let overhead = t_inst / t_raw - 1.0;
+    let recording = yukta_obs::handle().enabled();
+    println!(
+        "telemetry overhead (order-{order}/{points}-point sweep, min of {reps}): \
+         raw {t_raw:.6} s, instrumented {t_inst:.6} s -> {:+.2}%{}",
+        overhead * 100.0,
+        if recording { " [recorder ENABLED]" } else { "" }
+    );
+    write_results(
+        "BENCH_obs.json",
+        &format!(
+            concat!(
+                "{{\n  \"order\": {}, \"grid_points\": {}, \"reps\": {},\n",
+                "  \"raw_s\": {:.6}, \"noop_s\": {:.6},\n",
+                "  \"overhead_frac\": {:.6}, \"recorder_enabled\": {}\n}}\n"
+            ),
+            order, points, reps, t_raw, t_inst, overhead, recording
+        ),
+    );
+    if !recording {
+        assert!(
+            overhead < 0.02,
+            "disabled-telemetry overhead {:.2}% exceeds the 2% budget",
+            overhead * 100.0
+        );
+    }
+}
+
+/// CI gate: the telemetry overhead check plus the order-16/120-point SIMD
+/// comparison; fails the process if either regresses.
 fn run_quick() {
+    obs_overhead_gate();
     if !simd::detected() {
-        println!("bench_sweep --quick: no AVX2/FMA on this host, nothing to gate");
+        println!("bench_sweep --quick: no AVX2/FMA on this host, skipping the SIMD gate");
         return;
     }
     println!(
@@ -253,10 +328,12 @@ fn run_quick() {
 }
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("bench_sweep");
     if std::env::args().any(|a| a == "--quick") {
         run_quick();
         return;
     }
+    obs_overhead_gate();
     let blocks = TWO_1X1;
     let reps = 9;
     let mut rows = Vec::new();

@@ -3,14 +3,18 @@
 //! the µ upper/lower bracket across frequency, Hankel spectrum, and the
 //! closed-loop robustness margins.
 
-use yukta_bench::write_results;
+use yukta_bench::{table_csv, write_results};
 use yukta_control::mu::{MuBlock, log_grid, mu_lower_bound, mu_upper_bound};
 use yukta_control::plant::{SsvSpec, build_ssv_plant};
 use yukta_control::reduce::balanced_truncation;
 use yukta_core::design::{DesignOptions, default_design};
+use yukta_core::runtime::{Experiment, RunOptions};
+use yukta_core::schemes::Scheme;
 use yukta_linalg::eig::spectral_radius;
+use yukta_workloads::catalog;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("diagnostics");
     let d = default_design();
     println!("=== Yukta design diagnostics ===\n");
     println!("identification fit (1 = perfect, one-step-ahead):");
@@ -71,21 +75,44 @@ fn main() {
     // continuous design is not retained; analyze the plant's open loop as a
     // reference curve plus the deployed controller's frequency response.
     let grid = log_grid(1e-3, 6.0, 40);
-    let mut csv = String::from("omega,mu_upper,mu_lower\n");
+    let mut rows = Vec::new();
     println!("mu bracket of the open generalized plant across frequency:");
     for (i, &w) in grid.iter().enumerate() {
         if let Ok(n) = plant.gen.sys.freq_response(w) {
             let ub = mu_upper_bound(&n_block(&n, &blocks), &blocks).map(|m| m.value);
             let lb = mu_lower_bound(&n_block(&n, &blocks), &blocks);
             if let (Ok(ub), Ok(lb)) = (ub, lb) {
-                csv.push_str(&format!("{w:.5},{ub:.5},{lb:.5}\n"));
+                rows.push(vec![w, ub, lb]);
                 if i % 8 == 0 {
                     println!("  w = {w:8.4} rad/s : {lb:8.3} <= mu <= {ub:8.3}");
                 }
             }
         }
     }
-    write_results("diagnostics_mu_curve.csv", &csv);
+    write_results(
+        "diagnostics_mu_curve.csv",
+        &table_csv(&["omega", "mu_upper", "mu_lower"], &rows, 5),
+    );
+
+    // Wall-clock controller compute cost: the real time the deployed stack
+    // spends inside `invoke` (the control-law jitter budget — the paper's
+    // prototype fired every 500 ms, so the worst case must stay far below
+    // that period).
+    let wl = catalog::parsec::blackscholes();
+    let rep = Experiment::new(Scheme::YuktaHwSsvOsSsv)
+        .expect("experiment")
+        .with_options(RunOptions {
+            timeout_s: 120.0,
+            ..Default::default()
+        })
+        .run(&wl)
+        .expect("compute-cost run");
+    let c = rep.compute;
+    println!("\ncontroller compute cost (wall-clock, blackscholes, 120 s sim cap):");
+    println!("  invocations     = {}", c.invocations);
+    println!("  mean / invoke   = {:.2} µs", c.mean_ns() / 1e3);
+    println!("  worst invoke    = {:.2} µs", c.max_ns as f64 / 1e3);
+    println!("  total compute   = {:.3} ms", c.total_ms());
 }
 
 /// Extracts the w→z block of the generalized plant response (drops the

@@ -8,6 +8,7 @@ use yukta_core::schemes::Scheme;
 use yukta_workloads::catalog;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("fig09");
     let workloads = catalog::evaluation_set();
     let schemes = Scheme::figure9();
     println!(

@@ -11,6 +11,7 @@ use yukta_core::schemes::Scheme;
 use yukta_workloads::catalog;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("fig10_11");
     let wl = catalog::parsec::blackscholes();
     println!("Figures 10/11: blackscholes power and performance traces\n");
     println!(

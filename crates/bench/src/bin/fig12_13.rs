@@ -10,6 +10,7 @@ use yukta_core::schemes::Scheme;
 use yukta_workloads::catalog;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("fig12_13");
     let workloads = catalog::evaluation_set();
     let schemes = Scheme::figure12();
     println!(

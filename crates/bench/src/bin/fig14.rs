@@ -9,6 +9,7 @@ use yukta_core::schemes::Scheme;
 use yukta_workloads::catalog;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("fig14");
     let workloads = catalog::mixes::all();
     let schemes = Scheme::all();
     println!(

@@ -10,7 +10,7 @@
 //! (b) E×D minimization under the same three bound settings, normalized to
 //!     Coordinated heuristic (paper: −50%, −41%, −30%).
 
-use yukta_bench::{eval_options, geomean, run_one, trace_csv, write_results};
+use yukta_bench::{eval_options, geomean, run_one, table_csv, trace_csv, write_results};
 use yukta_core::controllers::ssv::{SsvHwController, SsvOsController};
 use yukta_core::design::{Design, DesignOptions, build_design};
 use yukta_core::runtime::Experiment;
@@ -53,6 +53,7 @@ fn fixed_target_controllers(design: &Design) -> Controllers {
 }
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("fig15");
     let bounds = [0.20, 0.30, 0.50];
     let wl = catalog::parsec::blackscholes();
 
@@ -94,7 +95,7 @@ fn main() {
         .iter()
         .map(|w| run_one(Scheme::CoordinatedHeuristic, w).metrics.exd())
         .collect();
-    let mut csv = String::from("bound,normalized_exd\n");
+    let mut rows = Vec::new();
     for b in bounds {
         let design = design_with_bounds(b);
         let ratios: Vec<f64> = workloads
@@ -110,8 +111,11 @@ fn main() {
             .collect();
         let avg = geomean(&ratios);
         println!("bounds ±{:.0}%: normalized E x D = {avg:.3}", b * 100.0);
-        csv.push_str(&format!("{b},{avg:.4}\n"));
+        rows.push(vec![b, avg]);
     }
-    write_results("fig15b_exd.csv", &csv);
+    write_results(
+        "fig15b_exd.csv",
+        &table_csv(&["bound", "normalized_exd"], &rows, 4),
+    );
     println!("\nPaper reference: ±20% → 0.50, ±30% → 0.59, ±50% → 0.70.");
 }

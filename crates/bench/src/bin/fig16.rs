@@ -10,18 +10,19 @@
 //!     and the execution less optimal (paper: 0.50 at ±40%, rising with
 //!     the guardband).
 
-use yukta_bench::{eval_options, geomean, run_one, write_results};
+use yukta_bench::{eval_options, geomean, run_one, table_csv, write_results};
 use yukta_core::design::{DesignOptions, build_design};
 use yukta_core::runtime::Experiment;
 use yukta_core::schemes::Scheme;
 use yukta_workloads::catalog;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("fig16");
     let guardbands = [0.4, 1.0, 2.5, 5.0];
     println!("Figure 16(a): guaranteed output deviation bounds vs guardband\n");
     let mut designs = Vec::new();
     let mut baseline_bounds: Option<Vec<f64>> = None;
-    let mut csv_a = String::from("guardband,perf_bound,p_big_bound,p_little_bound,temp_bound\n");
+    let mut rows_a = Vec::new();
     for g in guardbands {
         let opts = DesignOptions {
             hw_uncertainty: g,
@@ -40,10 +41,7 @@ fn main() {
                         .collect::<Vec<_>>(),
                     d.hw_ssv.mu_peak
                 );
-                csv_a.push_str(&format!(
-                    "{g},{:.4},{:.4},{:.4},{:.4}\n",
-                    gb[0], gb[1], gb[2], gb[3]
-                ));
+                rows_a.push(vec![g, gb[0], gb[1], gb[2], gb[3]]);
                 designs.push((g, d));
             }
             Err(e) => {
@@ -55,7 +53,20 @@ fn main() {
             }
         }
     }
-    write_results("fig16a_bounds.csv", &csv_a);
+    write_results(
+        "fig16a_bounds.csv",
+        &table_csv(
+            &[
+                "guardband",
+                "perf_bound",
+                "p_big_bound",
+                "p_little_bound",
+                "temp_bound",
+            ],
+            &rows_a,
+            4,
+        ),
+    );
 
     println!("\nFigure 16(b): E x D vs guardband (normalized to Coordinated heuristic)\n");
     // A representative subset keeps this sensitivity sweep affordable; the
@@ -70,7 +81,7 @@ fn main() {
         .iter()
         .map(|w| run_one(Scheme::CoordinatedHeuristic, w).metrics.exd())
         .collect();
-    let mut csv_b = String::from("guardband,normalized_exd\n");
+    let mut rows_b = Vec::new();
     for (g, design) in &designs {
         let ratios: Vec<f64> = workloads
             .iter()
@@ -90,9 +101,12 @@ fn main() {
             "guardband ±{:>4.0}%: normalized E x D = {avg:.3}",
             g * 100.0
         );
-        csv_b.push_str(&format!("{g},{avg:.4}\n"));
+        rows_b.push(vec![*g, avg]);
     }
-    write_results("fig16b_exd.csv", &csv_b);
+    write_results(
+        "fig16b_exd.csv",
+        &table_csv(&["guardband", "normalized_exd"], &rows_b, 4),
+    );
     println!("\nPaper reference: E x D lowest at ±40% and rising with the guardband;");
     println!("bounds similar up to ±250%, degrading beyond.");
 }

@@ -16,6 +16,7 @@ use yukta_core::signals::HwOutputs;
 use yukta_workloads::catalog;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("fig17");
     let weights = [0.5, 1.0, 2.0];
     let wl = catalog::parsec::blackscholes();
     println!("Figure 17: big-cluster power under fixed 2.5 W target, weight sweep\n");

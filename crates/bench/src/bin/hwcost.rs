@@ -14,6 +14,7 @@ use yukta_control::runtime::{ControllerCost, ObsAwController};
 use yukta_core::design::default_design;
 
 fn main() {
+    let _obs = yukta_bench::obs::capture("hwcost");
     let d = default_design();
     println!("Hardware SSV controller implementation cost (Section VI-D)\n");
     for (name, syn) in [("hardware", &d.hw_ssv), ("software", &d.os_ssv)] {

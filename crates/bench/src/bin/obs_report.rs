@@ -1,0 +1,72 @@
+//! Validates and summarizes telemetry exports produced by `--obs` runs.
+//!
+//! ```text
+//! obs_report results/obs_bench_faults.jsonl results/obs_bench_faults_chrome.json
+//! obs_report --check results/obs_*.jsonl   # validate only, exit 1 on failure
+//! ```
+//!
+//! `.jsonl` files are checked against the JSONL wire format (one object
+//! per line, monotone timestamps, aggregates last) and, without
+//! `--check`, rendered as the per-phase breakdown. `.json` files are
+//! checked as Chrome `trace_event` documents.
+
+use yukta_obs::export::{validate_chrome, validate_jsonl};
+use yukta_obs::report::{render, summarize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_only = args.iter().any(|a| a == "--check");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("usage: obs_report [--check] <obs_*.jsonl|obs_*_chrome.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: read failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if path.ends_with(".jsonl") {
+            match validate_jsonl(&text) {
+                Ok(s) => {
+                    println!(
+                        "{path}: jsonl OK ({} spans, {} events, {} counters, {} gauges, {} hists)",
+                        s.spans, s.events, s.counters, s.gauges, s.hists
+                    );
+                    if !check_only {
+                        match summarize(&text) {
+                            Ok(sum) => println!("{}", render(&sum)),
+                            Err(e) => {
+                                eprintln!("{path}: summarize failed: {e}");
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID jsonl: {e}");
+                    failed = true;
+                }
+            }
+        } else {
+            match validate_chrome(&text) {
+                Ok(s) => println!(
+                    "{path}: chrome trace OK ({} complete, {} instant events)",
+                    s.complete, s.instants
+                ),
+                Err(e) => {
+                    eprintln!("{path}: INVALID chrome trace: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

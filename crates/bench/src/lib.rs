@@ -11,6 +11,8 @@ use std::io::Write as _;
 use std::path::Path;
 
 use yukta_core::metrics::Report;
+
+pub mod obs;
 use yukta_core::runtime::{Experiment, RunOptions};
 use yukta_core::schemes::Scheme;
 use yukta_workloads::Workload;
@@ -196,6 +198,29 @@ pub fn write_results(path: &str, contents: &str) {
     println!("[wrote {}]", full.display());
 }
 
+/// Formats a numeric table as CSV with fixed decimals — the shared writer
+/// behind every figure's scalar table (trace time series go through
+/// [`trace_csv`], normalized sweeps through [`Sweep::write_csv`]).
+///
+/// # Panics
+///
+/// Panics (debug) when a row's width differs from the header's.
+pub fn table_csv(columns: &[&str], rows: &[Vec<f64>], decimals: usize) -> String {
+    let mut out = columns.join(",");
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), columns.len(), "ragged CSV row");
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{v:.decimals$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// A named trace-sample projection used as a CSV column.
 pub type TraceColumn<'a> = (&'a str, fn(&yukta_core::metrics::TraceSample) -> f64);
 
@@ -226,5 +251,11 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
         assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_csv_formats_rows() {
+        let csv = table_csv(&["a", "b"], &[vec![1.0, 2.5], vec![0.25, 10.0]], 2);
+        assert_eq!(csv, "a,b\n1.00,2.50\n0.25,10.00\n");
     }
 }

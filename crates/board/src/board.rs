@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use yukta_obs::{ObsHandle, Value};
 
 use crate::config::{BoardConfig, Cluster};
 use crate::faults::{FaultEvent, FaultInjector, FaultPlan, FaultStats};
@@ -122,6 +123,9 @@ pub struct Board {
     /// Fault injector sitting between the plant and every observer
     /// (sensors) / requester (actuations). `None` = fault-free board.
     faults: Option<FaultInjector>,
+    /// Telemetry sink for actuation/TMU/fault events. Never consulted by
+    /// the physics: an instrumented board is bit-identical to a plain one.
+    obs: ObsHandle,
 }
 
 impl Board {
@@ -159,6 +163,7 @@ impl Board {
             time: 0.0,
             cfg,
             faults: None,
+            obs: ObsHandle::default(),
         }
     }
 
@@ -174,6 +179,44 @@ impl Board {
     /// The configuration the board was built with.
     pub fn config(&self) -> &BoardConfig {
         &self.cfg
+    }
+
+    /// Points the board's telemetry at a specific recorder. The default
+    /// handle follows the process-global recorder ([`yukta_obs::handle`]),
+    /// so this is only needed when a run wants its own sink.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// Emits `board.fault` events for fault-trace entries from `from` on.
+    fn emit_fault_events(&self, from: usize) {
+        let rec = self.obs.get();
+        if !rec.enabled() {
+            return;
+        }
+        if let Some(inj) = &self.faults {
+            for ev in &inj.trace()[from..] {
+                rec.event(
+                    "board.fault",
+                    &[
+                        ("kind", Value::Str(ev.kind.label())),
+                        ("channel", Value::Str(ev.channel.label())),
+                        ("value", Value::F64(ev.value)),
+                        ("t_sim", Value::F64(ev.time)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Fault-trace length when telemetry is on, `None` otherwise — the
+    /// marker [`Board::emit_fault_events`] resumes from.
+    fn fault_mark(&self) -> Option<usize> {
+        if self.obs.get().enabled() {
+            self.faults.as_ref().map(|f| f.trace().len())
+        } else {
+            None
+        }
     }
 
     /// Aggregate fault-injection counters (`None` on a fault-free board).
@@ -193,6 +236,15 @@ impl Board {
     /// injector, which may reject the DVFS part, ignore the hotplug part,
     /// or hold the whole request back for one invocation.
     pub fn actuate(&mut self, act: &Actuation) {
+        let obs_on = self.obs.get().enabled();
+        let fault_mark = self.fault_mark();
+        let prev = obs_on.then_some((
+            self.req_f_big,
+            self.req_f_little,
+            self.req_big_cores,
+            self.req_little_cores,
+            self.placement,
+        ));
         let act = match &mut self.faults {
             Some(inj) => inj.filter_actuation(self.time, act),
             None => *act,
@@ -242,6 +294,64 @@ impl Board {
                 self.stall_big = self.stall_big.max(self.cfg.migration_stall);
                 self.stall_little = self.stall_little.max(self.cfg.migration_stall);
             }
+        }
+        if let Some((pf_big, pf_little, pbc, plc, ppl)) = prev {
+            let rec = self.obs.get();
+            let t = self.time;
+            if (self.req_f_big - pf_big).abs() > 1e-9 {
+                rec.event(
+                    "board.dvfs",
+                    &[
+                        ("cluster", Value::Str("big")),
+                        ("f_ghz", Value::F64(self.req_f_big)),
+                        ("t_sim", Value::F64(t)),
+                    ],
+                );
+            }
+            if (self.req_f_little - pf_little).abs() > 1e-9 {
+                rec.event(
+                    "board.dvfs",
+                    &[
+                        ("cluster", Value::Str("little")),
+                        ("f_ghz", Value::F64(self.req_f_little)),
+                        ("t_sim", Value::F64(t)),
+                    ],
+                );
+            }
+            if self.req_big_cores != pbc {
+                rec.event(
+                    "board.hotplug",
+                    &[
+                        ("cluster", Value::Str("big")),
+                        ("cores", Value::U64(self.req_big_cores as u64)),
+                        ("t_sim", Value::F64(t)),
+                    ],
+                );
+            }
+            if self.req_little_cores != plc {
+                rec.event(
+                    "board.hotplug",
+                    &[
+                        ("cluster", Value::Str("little")),
+                        ("cores", Value::U64(self.req_little_cores as u64)),
+                        ("t_sim", Value::F64(t)),
+                    ],
+                );
+            }
+            if self.placement != ppl {
+                rec.event(
+                    "board.migrate",
+                    &[
+                        ("threads_big", Value::U64(self.placement.threads_big as u64)),
+                        ("packing_big", Value::F64(self.placement.packing_big)),
+                        ("packing_little", Value::F64(self.placement.packing_little)),
+                        ("t_sim", Value::F64(t)),
+                    ],
+                );
+            }
+        }
+        if let Some(from) = fault_mark {
+            self.emit_fault_events(from);
         }
     }
 
@@ -368,6 +478,11 @@ impl Board {
         self.energy_j += (p_big + p_little) * dt;
 
         // Emergency heuristics observe the (lagging) sensor powers.
+        let tmu_before = if self.obs.get().enabled() {
+            Some((self.tmu.caps(), self.tmu.trips()))
+        } else {
+            None
+        };
         self.tmu.step(
             dt,
             self.thermal.t_hot,
@@ -375,6 +490,36 @@ impl Board {
             self.p_sensor_little.read(),
             f_big,
         );
+        if let Some((caps_before, trips_before)) = tmu_before {
+            let rec = self.obs.get();
+            let caps_after = self.tmu.caps();
+            let trips_after = self.tmu.trips();
+            if trips_after > trips_before {
+                rec.counter_add("board.tmu_trips", trips_after - trips_before);
+            }
+            if caps_after.active() != caps_before.active() {
+                let name = if caps_after.active() {
+                    "board.tmu_engage"
+                } else {
+                    "board.tmu_release"
+                };
+                rec.event(
+                    name,
+                    &[
+                        (
+                            "f_big_cap",
+                            Value::F64(caps_after.f_big.unwrap_or(f64::NAN)),
+                        ),
+                        (
+                            "big_cores_cap",
+                            Value::F64(caps_after.big_cores.map_or(f64::NAN, |c| c as f64)),
+                        ),
+                        ("t_hot", Value::F64(self.thermal.t_hot)),
+                        ("t_sim", Value::F64(self.time)),
+                    ],
+                );
+            }
+        }
 
         self.time += dt;
         StepReport {
@@ -405,15 +550,20 @@ impl Board {
     /// Last completed power-sensor reading for a cluster (W), as seen
     /// through the fault injector when one is installed.
     pub fn read_power(&mut self, c: Cluster) -> f64 {
+        let fault_mark = self.fault_mark();
         let truth = match c {
             Cluster::Big => self.p_sensor_big.read(),
             Cluster::Little => self.p_sensor_little.read(),
         };
-        match (&mut self.faults, c) {
+        let read = match (&mut self.faults, c) {
             (Some(inj), Cluster::Big) => inj.filter_power_big(self.time, truth),
             (Some(inj), Cluster::Little) => inj.filter_power_little(self.time, truth),
             (None, _) => truth,
+        };
+        if let Some(from) = fault_mark {
+            self.emit_fault_events(from);
         }
+        read
     }
 
     /// Whether a cluster's power sensor has completed its first window
@@ -431,12 +581,17 @@ impl Board {
     /// The board's own RNG is always consumed identically, so installing a
     /// zero-severity injector never perturbs the plant's noise stream.
     pub fn read_temp(&mut self) -> f64 {
+        let fault_mark = self.fault_mark();
         let noise = self.cfg.sensors.temp_noise;
         let truth = self.thermal.t_hot + self.rng.gen_range(-noise..=noise);
-        match &mut self.faults {
+        let read = match &mut self.faults {
             Some(inj) => inj.filter_temp(self.time, truth),
             None => truth,
+        };
+        if let Some(from) = fault_mark {
+            self.emit_fault_events(from);
         }
+        read
     }
 
     /// Cumulative retired giga-instructions on a cluster.
@@ -758,6 +913,71 @@ mod tests {
         run(&mut b, &eight_threads(), 0.3);
         assert!(b.power_ready(Cluster::Big));
         assert!(b.power_ready(Cluster::Little));
+    }
+
+    #[test]
+    fn instrumented_board_is_bit_identical_and_captures_events() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        use yukta_obs::mem::MemRecorder;
+
+        // Push the board hard enough to trip the TMU, change every knob,
+        // and inject faults — with and without a recorder attached.
+        let drive = |b: &mut Board| {
+            let loads = eight_threads();
+            b.actuate(&Actuation {
+                f_big: Some(2.0),
+                f_little: Some(1.2),
+                big_cores: Some(3),
+                little_cores: Some(3),
+                placement: Some(Placement {
+                    threads_big: 6,
+                    packing_big: 2.0,
+                    packing_little: 1.0,
+                }),
+            });
+            let mut sig = Vec::new();
+            for _ in 0..40 {
+                run(b, &loads, 0.5);
+                sig.push(b.read_power(Cluster::Big).to_bits());
+                sig.push(b.read_temp().to_bits());
+            }
+            sig.push(b.energy().to_bits());
+            sig.push(b.total_instructions().to_bits());
+            sig.push(b.tmu_trips());
+            sig
+        };
+        let plan = FaultPlan::uniform(13, 0.8);
+        let mut plain = Board::with_faults(BoardConfig::odroid_xu3(), plan.clone());
+        let rec = Arc::new(MemRecorder::new());
+        let mut observed = Board::with_faults(BoardConfig::odroid_xu3(), plan);
+        observed.set_obs(ObsHandle::new(rec.clone()));
+        assert_eq!(
+            drive(&mut plain),
+            drive(&mut observed),
+            "obs perturbed physics"
+        );
+        let snap = rec.snapshot();
+        let names: std::collections::HashSet<&str> = snap.entries.iter().map(|e| e.name).collect();
+        for expected in [
+            "board.dvfs",
+            "board.hotplug",
+            "board.migrate",
+            "board.fault",
+        ] {
+            assert!(names.contains(expected), "missing {expected}: {names:?}");
+        }
+        assert!(
+            names.contains("board.tmu_engage"),
+            "sustained max frequency must surface TMU telemetry: {names:?}"
+        );
+        let trips = snap
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "board.tmu_trips")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(trips > 0, "trip counter missing: {:?}", snap.counters);
     }
 
     #[test]

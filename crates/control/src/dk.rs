@@ -8,9 +8,10 @@
 //! determines the guaranteed output deviation bounds.
 
 use yukta_linalg::{Error, Result};
+use yukta_obs::{Recorder, Value};
 
 use crate::hinf::hinf_bisect;
-use crate::mu::{log_grid, mu_peak};
+use crate::mu::{log_grid, mu_peak, mu_peak_obs};
 use crate::plant::{SsvPlant, SsvSpec, build_ssv_plant};
 use crate::ss::StateSpace;
 
@@ -94,6 +95,26 @@ impl Default for DkOptions {
 /// # }
 /// ```
 pub fn synthesize_ssv(model: &StateSpace, spec: &SsvSpec, opts: DkOptions) -> Result<SsvSynthesis> {
+    synthesize_ssv_obs(model, spec, opts, yukta_obs::handle())
+}
+
+/// [`synthesize_ssv`] reporting per-phase telemetry to an explicit
+/// [`Recorder`]: one `dk.synthesize` span over the whole synthesis, a
+/// `dk.iteration` span per D–K iteration containing a `dk.k_step` span
+/// around the γ-bisection and a nested `mu.sweep` span, plus `dk.d_step`
+/// events carrying the scaling updates. Telemetry never influences the
+/// computation — results are identical to [`synthesize_ssv`].
+///
+/// # Errors
+///
+/// Same as [`synthesize_ssv`].
+pub fn synthesize_ssv_obs(
+    model: &StateSpace,
+    spec: &SsvSpec,
+    opts: DkOptions,
+    rec: &dyn Recorder,
+) -> Result<SsvSynthesis> {
+    let total_span = yukta_obs::span(rec, "dk.synthesize");
     let plant = build_ssv_plant(model, spec)?;
     let blocks = plant.mu_blocks();
     let w_nyquist = std::f64::consts::PI / spec.ts;
@@ -104,7 +125,9 @@ pub fn synthesize_ssv(model: &StateSpace, spec: &SsvSpec, opts: DkOptions) -> Re
     let mut iters = 0;
     for _ in 0..opts.max_iters.max(1) {
         iters += 1;
+        let iter_span = yukta_obs::span(rec, "dk.iteration");
         let scaled = plant.scaled(d_scale)?;
+        let k_span = yukta_obs::span(rec, "dk.k_step");
         let (design, gamma) = match hinf_bisect(&scaled, 0.05, 64.0, opts.gamma_iters) {
             Ok(kg) => kg,
             Err(e) => {
@@ -114,9 +137,15 @@ pub fn synthesize_ssv(model: &StateSpace, spec: &SsvSpec, opts: DkOptions) -> Re
                 return Err(e);
             }
         };
+        if rec.enabled() {
+            k_span.end_with(&[
+                ("gamma", Value::F64(gamma)),
+                ("gamma_iters", Value::U64(opts.gamma_iters as u64)),
+            ]);
+        }
         // Evaluate µ on the *unscaled* closed loop.
         let cl = plant.gen.lft(&design.k)?;
-        let peak = mu_peak(&cl, &blocks, &grid)?;
+        let peak = mu_peak_obs(&cl, &blocks, &grid, rec)?;
         let better = best_design
             .as_ref()
             .map(|(_, _, mu, _)| peak.peak < *mu)
@@ -129,6 +158,17 @@ pub fn synthesize_ssv(model: &StateSpace, spec: &SsvSpec, opts: DkOptions) -> Re
         // exactly what re-evaluating the loop there would produce —
         // reuse them instead of paying another solve + D-optimization.
         let new_d = peak.scalings[0].clamp(1e-3, 1e3);
+        if rec.enabled() {
+            rec.event(
+                "dk.d_step",
+                &[
+                    ("iter", Value::U64(iters as u64)),
+                    ("d_scale", Value::F64(new_d)),
+                    ("mu", Value::F64(peak.peak)),
+                ],
+            );
+            iter_span.end_with(&[("iter", Value::U64(iters as u64))]);
+        }
         if (new_d / d_scale - 1.0).abs() < 0.05 {
             break; // scalings converged
         }
@@ -142,6 +182,13 @@ pub fn synthesize_ssv(model: &StateSpace, spec: &SsvSpec, opts: DkOptions) -> Re
     let controller = plant.deploy_anti_windup(&design)?;
     let scale = mu.max(1.0);
     let guaranteed_bounds = spec.output_bounds.iter().map(|b| b * scale).collect();
+    if rec.enabled() {
+        total_span.end_with(&[
+            ("iterations", Value::U64(iters as u64)),
+            ("gamma", Value::F64(gamma)),
+            ("mu", Value::F64(mu)),
+        ]);
+    }
     Ok(SsvSynthesis {
         controller,
         gamma,
@@ -277,6 +324,29 @@ mod tests {
         let scale = syn.mu_peak.max(1.0);
         for (g, b) in syn.guaranteed_bounds.iter().zip(&toy_spec().output_bounds) {
             assert!((g - b * scale).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn instrumented_synthesis_is_bit_identical_and_captures_phases() {
+        let base = synthesize_ssv(&toy_model(), &toy_spec(), DkOptions::default()).unwrap();
+        let rec = yukta_obs::mem::MemRecorder::new();
+        let obs =
+            synthesize_ssv_obs(&toy_model(), &toy_spec(), DkOptions::default(), &rec).unwrap();
+        assert_eq!(base.gamma.to_bits(), obs.gamma.to_bits());
+        assert_eq!(base.mu_peak.to_bits(), obs.mu_peak.to_bits());
+        assert_eq!(base.iterations, obs.iterations);
+        assert_eq!(base.scalings, obs.scalings);
+        let snap = rec.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name).collect();
+        for phase in [
+            "dk.synthesize",
+            "dk.iteration",
+            "dk.k_step",
+            "mu.sweep",
+            "dk.d_step",
+        ] {
+            assert!(names.contains(&phase), "missing phase {phase} in {names:?}");
         }
     }
 

@@ -17,6 +17,7 @@
 use yukta_linalg::freq::FreqEvaluator;
 use yukta_linalg::svd::sigma_max;
 use yukta_linalg::{C64, CMat, Error, Result};
+use yukta_obs::{Recorder, Value};
 
 use crate::ss::StateSpace;
 use crate::sweep;
@@ -311,6 +312,27 @@ fn fold_peak(grid: &[f64], results: Vec<Option<MuInfo>>, blocks: &[MuBlock]) -> 
     peak
 }
 
+/// Closes a `mu.sweep` span with the sweep's shape and result attached.
+/// Skips field construction entirely on disabled recorders.
+fn end_mu_span(
+    span: yukta_obs::Span<'_>,
+    rec: &dyn Recorder,
+    mode: &'static str,
+    sys: &StateSpace,
+    grid: &[f64],
+    peak: &MuPeak,
+) {
+    if rec.enabled() {
+        span.end_with(&[
+            ("mode", Value::Str(mode)),
+            ("points", Value::U64(grid.len() as u64)),
+            ("order", Value::U64(sys.order() as u64)),
+            ("mu", Value::F64(peak.peak)),
+            ("w_peak", Value::F64(peak.w_peak)),
+        ]);
+    }
+}
+
 /// Sweeps the µ upper bound of a closed-loop system over a frequency grid
 /// and returns the peak.
 ///
@@ -323,10 +345,30 @@ fn fold_peak(grid: &[f64], results: Vec<Option<MuInfo>>, blocks: &[MuBlock]) -> 
 /// Returns block-structure mismatches; frequencies where the response is
 /// singular are skipped.
 pub fn mu_peak(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Result<MuPeak> {
+    mu_peak_obs(sys, blocks, grid, yukta_obs::handle())
+}
+
+/// [`mu_peak`] reporting telemetry to an explicit [`Recorder`] (one
+/// `mu.sweep` span per call; the sweep driver adds fan-out events to the
+/// process-global recorder). Results are identical to [`mu_peak`] —
+/// telemetry never influences the computation.
+///
+/// # Errors
+///
+/// Same as [`mu_peak`].
+pub fn mu_peak_obs(
+    sys: &StateSpace,
+    blocks: &[MuBlock],
+    grid: &[f64],
+    rec: &dyn Recorder,
+) -> Result<MuPeak> {
     check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let span = yukta_obs::span(rec, "mu.sweep");
     let ts = sys.ts();
     let results = sweep::sweep(sys.freq_system(), grid, |_, w, ev| mu_at(ev, ts, w, blocks));
-    Ok(fold_peak(grid, results, blocks))
+    let peak = fold_peak(grid, results, blocks);
+    end_mu_span(span, rec, "parallel", sys, grid, &peak);
+    Ok(peak)
 }
 
 /// Single-threaded reference for [`mu_peak`]: identical per-point work,
@@ -338,9 +380,13 @@ pub fn mu_peak(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Result<MuP
 /// Same as [`mu_peak`].
 pub fn mu_peak_serial(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Result<MuPeak> {
     check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let rec = yukta_obs::handle();
+    let span = yukta_obs::span(rec, "mu.sweep");
     let ts = sys.ts();
     let results = sweep::sweep_serial(sys.freq_system(), grid, |_, w, ev| mu_at(ev, ts, w, blocks));
-    Ok(fold_peak(grid, results, blocks))
+    let peak = fold_peak(grid, results, blocks);
+    end_mu_span(span, rec, "serial", sys, grid, &peak);
+    Ok(peak)
 }
 
 /// [`mu_peak`] under an explicit [`sweep::SimdPolicy`], resolved strictly
@@ -358,11 +404,15 @@ pub fn mu_peak_with(
     policy: sweep::SimdPolicy,
 ) -> Result<MuPeak> {
     check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let rec = yukta_obs::handle();
+    let span = yukta_obs::span(rec, "mu.sweep");
     let ts = sys.ts();
     let results = sweep::sweep_with(sys.freq_system(), grid, policy, |_, w, ev| {
         mu_at(ev, ts, w, blocks)
     })?;
-    Ok(fold_peak(grid, results, blocks))
+    let peak = fold_peak(grid, results, blocks);
+    end_mu_span(span, rec, "parallel", sys, grid, &peak);
+    Ok(peak)
 }
 
 /// [`mu_peak_serial`] under an explicit [`sweep::SimdPolicy`], resolved
@@ -372,6 +422,33 @@ pub fn mu_peak_with(
 ///
 /// Same as [`mu_peak_with`].
 pub fn mu_peak_serial_with(
+    sys: &StateSpace,
+    blocks: &[MuBlock],
+    grid: &[f64],
+    policy: sweep::SimdPolicy,
+) -> Result<MuPeak> {
+    check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
+    let rec = yukta_obs::handle();
+    let span = yukta_obs::span(rec, "mu.sweep");
+    let ts = sys.ts();
+    let results = sweep::sweep_serial_with(sys.freq_system(), grid, policy, |_, w, ev| {
+        mu_at(ev, ts, w, blocks)
+    })?;
+    let peak = fold_peak(grid, results, blocks);
+    end_mu_span(span, rec, "serial", sys, grid, &peak);
+    Ok(peak)
+}
+
+/// [`mu_peak_serial_with`] with **no instrumentation at all** — not even
+/// the disabled-recorder virtual calls. This is the honest baseline the
+/// `bench_sweep --quick` overhead gate compares the no-op-instrumented
+/// path against; it must stay semantically identical to
+/// [`mu_peak_serial_with`].
+///
+/// # Errors
+///
+/// Same as [`mu_peak_serial_with`].
+pub fn mu_peak_serial_raw(
     sys: &StateSpace,
     blocks: &[MuBlock],
     grid: &[f64],

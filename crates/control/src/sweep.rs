@@ -31,6 +31,7 @@ use yukta_linalg::Result;
 use yukta_linalg::freq::{FreqEvaluator, FreqSystem};
 use yukta_linalg::simd;
 pub use yukta_linalg::simd::{SimdPath, SimdPolicy};
+use yukta_obs::Value;
 
 /// Fewest grid points a worker must receive before thread fan-out pays
 /// for itself; shorter sweeps run serially. Also the floor on
@@ -149,6 +150,18 @@ where
     if workers <= 1 {
         return sweep_serial_for_path(sys, grid, path, f);
     }
+    let rec = yukta_obs::handle();
+    if rec.enabled() {
+        rec.event(
+            "sweep.fanout",
+            &[
+                ("points", Value::U64(grid.len() as u64)),
+                ("workers", Value::U64(workers as u64)),
+                ("chunk_points", Value::U64(chunk as u64)),
+                ("path", Value::Str(path.label())),
+            ],
+        );
+    }
     // Worker t claims chunks t, t + workers, t + 2·workers, … — a static
     // round-robin that needs no work queue and keeps assignment (hence
     // evaluator state per point) deterministic.
@@ -163,11 +176,23 @@ where
                     while ci * chunk < grid.len() {
                         let start = ci * chunk;
                         let end = (start + chunk).min(grid.len());
+                        let token = rec.enabled().then(|| rec.span_begin("sweep.chunk"));
                         let vals: Vec<T> = grid[start..end]
                             .iter()
                             .enumerate()
                             .map(|(k, &w)| f(start + k, w, &mut ev))
                             .collect();
+                        if let Some(token) = token {
+                            rec.span_end(
+                                "sweep.chunk",
+                                token,
+                                &[
+                                    ("chunk", Value::U64(ci as u64)),
+                                    ("start", Value::U64(start as u64)),
+                                    ("len", Value::U64((end - start) as u64)),
+                                ],
+                            );
+                        }
                         parts.push((ci, vals));
                         ci += workers;
                     }

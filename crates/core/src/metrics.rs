@@ -24,6 +24,41 @@ impl Metrics {
     }
 }
 
+/// Wall-clock controller compute cost of one run: how much *real* time the
+/// controller stack spent inside `invoke` across the run (the simulated
+/// trace only carries simulated time). This is the control-law jitter
+/// budget a production deployment cares about — the paper's prototype ran
+/// as privileged processes every 500 ms, so `max_ns` must stay far below
+/// that period.
+///
+/// Wall-clock times are inherently nondeterministic, so this struct is
+/// deliberately **excluded** from [`Report::bit_identical`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ComputeStats {
+    /// Controller invocations measured.
+    pub invocations: u64,
+    /// Total wall-clock time inside `invoke` (ns).
+    pub total_ns: u64,
+    /// Worst single invocation (ns).
+    pub max_ns: u64,
+}
+
+impl ComputeStats {
+    /// Mean wall-clock time per invocation (ns); 0 when nothing ran.
+    pub fn mean_ns(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.invocations as f64
+        }
+    }
+
+    /// Total wall-clock compute time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
 /// One sampled point of an execution trace (taken at each controller
 /// invocation, every 500 ms).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -129,6 +164,9 @@ pub struct Report {
     pub supervisor: Option<SupervisorStats>,
     /// Fault-injection record (`None` when no faults were planned).
     pub faults: Option<FaultReport>,
+    /// Wall-clock controller compute cost (excluded from
+    /// [`Report::bit_identical`] — real time is nondeterministic).
+    pub compute: ComputeStats,
 }
 
 impl Report {
@@ -137,6 +175,10 @@ impl Report {
     /// discrete fields via equality. This is the crash-recovery
     /// acceptance predicate: a recovered run must reproduce the
     /// uninterrupted run's report exactly, not approximately.
+    ///
+    /// [`Report::compute`] is deliberately not compared: it carries
+    /// wall-clock (real-time) measurements, which legitimately differ
+    /// between two otherwise identical runs.
     pub fn bit_identical(&self, other: &Report) -> bool {
         let metrics_ok = self.metrics.energy_joules.to_bits()
             == other.metrics.energy_joules.to_bits()

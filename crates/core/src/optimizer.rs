@@ -57,6 +57,11 @@ impl HwOptimizer {
     /// One optimizer step: reads the measured outputs, moves the targets.
     pub fn update(&mut self, y: &HwOutputs) -> HwOutputs {
         let exd = Self::exd_proxy(y);
+        let rec = yukta_obs::handle();
+        if rec.enabled() {
+            rec.counter_add("optimizer.hw_steps", 1);
+            rec.gauge_set("optimizer.hw_exd_proxy", exd);
+        }
         if !self.initialized {
             self.initialized = true;
             // Optimistic start: aim near the constraint envelope right
@@ -196,6 +201,11 @@ impl OsOptimizer {
     pub fn update(&mut self, y: &OsOutputs, system: &HwOutputs) -> OsOutputs {
         self.ticks += 1;
         let exd = HwOptimizer::exd_proxy(system);
+        let rec = yukta_obs::handle();
+        if rec.enabled() {
+            rec.counter_add("optimizer.os_steps", 1);
+            rec.gauge_set("optimizer.os_exd_proxy", exd);
+        }
         if !self.initialized {
             self.initialized = true;
             // Optimistic start (see HwOptimizer): most of the throughput

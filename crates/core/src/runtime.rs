@@ -11,14 +11,17 @@
 //! a run that never crashed.
 
 use std::panic::{AssertUnwindSafe, catch_unwind, resume_unwind};
+use std::sync::Arc;
+use std::time::Instant;
 
 use yukta_board::{Actuation, Board, BoardConfig, Cluster, FaultPlan, Placement};
 use yukta_linalg::{Error, Result};
+use yukta_obs::{ObsHandle, Recorder, Value};
 use yukta_workloads::{Workload, WorkloadRun};
 
 use crate::controllers::{HwSense, OsSense};
 use crate::design::{Design, default_design};
-use crate::metrics::{FaultReport, Metrics, Report, Trace, TraceSample};
+use crate::metrics::{ComputeStats, FaultReport, Metrics, Report, Trace, TraceSample};
 use crate::recorder::{Journal, JournalRecord, ReplayOutcome, replay_with};
 use crate::schemes::{Controllers, ControllersState, Scheme};
 use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, spare_capacity};
@@ -72,6 +75,16 @@ impl Engine {
                 why: "raw/supervised shape mismatch",
             }),
         }
+    }
+}
+
+/// Telemetry label for an engine mode (`None` = raw engine, no supervisor).
+fn mode_label(mode: Option<SupervisorMode>) -> &'static str {
+    match mode {
+        None => "raw",
+        Some(SupervisorMode::Primary) => "primary",
+        Some(SupervisorMode::Fallback) => "fallback",
+        Some(SupervisorMode::Safe) => "safe",
     }
 }
 
@@ -174,6 +187,12 @@ struct RunState {
     /// Length of the board's fault trace already attributed to journal
     /// records (the next record carries the delta).
     fault_trace_len: usize,
+    /// Wall-clock `invoke` accounting (rolled back with the checkpoint on
+    /// crash recovery; replayed invocations are re-measured).
+    compute: ComputeStats,
+    /// Engine mode at the previous invocation, for `supervisor.transition`
+    /// telemetry events.
+    last_mode: Option<SupervisorMode>,
 }
 
 /// One recovery point: a deep copy of the run state, the engine snapshot,
@@ -189,6 +208,7 @@ pub struct Experiment {
     scheme: Scheme,
     design: Design,
     options: RunOptions,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Experiment {
@@ -203,6 +223,7 @@ impl Experiment {
             scheme,
             design: default_design().clone(),
             options: RunOptions::default(),
+            recorder: None,
         })
     }
 
@@ -213,6 +234,7 @@ impl Experiment {
             scheme,
             design,
             options: RunOptions::default(),
+            recorder: None,
         }
     }
 
@@ -220,6 +242,32 @@ impl Experiment {
     pub fn with_options(mut self, options: RunOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Attaches an explicit telemetry recorder to this experiment's runs.
+    /// Without one, runtime telemetry goes to the process-global recorder
+    /// ([`yukta_obs::handle`]) — the shared no-op unless a bench installed
+    /// a sink. Recording never perturbs the run: an instrumented run's
+    /// [`Report`] is bit-identical to an uninstrumented one.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The recorder serving this experiment's runtime telemetry.
+    fn rec(&self) -> &dyn Recorder {
+        match &self.recorder {
+            Some(r) => r.as_ref(),
+            None => yukta_obs::handle(),
+        }
+    }
+
+    /// A cloneable handle on the same recorder, for the board.
+    fn obs_handle(&self) -> ObsHandle {
+        match &self.recorder {
+            Some(r) => ObsHandle::new(Arc::clone(r)),
+            None => ObsHandle::default(),
+        }
     }
 
     /// The scheme under test.
@@ -316,10 +364,11 @@ impl Experiment {
             cfg.seed = seed;
         }
         let steps_per_invocation = (0.5 / cfg.dt).round() as usize;
-        let board = match plan {
+        let mut board = match plan {
             Some(p) => Board::with_faults(cfg, p.clone()),
             None => Board::new(cfg),
         };
+        board.set_obs(self.obs_handle());
         RunState {
             board,
             run: WorkloadRun::new(workload),
@@ -331,6 +380,8 @@ impl Experiment {
             done: false,
             step: 0,
             fault_trace_len: 0,
+            compute: ComputeStats::default(),
+            last_mode: None,
         }
     }
 
@@ -418,8 +469,40 @@ impl Experiment {
             limits: self.options.limits,
         };
         // Invoke the controllers (both see the pre-invocation state,
-        // like the prototype's independent processes).
+        // like the prototype's independent processes). Wall-clock timing is
+        // always on: ComputeStats is the production jitter budget and two
+        // `Instant` reads are noise next to one controller invocation.
+        let rec = self.rec();
+        let span = yukta_obs::span(rec, "runtime.invoke");
+        let t0 = Instant::now();
         let (hw_u, os_u) = engine.invoke(&hw_sense, &os_sense)?;
+        let invoke_ns = t0.elapsed().as_nanos() as u64;
+        let mode = engine.mode();
+        if rec.enabled() {
+            span.end_with(&[
+                ("step", Value::U64(st.step)),
+                ("t_sim", Value::F64(now)),
+                ("mode", Value::Str(mode_label(mode))),
+            ]);
+            rec.hist_record("runtime.invoke_ns", invoke_ns as f64);
+            if mode != st.last_mode {
+                rec.event(
+                    "supervisor.transition",
+                    &[
+                        ("from", Value::Str(mode_label(st.last_mode))),
+                        ("to", Value::Str(mode_label(mode))),
+                        ("step", Value::U64(st.step)),
+                        ("t_sim", Value::F64(now)),
+                    ],
+                );
+            }
+        } else {
+            drop(span);
+        }
+        st.last_mode = mode;
+        st.compute.invocations += 1;
+        st.compute.total_ns += invoke_ns;
+        st.compute.max_ns = st.compute.max_ns.max(invoke_ns);
         st.board.actuate(&Actuation {
             f_big: Some(hw_u.f_big),
             f_little: Some(hw_u.f_little),
@@ -465,7 +548,7 @@ impl Experiment {
             os_sense,
             hw_u,
             os_u,
-            mode: engine.mode(),
+            mode,
             fault_events,
         };
         st.step += 1;
@@ -501,6 +584,7 @@ impl Experiment {
             trace: st.trace,
             supervisor,
             faults,
+            compute: st.compute,
         }
     }
 
@@ -568,12 +652,22 @@ impl Experiment {
         recovery.checkpoints = 1;
         while !st.done {
             if st.step > ckpt.state.step && st.step.is_multiple_of(interval) {
+                let rec = self.rec();
+                let span = yukta_obs::span(rec, "runtime.checkpoint");
                 ckpt = Checkpoint {
                     state: st.clone(),
                     engine: engine.save_state(),
                     journal_len: journal.len(),
                 };
                 recovery.checkpoints += 1;
+                if rec.enabled() {
+                    span.end_with(&[
+                        ("step", Value::U64(st.step)),
+                        ("journal_len", Value::U64(journal.len() as u64)),
+                    ]);
+                } else {
+                    drop(span);
+                }
             }
             let crash_here = pending.first() == Some(&st.step);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -583,6 +677,10 @@ impl Experiment {
                 Ok(result) => {
                     if let Some(record) = result? {
                         journal.push(record);
+                        let rec = self.rec();
+                        if rec.enabled() {
+                            rec.counter_add("runtime.journal_records", 1);
+                        }
                     }
                 }
                 Err(payload) => {
@@ -591,9 +689,14 @@ impl Experiment {
                     }
                     pending.remove(0);
                     recovery.crashes += 1;
+                    let rec = self.rec();
+                    if rec.enabled() {
+                        rec.event("runtime.crash", &[("step", Value::U64(st.step))]);
+                    }
                     // The daemon died mid-invocation: its partial step is
                     // lost. Restart from the binary (fresh instantiation),
                     // load the checkpoint, replay the journal suffix.
+                    let recover_span = yukta_obs::span(rec, "runtime.recover");
                     engine = self.build_engine(sup_cfg)?;
                     engine.restore_state(&ckpt.engine)?;
                     st = ckpt.state.clone();
@@ -614,6 +717,18 @@ impl Experiment {
                         }
                     }
                     recovery.recoveries += 1;
+                    if rec.enabled() {
+                        recover_span.end_with(&[
+                            ("step", Value::U64(st.step)),
+                            (
+                                "replayed",
+                                Value::U64((journal.len() - ckpt.journal_len) as u64),
+                            ),
+                            ("divergences", Value::U64(recovery.replay_divergences)),
+                        ]);
+                    } else {
+                        drop(recover_span);
+                    }
                 }
             }
         }

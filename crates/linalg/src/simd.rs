@@ -68,6 +68,16 @@ pub enum SimdPath {
     Avx2Fma,
 }
 
+impl SimdPath {
+    /// Stable lowercase name used in telemetry and benchmark records.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Avx2Fma => "avx2_fma",
+        }
+    }
+}
+
 /// Whether this host can run the AVX2+FMA path. Detected once, cached.
 pub fn detected() -> bool {
     static DETECTED: OnceLock<bool> = OnceLock::new();

@@ -1,0 +1,414 @@
+//! Telemetry exporters: JSONL event log and Chrome `trace_event` JSON
+//! (loadable in `chrome://tracing` / Perfetto), plus the validators CI uses
+//! to reject malformed exports.
+//!
+//! Wire formats (golden-pinned by `tests/golden_wire.rs`):
+//!
+//! JSONL — one JSON object per line, spans and events first (sorted by
+//! `ts_ns`), then aggregates:
+//! ```text
+//! {"type":"span","name":"dk.iteration","tid":0,"ts_ns":100,"dur_ns":50,"fields":{"iter":1}}
+//! {"type":"event","name":"board.fault","tid":0,"ts_ns":150,"fields":{"kind":"spike"}}
+//! {"type":"counter","name":"optimizer.hw_steps","total":12}
+//! {"type":"gauge","name":"optimizer.hw_ema_exd","value":1.5}
+//! {"type":"hist","name":"runtime.invoke_ns","count":2,"sum":7000,"min":2000,"max":5000,"buckets":[{"le":1000,"count":0},...]}
+//! ```
+//!
+//! Chrome trace — a single `{"displayTimeUnit":"ms","traceEvents":[...]}`
+//! document: spans as complete (`"ph":"X"`) events, point events as thread
+//! instants (`"ph":"i","s":"t"`), timestamps in microseconds with
+//! nanosecond precision (3 decimals). Aggregate metrics are JSONL-only.
+
+use crate::json::{self, Json};
+use crate::mem::{Entry, OwnedValue, Snapshot};
+
+/// Formats an f64 as a strict JSON token. JSON has no NaN/Infinity, so
+/// non-finite values become `null` (consumers treat them as absent).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding inside JSON quotes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_value(v: &OwnedValue) -> String {
+    match v {
+        OwnedValue::U64(x) => format!("{x}"),
+        OwnedValue::I64(x) => format!("{x}"),
+        OwnedValue::F64(x) => fmt_f64(*x),
+        OwnedValue::Str(s) => format!("\"{}\"", escape(s)),
+        OwnedValue::Bool(b) => format!("{b}"),
+    }
+}
+
+fn fmt_fields(fields: &[(&'static str, OwnedValue)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape(k), fmt_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn jsonl_entry(e: &Entry) -> String {
+    let mut line = match e.dur_ns {
+        Some(dur) => format!(
+            "{{\"type\":\"span\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{},\"dur_ns\":{}",
+            escape(e.name),
+            e.tid,
+            e.ts_ns,
+            dur
+        ),
+        None => format!(
+            "{{\"type\":\"event\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{}",
+            escape(e.name),
+            e.tid,
+            e.ts_ns
+        ),
+    };
+    if !e.fields.is_empty() {
+        line.push_str(",\"fields\":");
+        line.push_str(&fmt_fields(&e.fields));
+    }
+    line.push('}');
+    line
+}
+
+/// Renders a snapshot as a JSONL event log (trailing newline included when
+/// non-empty).
+pub fn to_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.entries {
+        out.push_str(&jsonl_entry(e));
+        out.push('\n');
+    }
+    for (name, total) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"total\":{}}}\n",
+            escape(name),
+            total
+        ));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+            escape(name),
+            fmt_f64(*value)
+        ));
+    }
+    for (name, h) in &snap.hists {
+        let buckets: Vec<String> = h
+            .bounds()
+            .iter()
+            .map(Some)
+            .chain(std::iter::once(None))
+            .zip(h.counts())
+            .map(|(le, count)| {
+                let le = le.map_or_else(|| "null".to_string(), |b| fmt_f64(*b));
+                format!("{{\"le\":{le},\"count\":{count}}}")
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+            escape(name),
+            h.count(),
+            fmt_f64(h.sum()),
+            h.min().map_or_else(|| "null".to_string(), fmt_f64),
+            h.max().map_or_else(|| "null".to_string(), fmt_f64),
+            buckets.join(",")
+        ));
+    }
+    out
+}
+
+/// Microseconds with nanosecond precision, the unit Chrome's trace viewer
+/// expects.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Renders a snapshot in Chrome `trace_event` format. Only spans and point
+/// events appear; aggregate counters/gauges/histograms are JSONL-only.
+pub fn to_chrome_trace(snap: &Snapshot) -> String {
+    let mut events = vec![
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"yukta\"}}"
+            .to_string(),
+    ];
+    for e in &snap.entries {
+        let args = if e.fields.is_empty() {
+            String::new()
+        } else {
+            format!(",\"args\":{}", fmt_fields(&e.fields))
+        };
+        let ev = match e.dur_ns {
+            Some(dur) => format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}{}}}",
+                escape(e.name),
+                e.tid,
+                us(e.ts_ns),
+                us(dur),
+                args
+            ),
+            None => format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\"{}}}",
+                escape(e.name),
+                e.tid,
+                us(e.ts_ns),
+                args
+            ),
+        };
+        events.push(ev);
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+/// Summary of a validated JSONL log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonlStats {
+    pub spans: usize,
+    pub events: usize,
+    pub counters: usize,
+    pub gauges: usize,
+    pub hists: usize,
+}
+
+/// Validates a JSONL telemetry log: every line is a JSON object carrying a
+/// known `type`, a `name`, and (for spans/events) non-negative `ts_ns` /
+/// `dur_ns` with `ts_ns` non-decreasing within the span/event prefix.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let mut stats = JsonlStats::default();
+    let mut last_ts: f64 = 0.0;
+    let mut aggregates_started = false;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {n}: blank line in JSONL log"));
+        }
+        let v = json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing \"type\""))?;
+        if v.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("line {n}: missing \"name\""));
+        }
+        match ty {
+            "span" | "event" => {
+                if aggregates_started {
+                    return Err(format!("line {n}: span/event after aggregate section"));
+                }
+                let ts = v
+                    .get("ts_ns")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {n}: missing numeric \"ts_ns\""))?;
+                if ts < 0.0 {
+                    return Err(format!("line {n}: negative ts_ns"));
+                }
+                if ts < last_ts {
+                    return Err(format!("line {n}: ts_ns not monotonically non-decreasing"));
+                }
+                last_ts = ts;
+                if ty == "span" {
+                    let dur = v
+                        .get("dur_ns")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("line {n}: span missing numeric \"dur_ns\""))?;
+                    if dur < 0.0 {
+                        return Err(format!("line {n}: negative dur_ns"));
+                    }
+                    stats.spans += 1;
+                } else {
+                    stats.events += 1;
+                }
+            }
+            "counter" => {
+                aggregates_started = true;
+                if v.get("total").and_then(Json::as_f64).is_none() {
+                    return Err(format!("line {n}: counter missing \"total\""));
+                }
+                stats.counters += 1;
+            }
+            "gauge" => {
+                aggregates_started = true;
+                if v.get("value").is_none() {
+                    return Err(format!("line {n}: gauge missing \"value\""));
+                }
+                stats.gauges += 1;
+            }
+            "hist" => {
+                aggregates_started = true;
+                if v.get("buckets").and_then(Json::as_arr).is_none() {
+                    return Err(format!("line {n}: hist missing \"buckets\""));
+                }
+                stats.hists += 1;
+            }
+            other => return Err(format!("line {n}: unknown type {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+/// Summary of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    pub complete: usize,
+    pub instants: usize,
+}
+
+/// Validates a Chrome `trace_event` document: well-formed JSON, a
+/// `traceEvents` array, and for every timed event strictly non-negative,
+/// monotonically non-decreasing `ts` plus non-negative `dur`.
+pub fn validate_chrome(text: &str) -> Result<ChromeStats, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing \"traceEvents\" array".to_string())?;
+    let mut stats = ChromeStats::default();
+    let mut last_ts: f64 = 0.0;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing \"name\""));
+        }
+        if ph == "M" {
+            continue; // metadata records carry no timestamp
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric \"ts\""))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts"));
+        }
+        if ts < last_ts {
+            return Err(format!("event {i}: ts not monotonically non-decreasing"));
+        }
+        last_ts = ts;
+        match ph {
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: complete event missing \"dur\""))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+                stats.complete += 1;
+            }
+            "i" => stats.instants += 1,
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemRecorder;
+    use crate::{Recorder, Value, span};
+
+    fn sample() -> Snapshot {
+        let rec = MemRecorder::manual();
+        rec.set_time_ns(100);
+        let s = span(&rec, "dk.iteration");
+        rec.advance_ns(50);
+        s.end_with(&[("iter", Value::U64(1))]);
+        rec.event("board.fault", &[("kind", Value::Str("spike"))]);
+        rec.counter_add("optimizer.hw_steps", 12);
+        rec.gauge_set("optimizer.hw_ema_exd", 1.5);
+        rec.hist_record("runtime.invoke_ns", 2000.0);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_export_validates() {
+        let text = to_jsonl(&sample());
+        let stats = validate_jsonl(&text).unwrap();
+        assert_eq!(
+            stats,
+            JsonlStats {
+                spans: 1,
+                events: 1,
+                counters: 1,
+                gauges: 1,
+                hists: 1
+            }
+        );
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let text = to_chrome_trace(&sample());
+        let stats = validate_chrome(&text).unwrap();
+        assert_eq!(
+            stats,
+            ChromeStats {
+                complete: 1,
+                instants: 1
+            }
+        );
+    }
+
+    #[test]
+    fn validators_reject_corruption() {
+        let good = to_jsonl(&sample());
+        let truncated = &good[..good.len() - 10];
+        assert!(validate_jsonl(truncated).is_err());
+        assert!(validate_chrome("{\"traceEvents\":{}}").is_err());
+        assert!(
+            validate_chrome(
+                "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":-1.0,\"dur\":0}]}"
+            )
+            .is_err()
+        );
+        assert!(validate_chrome(
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":5.0,\"dur\":1},{\"name\":\"y\",\"ph\":\"i\",\"ts\":1.0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let rec = MemRecorder::manual();
+        rec.event("e", &[("bad", Value::F64(f64::NAN))]);
+        rec.gauge_set("g", f64::INFINITY);
+        let text = to_jsonl(&rec.snapshot());
+        assert!(text.contains("\"bad\":null"));
+        assert!(text.contains("\"value\":null"));
+        validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let rec = MemRecorder::manual();
+        rec.event("e", &[("msg", Value::Str("a\"b\\c\nd\u{1}"))]);
+        let text = to_jsonl(&rec.snapshot());
+        validate_jsonl(&text).unwrap();
+        assert!(text.contains("a\\\"b\\\\c\\nd\\u0001"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Fixed-bucket histograms with an allocation-free record path.
+
+/// Default bucket upper bounds for duration-style histograms, in
+/// nanoseconds: a ×4 geometric ladder from 1 µs to 4 s. Values above the
+/// last bound land in the implicit overflow bucket.
+pub const DEFAULT_NS_BOUNDS: [f64; 12] = [
+    1.0e3, 4.0e3, 1.6e4, 6.4e4, 2.56e5, 1.024e6, 4.096e6, 1.6384e7, 6.5536e7, 2.62144e8,
+    1.048576e9, 4.194304e9,
+];
+
+/// A histogram with bucket bounds fixed at construction. Recording is a
+/// linear scan over the (small) bound list plus four scalar updates — no
+/// allocation, no float formatting.
+#[derive(Debug, Clone)]
+pub struct FixedHistogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus a trailing overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl FixedHistogram {
+    /// A histogram with the given upper bounds (must be finite and strictly
+    /// increasing; violations are debug-asserted, not checked in release).
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(bounds.iter().all(|b| b.is_finite()));
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A histogram on the default nanosecond ladder.
+    pub fn new_ns() -> Self {
+        Self::new(&DEFAULT_NS_BOUNDS)
+    }
+
+    /// Records one observation. Non-finite values are counted (in
+    /// `count`) but excluded from sum/min/max and bucketed into overflow.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Minimum finite observation, or `None` before the first one.
+    pub fn min(&self) -> Option<f64> {
+        (self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Maximum finite observation, or `None` before the first one.
+    pub fn max(&self) -> Option<f64> {
+        (self.max.is_finite()).then_some(self.max)
+    }
+
+    /// Mean of finite observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_buckets() {
+        let mut h = FixedHistogram::new(&[10.0, 100.0]);
+        h.record(5.0);
+        h.record(10.0); // boundary values go into the bucket they bound
+        h.record(50.0);
+        h.record(1e9); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(5.0));
+        assert_eq!(h.max(), Some(1e9));
+    }
+
+    #[test]
+    fn non_finite_observations_are_counted_but_not_aggregated() {
+        let mut h = FixedHistogram::new(&[10.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.counts(), &[0, 2]);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = FixedHistogram::new_ns();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.counts().len(), DEFAULT_NS_BOUNDS.len() + 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Turns a JSONL telemetry log into a per-phase time/overhead summary —
+//! the analysis behind `bench/src/bin/obs_report.rs`.
+
+use crate::json::{self, Json};
+
+/// Aggregated statistics for one span name ("phase").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: f64,
+    pub max_ns: f64,
+    /// Share of the run's wall window (first span start → last span end)
+    /// spent inside this phase. Nested phases overlap, so shares can sum
+    /// past 100%.
+    pub wall_share: f64,
+}
+
+impl PhaseRow {
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns / self.count as f64
+        }
+    }
+}
+
+/// Everything `obs_report` prints, parsed out of one JSONL log.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Span phases sorted by total time, descending.
+    pub phases: Vec<PhaseRow>,
+    /// Event names with occurrence counts, sorted by count descending.
+    pub events: Vec<(String, u64)>,
+    pub counters: Vec<(String, f64)>,
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → (count, sum, min, max); `None` bounds collapse to
+    /// NaN-free options.
+    pub hists: Vec<(String, HistSummary)>,
+    /// Wall window covered by spans/events, in nanoseconds.
+    pub wall_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    pub count: f64,
+    pub sum: f64,
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+}
+
+/// Parses a JSONL telemetry log into a [`RunSummary`]. Lines must already
+/// be valid (run [`crate::export::validate_jsonl`] first for hard
+/// validation); this aggregator still fails loudly on unparseable lines.
+pub fn summarize(text: &str) -> Result<RunSummary, String> {
+    let mut sum = RunSummary::default();
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let ty = v.get("type").and_then(Json::as_str).unwrap_or("");
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
+        match ty {
+            "span" => {
+                let ts = v.get("ts_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                let dur = v.get("dur_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                t_min = t_min.min(ts);
+                t_max = t_max.max(ts + dur);
+                match sum.phases.iter_mut().find(|p| p.name == name) {
+                    Some(p) => {
+                        p.count += 1;
+                        p.total_ns += dur;
+                        p.max_ns = p.max_ns.max(dur);
+                    }
+                    None => sum.phases.push(PhaseRow {
+                        name: name.to_string(),
+                        count: 1,
+                        total_ns: dur,
+                        max_ns: dur,
+                        wall_share: 0.0,
+                    }),
+                }
+            }
+            "event" => {
+                let ts = v.get("ts_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                t_min = t_min.min(ts);
+                t_max = t_max.max(ts);
+                match sum.events.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, c)) => *c += 1,
+                    None => sum.events.push((name.to_string(), 1)),
+                }
+            }
+            "counter" => {
+                let total = v.get("total").and_then(Json::as_f64).unwrap_or(0.0);
+                sum.counters.push((name.to_string(), total));
+            }
+            "gauge" => {
+                let value = v.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                sum.gauges.push((name.to_string(), value));
+            }
+            "hist" => {
+                sum.hists.push((
+                    name.to_string(),
+                    HistSummary {
+                        count: v.get("count").and_then(Json::as_f64).unwrap_or(0.0),
+                        sum: v.get("sum").and_then(Json::as_f64).unwrap_or(0.0),
+                        min: v.get("min").and_then(Json::as_f64),
+                        max: v.get("max").and_then(Json::as_f64),
+                    },
+                ));
+            }
+            _ => return Err(format!("line {}: unknown record type {ty:?}", i + 1)),
+        }
+    }
+    sum.wall_ns = if t_max > t_min { t_max - t_min } else { 0.0 };
+    if sum.wall_ns > 0.0 {
+        for p in &mut sum.phases {
+            p.wall_share = p.total_ns / sum.wall_ns;
+        }
+    }
+    sum.phases.sort_by(|a, b| {
+        b.total_ns
+            .partial_cmp(&a.total_ns)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    sum.events.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Ok(sum)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Renders the per-phase breakdown as an aligned text table.
+pub fn render(sum: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wall window: {} across {} span phase(s), {} event name(s)\n\n",
+        fmt_ns(sum.wall_ns),
+        sum.phases.len(),
+        sum.events.len()
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>12} {:>12} {:>7}\n",
+        "phase", "count", "total", "mean", "max", "wall%"
+    ));
+    for p in &sum.phases {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>12} {:>12} {:>6.1}%\n",
+            p.name,
+            p.count,
+            fmt_ns(p.total_ns),
+            fmt_ns(p.mean_ns()),
+            fmt_ns(p.max_ns),
+            p.wall_share * 100.0
+        ));
+    }
+    if !sum.events.is_empty() {
+        out.push_str(&format!("\n{:<28} {:>8}\n", "event", "count"));
+        for (name, count) in &sum.events {
+            out.push_str(&format!("{name:<28} {count:>8}\n"));
+        }
+    }
+    if !sum.counters.is_empty() {
+        out.push_str(&format!("\n{:<28} {:>12}\n", "counter", "total"));
+        for (name, total) in &sum.counters {
+            out.push_str(&format!("{name:<28} {total:>12.0}\n"));
+        }
+    }
+    if !sum.gauges.is_empty() {
+        out.push_str(&format!("\n{:<28} {:>12}\n", "gauge", "value"));
+        for (name, value) in &sum.gauges {
+            out.push_str(&format!("{name:<28} {value:>12.4}\n"));
+        }
+    }
+    if !sum.hists.is_empty() {
+        out.push_str(&format!(
+            "\n{:<28} {:>8} {:>12} {:>12} {:>12}\n",
+            "histogram", "count", "mean", "min", "max"
+        ));
+        for (name, h) in &sum.hists {
+            let mean = if h.count > 0.0 { h.sum / h.count } else { 0.0 };
+            out.push_str(&format!(
+                "{:<28} {:>8.0} {:>12} {:>12} {:>12}\n",
+                name,
+                h.count,
+                fmt_ns(mean),
+                h.min.map_or_else(|| "-".into(), fmt_ns),
+                h.max.map_or_else(|| "-".into(), fmt_ns),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_jsonl;
+    use crate::mem::MemRecorder;
+    use crate::{Recorder, Value, span};
+
+    #[test]
+    fn summarize_aggregates_per_phase() {
+        let rec = MemRecorder::manual();
+        for i in 0..3u64 {
+            let s = span(&rec, "runtime.invoke");
+            rec.advance_ns(100 * (i + 1));
+            s.end_with(&[]);
+        }
+        rec.event("board.fault", &[("kind", Value::Str("spike"))]);
+        rec.event("board.fault", &[("kind", Value::Str("bias"))]);
+        rec.counter_add("optimizer.hw_steps", 4);
+        rec.hist_record("runtime.invoke_ns", 100.0);
+        let sum = summarize(&to_jsonl(&rec.snapshot())).unwrap();
+        assert_eq!(sum.phases.len(), 1);
+        assert_eq!(sum.phases[0].count, 3);
+        assert_eq!(sum.phases[0].total_ns, 600.0);
+        assert_eq!(sum.phases[0].max_ns, 300.0);
+        assert_eq!(sum.events, vec![("board.fault".to_string(), 2)]);
+        assert_eq!(sum.counters, vec![("optimizer.hw_steps".to_string(), 4.0)]);
+        let text = render(&sum);
+        assert!(text.contains("runtime.invoke"));
+        assert!(text.contains("board.fault"));
+    }
+
+    #[test]
+    fn render_handles_empty_logs() {
+        let sum = summarize("").unwrap();
+        assert!(render(&sum).contains("0 span phase(s)"));
+    }
+}

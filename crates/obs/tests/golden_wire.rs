@@ -1,0 +1,130 @@
+//! Golden tests pinning the telemetry wire formats.
+//!
+//! The JSONL log is a stable interchange format (`obs_report`, CI
+//! validation, and any external tooling parse it), so its exact byte layout
+//! is pinned here against a deterministic manual-clock recording. The
+//! Chrome `trace_event` export is pinned the same way, plus checked for
+//! well-formed JSON with strictly non-negative, monotonically consistent
+//! `ts`/`dur` fields. Changing an exporter means consciously updating
+//! these strings — that is the point.
+
+use yukta_obs::export::{to_chrome_trace, to_jsonl, validate_chrome, validate_jsonl};
+use yukta_obs::json;
+use yukta_obs::mem::{MemRecorder, Snapshot};
+use yukta_obs::{Recorder, Value, span};
+
+/// A fixed telemetry script driven by the manual clock: nested spans with
+/// and without fields, an event exercising every `Value` variant, and all
+/// three aggregate kinds.
+fn golden_snapshot() -> Snapshot {
+    let rec = MemRecorder::manual();
+    rec.set_time_ns(1_000);
+    let outer = span(&rec, "dk.synthesize");
+    rec.advance_ns(250);
+    let inner = span(&rec, "dk.k_step");
+    rec.advance_ns(500);
+    inner.end_with(&[("gamma", Value::F64(2.5)), ("iters", Value::U64(14))]);
+    rec.advance_ns(250);
+    outer.end_with(&[]);
+    rec.event(
+        "board.fault",
+        &[
+            ("kind", Value::Str("spike")),
+            ("t_sim", Value::F64(12.0)),
+            ("delta", Value::I64(-3)),
+            ("masked", Value::Bool(false)),
+        ],
+    );
+    rec.counter_add("optimizer.hw_steps", 3);
+    rec.gauge_set("optimizer.hw_ema_exd", 0.125);
+    rec.register_hist("runtime.invoke_ns", &[1000.0, 10000.0]);
+    rec.hist_record("runtime.invoke_ns", 500.0);
+    rec.hist_record("runtime.invoke_ns", 20000.0);
+    rec.snapshot()
+}
+
+const GOLDEN_JSONL: &str = "\
+{\"type\":\"span\",\"name\":\"dk.synthesize\",\"tid\":0,\"ts_ns\":1000,\"dur_ns\":1000}\n\
+{\"type\":\"span\",\"name\":\"dk.k_step\",\"tid\":0,\"ts_ns\":1250,\"dur_ns\":500,\"fields\":{\"gamma\":2.5,\"iters\":14}}\n\
+{\"type\":\"event\",\"name\":\"board.fault\",\"tid\":0,\"ts_ns\":2000,\"fields\":{\"kind\":\"spike\",\"t_sim\":12,\"delta\":-3,\"masked\":false}}\n\
+{\"type\":\"counter\",\"name\":\"optimizer.hw_steps\",\"total\":3}\n\
+{\"type\":\"gauge\",\"name\":\"optimizer.hw_ema_exd\",\"value\":0.125}\n\
+{\"type\":\"hist\",\"name\":\"runtime.invoke_ns\",\"count\":2,\"sum\":20500,\"min\":500,\"max\":20000,\"buckets\":[{\"le\":1000,\"count\":1},{\"le\":10000,\"count\":0},{\"le\":null,\"count\":1}]}\n";
+
+const GOLDEN_CHROME: &str = "\
+{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"yukta\"}},\n\
+{\"name\":\"dk.synthesize\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.000,\"dur\":1.000},\n\
+{\"name\":\"dk.k_step\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.250,\"dur\":0.500,\"args\":{\"gamma\":2.5,\"iters\":14}},\n\
+{\"name\":\"board.fault\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":2.000,\"s\":\"t\",\"args\":{\"kind\":\"spike\",\"t_sim\":12,\"delta\":-3,\"masked\":false}}\n\
+]}\n";
+
+#[test]
+fn jsonl_wire_format_is_pinned() {
+    assert_eq!(to_jsonl(&golden_snapshot()), GOLDEN_JSONL);
+}
+
+#[test]
+fn golden_jsonl_passes_its_own_validator() {
+    let stats = validate_jsonl(GOLDEN_JSONL).expect("golden JSONL must validate");
+    assert_eq!(stats.spans, 2);
+    assert_eq!(stats.events, 1);
+    assert_eq!(stats.counters, 1);
+    assert_eq!(stats.gauges, 1);
+    assert_eq!(stats.hists, 1);
+}
+
+#[test]
+fn chrome_wire_format_is_pinned() {
+    assert_eq!(to_chrome_trace(&golden_snapshot()), GOLDEN_CHROME);
+}
+
+#[test]
+fn chrome_export_is_wellformed_with_consistent_timestamps() {
+    let text = to_chrome_trace(&golden_snapshot());
+    // Structural validity via the shared validator…
+    let stats = validate_chrome(&text).expect("chrome export must validate");
+    assert_eq!(stats.complete, 2);
+    assert_eq!(stats.instants, 1);
+    // …and the invariants re-asserted directly, so this test fails even if
+    // the validator regresses alongside the exporter.
+    let doc = json::parse(&text).expect("chrome export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Json::as_arr)
+        .expect("traceEvents array");
+    let mut last_ts = 0.0_f64;
+    let mut timed = 0usize;
+    for ev in events {
+        let Some(ts) = ev.get("ts").and_then(json::Json::as_f64) else {
+            continue; // metadata record
+        };
+        assert!(ts >= 0.0, "ts must be non-negative, got {ts}");
+        assert!(
+            ts >= last_ts,
+            "ts must be non-decreasing ({ts} < {last_ts})"
+        );
+        last_ts = ts;
+        if let Some(dur) = ev.get("dur").and_then(json::Json::as_f64) {
+            assert!(dur >= 0.0, "dur must be non-negative, got {dur}");
+        }
+        timed += 1;
+    }
+    assert_eq!(timed, 3, "expected 3 timed events in the golden trace");
+}
+
+#[test]
+fn monotonic_recorder_exports_also_validate() {
+    // Same invariants hold with the real clock (nondeterministic values,
+    // deterministic structure).
+    let rec = MemRecorder::new();
+    for i in 0..4u64 {
+        let s = span(&rec, "runtime.invoke");
+        rec.event("board.dvfs", &[("f", Value::F64(1.8 + i as f64 * 0.1))]);
+        s.end_with(&[("step", Value::U64(i))]);
+    }
+    rec.counter_add("runtime.journal_records", 4);
+    let snap = rec.snapshot();
+    validate_jsonl(&to_jsonl(&snap)).expect("jsonl must validate");
+    validate_chrome(&to_chrome_trace(&snap)).expect("chrome must validate");
+}
