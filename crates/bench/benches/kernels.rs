@@ -153,6 +153,7 @@ fn bench_ssv_synthesis(c: &mut Criterion) {
         max_iters: 1,
         gamma_iters: 8,
         n_freq: 15,
+        ..DkOptions::default()
     };
     let mut group = c.benchmark_group("synthesis");
     group.sample_size(10);

@@ -3,22 +3,43 @@
 //! ```text
 //! obs_report results/obs_bench_faults.jsonl results/obs_bench_faults_chrome.json
 //! obs_report --check results/obs_*.jsonl   # validate only, exit 1 on failure
+//! obs_report --phases dk results/obs_bench_resynth.jsonl
 //! ```
 //!
 //! `.jsonl` files are checked against the JSONL wire format (one object
 //! per line, monotone timestamps, aggregates last) and, without
 //! `--check`, rendered as the per-phase breakdown. `.json` files are
-//! checked as Chrome `trace_event` documents.
+//! checked as Chrome `trace_event` documents. `--phases dk` replaces the
+//! generic breakdown with the per-D–K-iteration table (K-step,
+//! γ-bisection, D-step wall time per iteration).
 
 use yukta_obs::export::{validate_chrome, validate_jsonl};
-use yukta_obs::report::{render, summarize};
+use yukta_obs::report::{dk_phase_breakdown, render, render_dk, summarize};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_only = args.iter().any(|a| a == "--check");
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut phases: Option<String> = None;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--phases" {
+            phases = it.next().cloned();
+        } else if let Some(p) = a.strip_prefix("--phases=") {
+            phases = Some(p.to_string());
+        } else if !a.starts_with("--") {
+            files.push(a);
+        }
+    }
+    match phases.as_deref() {
+        None | Some("dk") => {}
+        Some(other) => {
+            eprintln!("unknown --phases mode {other:?} (supported: dk)");
+            std::process::exit(2);
+        }
+    }
     if files.is_empty() {
-        eprintln!("usage: obs_report [--check] <obs_*.jsonl|obs_*_chrome.json>...");
+        eprintln!("usage: obs_report [--check] [--phases dk] <obs_*.jsonl|obs_*_chrome.json>...");
         std::process::exit(2);
     }
     let mut failed = false;
@@ -39,11 +60,24 @@ fn main() {
                         s.spans, s.events, s.counters, s.gauges, s.hists
                     );
                     if !check_only {
-                        match summarize(&text) {
-                            Ok(sum) => println!("{}", render(&sum)),
-                            Err(e) => {
-                                eprintln!("{path}: summarize failed: {e}");
-                                failed = true;
+                        if phases.as_deref() == Some("dk") {
+                            match dk_phase_breakdown(&text) {
+                                Ok(rows) if rows.is_empty() => {
+                                    println!("{path}: no dk.* spans in log");
+                                }
+                                Ok(rows) => println!("{}", render_dk(&rows)),
+                                Err(e) => {
+                                    eprintln!("{path}: dk breakdown failed: {e}");
+                                    failed = true;
+                                }
+                            }
+                        } else {
+                            match summarize(&text) {
+                                Ok(sum) => println!("{}", render(&sum)),
+                                Err(e) => {
+                                    eprintln!("{path}: summarize failed: {e}");
+                                    failed = true;
+                                }
                             }
                         }
                     }

@@ -10,7 +10,7 @@
 use yukta_linalg::{Error, Result};
 use yukta_obs::{Recorder, Value};
 
-use crate::hinf::hinf_bisect;
+use crate::hinf::{DgkfFactors, GenPlant, hinf_bisect_multi, hinf_bisect_multi_factored};
 use crate::mu::{log_grid, mu_peak, mu_peak_obs};
 use crate::plant::{SsvPlant, SsvSpec, build_ssv_plant};
 use crate::ss::StateSpace;
@@ -45,10 +45,17 @@ pub struct SsvSynthesis {
 pub struct DkOptions {
     /// Maximum D–K iterations.
     pub max_iters: usize,
-    /// γ-bisection iterations per K-step.
+    /// γ-bisection iterations per K-step (the multi-candidate search
+    /// reaches the same bracket resolution in half as many rounds).
     pub gamma_iters: usize,
     /// Frequency-grid points for the µ sweep.
     pub n_freq: usize,
+    /// Lower edge of the µ frequency grid, rad/s.
+    pub w_min: f64,
+    /// Upper edge of the µ grid as a fraction of the Nyquist rate π/ts.
+    pub w_max_frac: f64,
+    /// Relative D-scaling change below which the iteration is converged.
+    pub d_converge_tol: f64,
 }
 
 impl Default for DkOptions {
@@ -57,7 +64,53 @@ impl Default for DkOptions {
             max_iters: 3,
             gamma_iters: 20,
             n_freq: 40,
+            w_min: 1e-3,
+            w_max_frac: 0.98,
+            d_converge_tol: 0.05,
         }
+    }
+}
+
+impl DkOptions {
+    /// Checks the options against the sample time `ts` before any
+    /// synthesis work starts: a degenerate frequency grid or a non-finite
+    /// tolerance would otherwise produce a silently meaningless µ sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSolution`] (op `dk_options`) naming the first
+    /// violated constraint.
+    pub fn validate(&self, ts: f64) -> Result<()> {
+        let fail = |why: &'static str| Error::NoSolution {
+            op: "dk_options",
+            why,
+        };
+        if self.n_freq == 0 {
+            return Err(fail("empty frequency grid (n_freq must be at least 1)"));
+        }
+        if !self.w_min.is_finite() || self.w_min <= 0.0 {
+            return Err(fail(
+                "frequency grid start w_min must be positive and finite",
+            ));
+        }
+        if !self.w_max_frac.is_finite() || self.w_max_frac <= 0.0 || self.w_max_frac > 1.0 {
+            return Err(fail("w_max_frac must lie in (0, 1]"));
+        }
+        if self.n_freq > 1 && self.w_min >= self.w_max_frac * std::f64::consts::PI / ts {
+            return Err(fail(
+                "frequency grid not monotone: w_min reaches the Nyquist cap",
+            ));
+        }
+        if !self.d_converge_tol.is_finite() || self.d_converge_tol <= 0.0 {
+            return Err(fail("d_converge_tol must be positive and finite"));
+        }
+        Ok(())
+    }
+
+    /// The µ sweep grid these options define for sample time `ts`.
+    fn grid(&self, ts: f64) -> Vec<f64> {
+        let w_nyquist = std::f64::consts::PI / ts;
+        log_grid(self.w_min, self.w_max_frac * w_nyquist, self.n_freq)
     }
 }
 
@@ -101,34 +154,62 @@ pub fn synthesize_ssv(model: &StateSpace, spec: &SsvSpec, opts: DkOptions) -> Re
 /// [`synthesize_ssv`] reporting per-phase telemetry to an explicit
 /// [`Recorder`]: one `dk.synthesize` span over the whole synthesis, a
 /// `dk.iteration` span per D–K iteration containing a `dk.k_step` span
-/// around the γ-bisection and a nested `mu.sweep` span, plus `dk.d_step`
-/// events carrying the scaling updates. Telemetry never influences the
-/// computation — results are identical to [`synthesize_ssv`].
+/// (plant scaling + factor extraction + synthesis) with a nested
+/// `dk.gamma_bisect` span around the multi-candidate γ-search, and a
+/// `dk.d_step` span around the µ sweep and scaling update (with a nested
+/// `mu.sweep` span). Every per-iteration span carries an `iter` field so
+/// `obs_report --phases dk` can attribute wall time per iteration.
+/// Telemetry never influences the computation — results are identical to
+/// [`synthesize_ssv`].
 ///
 /// # Errors
 ///
-/// Same as [`synthesize_ssv`].
+/// Same as [`synthesize_ssv`], plus [`Error::NoSolution`] (op
+/// `dk_options`) for invalid options.
 pub fn synthesize_ssv_obs(
     model: &StateSpace,
     spec: &SsvSpec,
     opts: DkOptions,
     rec: &dyn Recorder,
 ) -> Result<SsvSynthesis> {
+    opts.validate(spec.ts)?;
     let total_span = yukta_obs::span(rec, "dk.synthesize");
     let plant = build_ssv_plant(model, spec)?;
     let blocks = plant.mu_blocks();
-    let w_nyquist = std::f64::consts::PI / spec.ts;
-    let grid = log_grid(1e-3, 0.98 * w_nyquist, opts.n_freq);
+    let grid = opts.grid(spec.ts);
+    // D-scaling preserves the DGKF regularity structure (see
+    // `SsvPlant::scaled`), so the assumptions are checked once here and
+    // every K-step runs on the pre-validated factored path.
+    crate::hinf::validate_dgkf_plant(&plant.gen)?;
 
     let mut d_scale = 1.0f64;
     let mut best_design: Option<(crate::hinf::HinfDesign, f64, f64, Vec<f64>)> = None;
     let mut iters = 0;
+    // Scaled plants and their γ-independent DGKF factors, keyed by the
+    // exact bits of the scaling that produced them: iterations that
+    // revisit a scaling (oscillating D-steps, zero-change resynthesis)
+    // reuse the extraction instead of re-slicing and re-multiplying.
+    let mut fac_cache: Vec<(u64, GenPlant, DgkfFactors)> = Vec::new();
     for _ in 0..opts.max_iters.max(1) {
         iters += 1;
         let iter_span = yukta_obs::span(rec, "dk.iteration");
-        let scaled = plant.scaled(d_scale)?;
         let k_span = yukta_obs::span(rec, "dk.k_step");
-        let (design, gamma) = match hinf_bisect(&scaled, 0.05, 64.0, opts.gamma_iters) {
+        let cache_idx = match fac_cache
+            .iter()
+            .position(|(bits, _, _)| *bits == d_scale.to_bits())
+        {
+            Some(i) => i,
+            None => {
+                let scaled = plant.scaled(d_scale)?;
+                let fac = DgkfFactors::new(&scaled);
+                fac_cache.push((d_scale.to_bits(), scaled, fac));
+                fac_cache.len() - 1
+            }
+        };
+        let (_, scaled, fac) = &fac_cache[cache_idx];
+        let gb_span = yukta_obs::span(rec, "dk.gamma_bisect");
+        let bisect = hinf_bisect_multi_factored(scaled, fac, 0.05, 64.0, opts.gamma_iters);
+        let (design, gamma) = match bisect {
             Ok(kg) => kg,
             Err(e) => {
                 if best_design.is_some() {
@@ -138,12 +219,22 @@ pub fn synthesize_ssv_obs(
             }
         };
         if rec.enabled() {
+            gb_span.end_with(&[
+                ("iter", Value::U64(iters as u64)),
+                ("gamma", Value::F64(gamma)),
+            ]);
             k_span.end_with(&[
+                ("iter", Value::U64(iters as u64)),
                 ("gamma", Value::F64(gamma)),
                 ("gamma_iters", Value::U64(opts.gamma_iters as u64)),
             ]);
         }
-        // Evaluate µ on the *unscaled* closed loop.
+        // D-step: evaluate µ on the *unscaled* closed loop; the µ sweep
+        // already optimized the scalings at every grid point, so the ones
+        // reported at the peak frequency are exactly what re-evaluating
+        // the loop there would produce — reuse them instead of paying
+        // another solve + D-optimization.
+        let d_span = yukta_obs::span(rec, "dk.d_step");
         let cl = plant.gen.lft(&design.k)?;
         let peak = mu_peak_obs(&cl, &blocks, &grid, rec)?;
         let better = best_design
@@ -153,23 +244,16 @@ pub fn synthesize_ssv_obs(
         if better {
             best_design = Some((design, gamma, peak.peak, peak.scalings.clone()));
         }
-        // D-step: the µ sweep already optimized the scalings at every
-        // grid point, so the ones reported at the peak frequency are
-        // exactly what re-evaluating the loop there would produce —
-        // reuse them instead of paying another solve + D-optimization.
         let new_d = peak.scalings[0].clamp(1e-3, 1e3);
         if rec.enabled() {
-            rec.event(
-                "dk.d_step",
-                &[
-                    ("iter", Value::U64(iters as u64)),
-                    ("d_scale", Value::F64(new_d)),
-                    ("mu", Value::F64(peak.peak)),
-                ],
-            );
+            d_span.end_with(&[
+                ("iter", Value::U64(iters as u64)),
+                ("d_scale", Value::F64(new_d)),
+                ("mu", Value::F64(peak.peak)),
+            ]);
             iter_span.end_with(&[("iter", Value::U64(iters as u64))]);
         }
-        if (new_d / d_scale - 1.0).abs() < 0.05 {
+        if (new_d / d_scale - 1.0).abs() < opts.d_converge_tol {
             break; // scalings converged
         }
         d_scale = new_d;
@@ -206,10 +290,10 @@ pub fn synthesize_ssv_obs(
 ///
 /// Same as [`synthesize_ssv`].
 pub fn synthesize_on_plant(plant: &SsvPlant, opts: DkOptions) -> Result<SsvSynthesis> {
+    opts.validate(plant.ts)?;
     let blocks = plant.mu_blocks();
-    let w_nyquist = std::f64::consts::PI / plant.ts;
-    let grid = log_grid(1e-3, 0.98 * w_nyquist, opts.n_freq);
-    let (design, gamma) = hinf_bisect(&plant.gen, 0.05, 64.0, opts.gamma_iters)?;
+    let grid = opts.grid(plant.ts);
+    let (design, gamma) = hinf_bisect_multi(&plant.gen, 0.05, 64.0, opts.gamma_iters)?;
     let cl = plant.gen.lft(&design.k)?;
     let peak = mu_peak(&cl, &blocks, &grid)?;
     let controller = plant.deploy_anti_windup(&design)?;
@@ -343,11 +427,83 @@ mod tests {
             "dk.synthesize",
             "dk.iteration",
             "dk.k_step",
+            "dk.gamma_bisect",
             "mu.sweep",
             "dk.d_step",
         ] {
             assert!(names.contains(&phase), "missing phase {phase} in {names:?}");
         }
+    }
+
+    /// Each invalid option must be rejected with the typed `dk_options`
+    /// error before any synthesis work runs.
+    fn assert_rejected(opts: DkOptions) {
+        match synthesize_ssv(&toy_model(), &toy_spec(), opts) {
+            Err(Error::NoSolution { op, .. }) => assert_eq!(op, "dk_options"),
+            other => panic!("expected dk_options rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        assert_rejected(DkOptions {
+            n_freq: 0,
+            ..DkOptions::default()
+        });
+    }
+
+    #[test]
+    fn nonpositive_w_min_rejected() {
+        assert_rejected(DkOptions {
+            w_min: 0.0,
+            ..DkOptions::default()
+        });
+        assert_rejected(DkOptions {
+            w_min: f64::NAN,
+            ..DkOptions::default()
+        });
+    }
+
+    #[test]
+    fn out_of_range_w_max_frac_rejected() {
+        assert_rejected(DkOptions {
+            w_max_frac: 0.0,
+            ..DkOptions::default()
+        });
+        assert_rejected(DkOptions {
+            w_max_frac: 1.5,
+            ..DkOptions::default()
+        });
+        assert_rejected(DkOptions {
+            w_max_frac: f64::INFINITY,
+            ..DkOptions::default()
+        });
+    }
+
+    #[test]
+    fn non_monotone_grid_rejected() {
+        // w_min at the Nyquist cap: the log grid would collapse.
+        assert_rejected(DkOptions {
+            w_min: 0.98 * std::f64::consts::PI / 0.5,
+            ..DkOptions::default()
+        });
+    }
+
+    #[test]
+    fn bad_converge_tol_rejected() {
+        assert_rejected(DkOptions {
+            d_converge_tol: 0.0,
+            ..DkOptions::default()
+        });
+        assert_rejected(DkOptions {
+            d_converge_tol: f64::NAN,
+            ..DkOptions::default()
+        });
+    }
+
+    #[test]
+    fn default_options_validate() {
+        DkOptions::default().validate(0.5).unwrap();
     }
 
     #[test]

@@ -112,6 +112,18 @@ impl GenPlant {
     /// * [`Error::Singular`] if the algebraic loop `I − D_k·D22` is
     ///   singular.
     pub fn lft(&self, k: &StateSpace) -> Result<StateSpace> {
+        self.lft_with(&self.blocks(), k)
+    }
+
+    /// [`GenPlant::lft`] against pre-extracted partition blocks, so
+    /// γ-searches that close the loop once per candidate don't re-slice
+    /// the realization every time. `pb` must be this plant's own
+    /// [`GenPlant::blocks`] output.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GenPlant::lft`].
+    pub fn lft_with(&self, pb: &PlantBlocks, k: &StateSpace) -> Result<StateSpace> {
         if k.n_inputs() != self.n_y || k.n_outputs() != self.n_u {
             return Err(Error::DimensionMismatch {
                 op: "lft",
@@ -119,7 +131,6 @@ impl GenPlant {
                 rhs: (k.n_outputs(), k.n_inputs()),
             });
         }
-        let pb = self.blocks();
         let (np, nk) = (self.sys.order(), k.order());
         // u = (I − Dk D22)⁻¹ (Ck xk + Dk C2 xp + Dk D21 w)
         let loop_m = &Mat::identity(self.n_u) - &(k.d() * &pb.d22);
@@ -254,10 +265,52 @@ pub fn hinf_syn_full(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
     hinf_syn_validated(p, gamma)
 }
 
+/// γ-independent products of the DGKF synthesis, computed once per plant
+/// and shared by every γ candidate of a bisection — and, in D–K
+/// iteration, reusable across K-steps whenever the D-scaling (hence the
+/// scaled plant) is unchanged. Everything here depends only on the plant,
+/// not on γ: the partition blocks, the four Gram products entering the
+/// two Riccati equations, and `Aᵀ`.
+#[derive(Debug, Clone)]
+pub struct DgkfFactors {
+    /// The plant's partition blocks.
+    pub pb: PlantBlocks,
+    /// `B2·B2ᵀ` (X-Riccati quadratic term).
+    pub b2b2t: Mat,
+    /// `B1·B1ᵀ` (X-Riccati γ-correction and Y-Riccati constant term).
+    pub b1b1t: Mat,
+    /// `C1ᵀ·C1` (X-Riccati constant term and Y-Riccati γ-correction).
+    pub c1tc1: Mat,
+    /// `C2ᵀ·C2` (Y-Riccati quadratic term).
+    pub c2tc2: Mat,
+    /// `Aᵀ` (Y-Riccati state matrix).
+    pub at: Mat,
+}
+
+impl DgkfFactors {
+    /// Extracts the γ-independent synthesis products of `p`.
+    pub fn new(p: &GenPlant) -> Self {
+        let pb = p.blocks();
+        let b2b2t = &pb.b2 * &pb.b2.t();
+        let b1b1t = &pb.b1 * &pb.b1.t();
+        let c1tc1 = &pb.c1.t() * &pb.c1;
+        let c2tc2 = &pb.c2.t() * &pb.c2;
+        let at = pb.a.t();
+        DgkfFactors {
+            pb,
+            b2b2t,
+            b1b1t,
+            c1tc1,
+            c2tc2,
+            at,
+        }
+    }
+}
+
 /// γ-independent feasibility checks: the plant must be continuous and
 /// satisfy the DGKF assumptions. Hoisted out of [`hinf_syn_validated`] so
 /// γ-searches like [`hinf_bisect`] pay for them once, not per candidate.
-fn validate_dgkf_plant(p: &GenPlant) -> Result<()> {
+pub(crate) fn validate_dgkf_plant(p: &GenPlant) -> Result<()> {
     if p.sys.is_discrete() {
         return Err(Error::NoSolution {
             op: "hinf_syn",
@@ -270,20 +323,34 @@ fn validate_dgkf_plant(p: &GenPlant) -> Result<()> {
 /// The per-γ synthesis body; callers must have run
 /// [`validate_dgkf_plant`] on `p` first.
 fn hinf_syn_validated(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
-    let pb = p.blocks();
+    hinf_syn_factored(p, &DgkfFactors::new(p), gamma)
+}
+
+/// The per-γ synthesis body against cached γ-independent factors: only
+/// the γ-dependent Riccati corrections, solves, and the controller
+/// assembly run per candidate. `fac` must be `p`'s own
+/// [`DgkfFactors::new`] output, and callers must have run
+/// [`validate_dgkf_plant`] on `p` first (public entry points
+/// [`hinf_syn_full`] and the bisection drivers do both). Results are
+/// identical to recomputing the factors in place.
+///
+/// # Errors
+///
+/// [`Error::NoSolution`] if `gamma` is infeasible (Riccati failure,
+/// indefinite solution, or spectral-radius coupling violation).
+pub fn hinf_syn_factored(p: &GenPlant, fac: &DgkfFactors, gamma: f64) -> Result<HinfDesign> {
+    let pb = &fac.pb;
     let n = pb.a.rows();
     let g2 = gamma * gamma;
     // X∞: AᵀX + XA − X(B2B2ᵀ − γ⁻²B1B1ᵀ)X + C1ᵀC1 = 0
-    let gx = &(&pb.b2 * &pb.b2.t()) - &(&pb.b1 * &pb.b1.t()).scale(1.0 / g2);
-    let qx = &pb.c1.t() * &pb.c1;
-    let x = care(&pb.a, &gx, &qx).map_err(|_| Error::NoSolution {
+    let gx = &fac.b2b2t - &fac.b1b1t.scale(1.0 / g2);
+    let x = care(&pb.a, &gx, &fac.c1tc1).map_err(|_| Error::NoSolution {
         op: "hinf_syn",
         why: "X Riccati infeasible at this gamma",
     })?;
     // Y∞: AY + YAᵀ − Y(C2ᵀC2 − γ⁻²C1ᵀC1)Y + B1B1ᵀ = 0
-    let gy = &(&pb.c2.t() * &pb.c2) - &(&pb.c1.t() * &pb.c1).scale(1.0 / g2);
-    let qy = &pb.b1 * &pb.b1.t();
-    let y = care(&pb.a.t(), &gy, &qy).map_err(|_| Error::NoSolution {
+    let gy = &fac.c2tc2 - &fac.c1tc1.scale(1.0 / g2);
+    let y = care(&fac.at, &gy, &fac.b1b1t).map_err(|_| Error::NoSolution {
         op: "hinf_syn",
         why: "Y Riccati infeasible at this gamma",
     })?;
@@ -312,14 +379,13 @@ fn hinf_syn_validated(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
             why: "Z∞ singular at this gamma",
         })?;
     let zl = &z * &l;
-    let a_hat = &(&(&pb.a + &(&(&pb.b1 * &pb.b1.t()) * &x).scale(1.0 / g2)) + &(&pb.b2 * &f))
-        + &(&zl * &pb.c2);
+    let a_hat = &(&(&pb.a + &(&fac.b1b1t * &x).scale(1.0 / g2)) + &(&pb.b2 * &f)) + &(&zl * &pb.c2);
     let bk = -&zl;
     let ck = f;
     let dk = Mat::zeros(p.n_u, p.n_y);
     let k = StateSpace::new(a_hat.clone(), bk.clone(), ck.clone(), dk, None)?;
     // Sanity: the closed loop must be internally stable.
-    let cl = p.lft(&k)?;
+    let cl = p.lft_with(pb, &k)?;
     if !cl.is_stable()? {
         return Err(Error::NoSolution {
             op: "hinf_syn",
@@ -335,6 +401,27 @@ fn hinf_syn_validated(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
     })
 }
 
+/// Probes `g_hi` (expanding upward ×4 a few times if infeasible) to
+/// establish the feasible ceiling every bisection starts from.
+fn probe_ceiling(p: &GenPlant, fac: &DgkfFactors, g_hi: f64) -> Result<(HinfDesign, f64)> {
+    match hinf_syn_factored(p, fac, g_hi) {
+        Ok(k) => Ok((k, g_hi)),
+        Err(_) => {
+            let mut g = g_hi;
+            for _ in 0..6 {
+                g *= 4.0;
+                if let Ok(k) = hinf_syn_factored(p, fac, g) {
+                    return Ok((k, g));
+                }
+            }
+            Err(Error::NoSolution {
+                op: "hinf_bisect",
+                why: "no feasible gamma found in the search range",
+            })
+        }
+    }
+}
+
 /// Bisects γ between `g_lo` and `g_hi` and returns the best controller
 /// found with its achieved level.
 ///
@@ -343,33 +430,15 @@ fn hinf_syn_validated(p: &GenPlant, gamma: f64) -> Result<HinfDesign> {
 /// Returns [`Error::NoSolution`] if even `g_hi` is infeasible.
 pub fn hinf_bisect(p: &GenPlant, g_lo: f64, g_hi: f64, iters: usize) -> Result<(HinfDesign, f64)> {
     // The DGKF assumptions do not depend on γ: check once here instead of
-    // on every bisection candidate.
+    // on every bisection candidate. Likewise the Gram products.
     validate_dgkf_plant(p)?;
-    let mut hi = g_hi;
-    let mut best = match hinf_syn_validated(p, hi) {
-        Ok(k) => (k, hi),
-        Err(_) => {
-            // Try expanding upward a few times before giving up.
-            let mut expanded = None;
-            let mut g = g_hi;
-            for _ in 0..6 {
-                g *= 4.0;
-                if let Ok(k) = hinf_syn_validated(p, g) {
-                    expanded = Some((k, g));
-                    break;
-                }
-            }
-            expanded.ok_or(Error::NoSolution {
-                op: "hinf_bisect",
-                why: "no feasible gamma found in the search range",
-            })?
-        }
-    };
-    hi = best.1;
+    let fac = DgkfFactors::new(p);
+    let mut best = probe_ceiling(p, &fac, g_hi)?;
+    let mut hi = best.1;
     let mut lo = g_lo.min(hi * 0.5);
     for _ in 0..iters {
         let mid = (lo * hi).sqrt(); // geometric bisection suits γ's scale
-        match hinf_syn_validated(p, mid) {
+        match hinf_syn_factored(p, &fac, mid) {
             Ok(k) => {
                 best = (k, mid);
                 hi = mid;
@@ -383,6 +452,134 @@ pub fn hinf_bisect(p: &GenPlant, g_lo: f64, g_hi: f64, iters: usize) -> Result<(
         }
     }
     Ok(best)
+}
+
+/// Interior candidates per round of the multi-candidate bisection: the
+/// bracket `[lo, hi]` is split at the geometric quartiles, so one round
+/// of 3 concurrent probes shrinks the bracket to a quarter of its
+/// (geometric) width — the resolution of two serial bisection steps.
+const GAMMA_CANDIDATES: usize = 3;
+
+/// Core of the multi-candidate γ-search. `probe_all` maps each candidate
+/// index to its synthesis result; the serial and parallel entry points
+/// differ *only* in how that map is executed, and
+/// [`crate::sweep::parallel_map`] returns results in index order, so both
+/// drivers make identical bracket decisions — bit-identical designs.
+fn bisect_multi_core<P>(
+    p: &GenPlant,
+    fac: &DgkfFactors,
+    g_lo: f64,
+    g_hi: f64,
+    iters: usize,
+    probe_all: P,
+) -> Result<(HinfDesign, f64)>
+where
+    P: Fn(&[f64]) -> Vec<Option<HinfDesign>>,
+{
+    let mut best = probe_ceiling(p, fac, g_hi)?;
+    let mut hi = best.1;
+    let mut lo = g_lo.min(hi * 0.5);
+    // One round of GAMMA_CANDIDATES concurrent probes refines the bracket
+    // as much as two serial halvings, so a budget of `iters` serial steps
+    // maps to half as many rounds at the same final resolution.
+    let rounds = iters.div_ceil(2);
+    for _ in 0..rounds {
+        let ratio = hi / lo;
+        let cands: Vec<f64> = (1..=GAMMA_CANDIDATES)
+            .map(|k| lo * ratio.powf(k as f64 / (GAMMA_CANDIDATES + 1) as f64))
+            .collect();
+        let results = probe_all(&cands);
+        // The smallest feasible candidate becomes the new ceiling; its
+        // infeasible left neighbour (if any) raises the floor.
+        match results.iter().position(|r| r.is_some()) {
+            Some(j) => {
+                let design = results
+                    .into_iter()
+                    .nth(j)
+                    .flatten()
+                    .expect("position() found it");
+                best = (design, cands[j]);
+                hi = cands[j];
+                if j > 0 {
+                    lo = cands[j - 1];
+                }
+            }
+            None => {
+                lo = cands[GAMMA_CANDIDATES - 1];
+            }
+        }
+        if hi / lo < 1.02 {
+            break;
+        }
+    }
+    Ok(best)
+}
+
+/// Multi-candidate γ-bisection: each round evaluates
+/// [`GAMMA_CANDIDATES`] interior γ concurrently through
+/// [`crate::sweep::parallel_map`], sharing one set of [`DgkfFactors`].
+/// Results are bit-identical to [`hinf_bisect_multi_serial`] with the
+/// same arguments; the search reaches the same bracket resolution as
+/// [`hinf_bisect`] with `iters` serial steps in half as many rounds of
+/// wall-clock latency.
+///
+/// # Errors
+///
+/// Returns [`Error::NoSolution`] if even the (expanded) `g_hi` is
+/// infeasible.
+pub fn hinf_bisect_multi(
+    p: &GenPlant,
+    g_lo: f64,
+    g_hi: f64,
+    iters: usize,
+) -> Result<(HinfDesign, f64)> {
+    validate_dgkf_plant(p)?;
+    let fac = DgkfFactors::new(p);
+    hinf_bisect_multi_factored(p, &fac, g_lo, g_hi, iters)
+}
+
+/// [`hinf_bisect_multi`] against caller-cached [`DgkfFactors`], for D–K
+/// loops that validate and factor the scaled plant once per iteration.
+/// `fac` must be `p`'s own factors and `p` must already satisfy
+/// [`check_dgkf_assumptions`].
+///
+/// # Errors
+///
+/// Same as [`hinf_bisect_multi`].
+pub fn hinf_bisect_multi_factored(
+    p: &GenPlant,
+    fac: &DgkfFactors,
+    g_lo: f64,
+    g_hi: f64,
+    iters: usize,
+) -> Result<(HinfDesign, f64)> {
+    bisect_multi_core(p, fac, g_lo, g_hi, iters, |cands| {
+        crate::sweep::parallel_map(cands.len(), |i| hinf_syn_factored(p, fac, cands[i]).ok())
+    })
+}
+
+/// Single-threaded twin of [`hinf_bisect_multi`]: identical candidate
+/// schedule, identical bracket decisions, evaluated in index order on one
+/// thread. Exists so differential tests can pin the parallel search to
+/// the serial semantics.
+///
+/// # Errors
+///
+/// Same as [`hinf_bisect_multi`].
+pub fn hinf_bisect_multi_serial(
+    p: &GenPlant,
+    g_lo: f64,
+    g_hi: f64,
+    iters: usize,
+) -> Result<(HinfDesign, f64)> {
+    validate_dgkf_plant(p)?;
+    let fac = DgkfFactors::new(p);
+    bisect_multi_core(p, &fac, g_lo, g_hi, iters, |cands| {
+        cands
+            .iter()
+            .map(|&g| hinf_syn_factored(p, &fac, g).ok())
+            .collect()
+    })
 }
 
 /// Whether a symmetric matrix is positive semidefinite (within tolerance),
@@ -489,6 +686,55 @@ mod tests {
             "tracked to {xg}, γ/we bound {max_err}"
         );
         assert!(xg > 0.3, "controller should move the plant toward r");
+    }
+
+    fn assert_mat_bits_eq(a: &Mat, b: &Mat, what: &str) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what} shape");
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} bits");
+        }
+    }
+
+    #[test]
+    fn multi_bisect_bit_identical_to_serial_twin() {
+        let p = simple_plant(1.0);
+        let (kp, gp) = hinf_bisect_multi(&p, 0.1, 100.0, 20).unwrap();
+        let (ks, gs) = hinf_bisect_multi_serial(&p, 0.1, 100.0, 20).unwrap();
+        assert_eq!(gp.to_bits(), gs.to_bits());
+        assert_mat_bits_eq(kp.k.a(), ks.k.a(), "A");
+        assert_mat_bits_eq(kp.k.b(), ks.k.b(), "B");
+        assert_mat_bits_eq(kp.k.c(), ks.k.c(), "C");
+        assert_mat_bits_eq(&kp.a_hat, &ks.a_hat, "a_hat");
+        assert_mat_bits_eq(&kp.bk, &ks.bk, "bk");
+        assert_mat_bits_eq(&kp.f, &ks.f, "f");
+    }
+
+    #[test]
+    fn multi_bisect_achieves_gamma_bound() {
+        let p = simple_plant(1.0);
+        let (k, gamma) = hinf_bisect_multi(&p, 0.1, 100.0, 20).unwrap();
+        let cl = p.lft(&k.k).unwrap();
+        assert!(cl.is_stable().unwrap());
+        let norm = cl.hinf_norm_estimate(1e-3, 1e3, 400);
+        assert!(norm <= gamma * 1.05, "‖Tzw‖∞ = {norm} exceeds γ = {gamma}");
+        // The concurrent search must not be meaningfully looser than the
+        // serial one at the same step budget.
+        let (_, g_serial) = hinf_bisect(&p, 0.1, 100.0, 20).unwrap();
+        assert!(
+            gamma <= g_serial * 1.10,
+            "multi γ {gamma} vs serial {g_serial}"
+        );
+    }
+
+    #[test]
+    fn factored_synthesis_matches_unfactored() {
+        let p = simple_plant(2.0);
+        let fac = DgkfFactors::new(&p);
+        let direct = hinf_syn_full(&p, 5.0).unwrap();
+        let factored = hinf_syn_factored(&p, &fac, 5.0).unwrap();
+        assert_mat_bits_eq(direct.k.a(), factored.k.a(), "A");
+        assert_mat_bits_eq(direct.k.b(), factored.k.b(), "B");
+        assert_mat_bits_eq(direct.k.c(), factored.k.c(), "C");
     }
 
     #[test]

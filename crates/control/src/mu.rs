@@ -9,18 +9,46 @@
 //! ```
 //!
 //! where `𝒟` holds positive block-scalar scalings commuting with Δ. Any
-//! positive `D` gives a *valid* upper bound, so the coordinate-descent
-//! optimization below can stop early without ever compromising soundness —
-//! it only costs conservatism. This mirrors the paper's use of MATLAB's
-//! `mussv` bounds inside controller synthesis (Section II-C, Equation 1).
+//! positive `D` gives a *valid* upper bound, so the optimization below can
+//! stop early without ever compromising soundness — it only costs
+//! conservatism. This mirrors the paper's use of MATLAB's `mussv` bounds
+//! inside controller synthesis (Section II-C, Equation 1).
+//!
+//! The D-search runs in two stages. First, [Osborne
+//! balancing](yukta_linalg::osborne) of the block-norm matrix gives a
+//! near-optimal starting scaling in closed form — batched across a whole
+//! frequency-grid chunk with shared workspaces and an AVX2 path for the
+//! dominant two-block structure. Second, a short golden-section
+//! refinement polishes each free scaling within ±1 decade of the Osborne
+//! point, evaluating candidates through the fused scale-and-reduce kernel
+//! [`sigma_max_scaled`] so no scaled copy of the response is ever
+//! materialized.
+
+use std::cell::RefCell;
 
 use yukta_linalg::freq::FreqEvaluator;
-use yukta_linalg::svd::sigma_max;
+use yukta_linalg::osborne;
+use yukta_linalg::simd::SimdPath;
+use yukta_linalg::svd::{sigma_max, sigma_max_scaled};
 use yukta_linalg::{C64, CMat, Error, Result};
 use yukta_obs::{Recorder, Value};
 
 use crate::ss::StateSpace;
 use crate::sweep;
+
+/// Osborne balancing sweeps used to initialize the D-search. Two blocks
+/// (the common SSV-plant structure) reach their fixpoint in one sweep;
+/// two sweeps cover general block counts well enough for the golden
+/// refinement to finish the job.
+const OSBORNE_SWEEPS: usize = 2;
+
+/// Golden-section iterations per free block when polishing the Osborne
+/// initialization.
+const REFINE_ITERS: usize = 20;
+
+/// Half-width (in decades of `d`) of the golden-section bracket around
+/// the Osborne scaling.
+const REFINE_HALF_DECADES: f64 = 1.0;
 
 /// One full complex uncertainty block: `w_i = Δ_i · z_i` with
 /// `Δ_i ∈ ℂ^{n_in × n_out}` and `σ̄(Δ_i) ≤ 1`.
@@ -70,7 +98,13 @@ fn check_blocks(rows: usize, cols: usize, blocks: &[MuBlock]) -> Result<()> {
 
 /// Applies block scalings: returns `D_L · N · D_R⁻¹` where block `i`'s rows
 /// are multiplied by `d_i` and its columns divided by `d_i`.
-fn apply_scalings(n: &CMat, blocks: &[MuBlock], d: &[f64]) -> CMat {
+///
+/// This materializes the scaled matrix and is kept public as the slow
+/// reference for the fused evaluation path
+/// ([`sigma_max_scaled`]) used by the optimizer; differential
+/// tests and benchmarks pin the fused kernel against
+/// `sigma_max(&apply_scalings(…))`.
+pub fn apply_scalings(n: &CMat, blocks: &[MuBlock], d: &[f64]) -> CMat {
     let mut out = n.clone();
     let mut r0 = 0;
     for (bi, b) in blocks.iter().enumerate() {
@@ -94,9 +128,116 @@ fn apply_scalings(n: &CMat, blocks: &[MuBlock], d: &[f64]) -> CMat {
     out
 }
 
+/// Expands per-block scalings into per-row (`d_i`) and per-column
+/// (`1/d_i`) weight vectors for the fused σ̄ kernel.
+fn fill_weights(blocks: &[MuBlock], d: &[f64], row_w: &mut [f64], col_w: &mut [f64]) {
+    let (mut r, mut c) = (0, 0);
+    for (bi, b) in blocks.iter().enumerate() {
+        row_w[r..r + b.n_out].fill(d[bi]);
+        col_w[c..c + b.n_in].fill(1.0 / d[bi]);
+        r += b.n_out;
+        c += b.n_in;
+    }
+}
+
+/// Evaluates σ̄ of the scaled response with block `b`'s scaling set to
+/// `10^ld`, writing the block's weights in place (the other blocks'
+/// weights are already current).
+#[allow(clippy::too_many_arguments)]
+fn probe(
+    n: &CMat,
+    b: &MuBlock,
+    r0: usize,
+    c0: usize,
+    ld: f64,
+    path: SimdPath,
+    row_w: &mut [f64],
+    col_w: &mut [f64],
+    scratch: &mut CMat,
+) -> f64 {
+    let dv = 10f64.powf(ld);
+    row_w[r0..r0 + b.n_out].fill(dv);
+    col_w[c0..c0 + b.n_in].fill(1.0 / dv);
+    sigma_max_scaled(n, row_w, col_w, path, scratch)
+}
+
+/// Polishes an Osborne-initialized scaling `d` by golden-section search
+/// within ±[`REFINE_HALF_DECADES`] of each free block (last block pinned
+/// at 1), evaluating through the fused scale-and-reduce kernel. Returns
+/// the µ upper bound at the final scalings, never above the unscaled σ̄.
+fn refine_point(
+    n: &CMat,
+    blocks: &[MuBlock],
+    d: &mut [f64],
+    path: SimdPath,
+    row_w: &mut Vec<f64>,
+    col_w: &mut Vec<f64>,
+    scratch: &mut CMat,
+) -> MuInfo {
+    let (rows, cols) = n.shape();
+    row_w.clear();
+    row_w.resize(rows, 1.0);
+    col_w.clear();
+    col_w.resize(cols, 1.0);
+    let nb = blocks.len();
+    if nb == 1 {
+        // Single block: D cancels, µ upper bound is just σ̄.
+        d[0] = 1.0;
+        let value = sigma_max_scaled(n, row_w, col_w, path, scratch);
+        return MuInfo {
+            value,
+            scalings: vec![1.0],
+        };
+    }
+    d[nb - 1] = 1.0;
+    fill_weights(blocks, d, row_w, col_w);
+    let phi = 0.5 * (5f64.sqrt() - 1.0);
+    let (mut r0, mut c0) = (0, 0);
+    for (bi, b) in blocks.iter().enumerate().take(nb - 1) {
+        let ld0 = d[bi].log10();
+        let (mut lo, mut hi) = (ld0 - REFINE_HALF_DECADES, ld0 + REFINE_HALF_DECADES);
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let mut f1 = probe(n, b, r0, c0, x1, path, row_w, col_w, scratch);
+        let mut f2 = probe(n, b, r0, c0, x2, path, row_w, col_w, scratch);
+        for _ in 0..REFINE_ITERS {
+            if f1 < f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = probe(n, b, r0, c0, x1, path, row_w, col_w, scratch);
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = probe(n, b, r0, c0, x2, path, row_w, col_w, scratch);
+            }
+        }
+        let ld = if f1 < f2 { x1 } else { x2 };
+        d[bi] = 10f64.powf(ld);
+        row_w[r0..r0 + b.n_out].fill(d[bi]);
+        col_w[c0..c0 + b.n_in].fill(1.0 / d[bi]);
+        r0 += b.n_out;
+        c0 += b.n_in;
+    }
+    // Final consistency: report the value at the final scalings, never
+    // above the unscaled bound (D = I is always admissible).
+    let final_sig = sigma_max_scaled(n, row_w, col_w, path, scratch);
+    row_w.fill(1.0);
+    col_w.fill(1.0);
+    let unscaled = sigma_max_scaled(n, row_w, col_w, path, scratch);
+    MuInfo {
+        value: final_sig.min(unscaled),
+        scalings: d.to_vec(),
+    }
+}
+
 /// Computes the µ upper bound of a complex matrix for the given block
-/// structure, optimizing the block scalings by cyclic golden-section
-/// search in log-space.
+/// structure: Osborne balancing of the block-norm matrix initializes the
+/// scalings, then a short golden-section refinement in log-space polishes
+/// each free block through the fused scale-and-reduce σ̄ kernel.
 ///
 /// # Errors
 ///
@@ -121,63 +262,31 @@ fn apply_scalings(n: &CMat, blocks: &[MuBlock], d: &[f64]) -> CMat {
 pub fn mu_upper_bound(n: &CMat, blocks: &[MuBlock]) -> Result<MuInfo> {
     check_blocks(n.rows(), n.cols(), blocks)?;
     let nb = blocks.len();
-    let mut d = vec![1.0; nb];
-    let mut best = sigma_max(n);
     if nb == 1 {
-        // Single block: D cancels, µ upper bound is just σ̄.
         return Ok(MuInfo {
-            value: best,
-            scalings: d,
+            value: sigma_max(n),
+            scalings: vec![1.0],
         });
     }
-    // Cyclic golden-section over log10(d_i), last block pinned at 1.
-    let passes = 3;
-    for _ in 0..passes {
-        let mut improved = false;
-        for bi in 0..nb - 1 {
-            let eval = |ld: f64, d: &mut Vec<f64>| -> f64 {
-                d[bi] = 10f64.powf(ld);
-                sigma_max(&apply_scalings(n, blocks, d))
-            };
-            let (mut lo, mut hi) = (-3.0f64, 3.0f64);
-            let phi = 0.5 * (5f64.sqrt() - 1.0);
-            let mut x1 = hi - phi * (hi - lo);
-            let mut x2 = lo + phi * (hi - lo);
-            let mut f1 = eval(x1, &mut d);
-            let mut f2 = eval(x2, &mut d);
-            for _ in 0..40 {
-                if f1 < f2 {
-                    hi = x2;
-                    x2 = x1;
-                    f2 = f1;
-                    x1 = hi - phi * (hi - lo);
-                    f1 = eval(x1, &mut d);
-                } else {
-                    lo = x1;
-                    x1 = x2;
-                    f1 = f2;
-                    x2 = lo + phi * (hi - lo);
-                    f2 = eval(x2, &mut d);
-                }
-            }
-            let (ld, f) = if f1 < f2 { (x1, f1) } else { (x2, f2) };
-            if f < best - 1e-12 {
-                best = f;
-                improved = true;
-            }
-            d[bi] = 10f64.powf(ld);
-        }
-        if !improved {
-            break;
-        }
-    }
-    // Final consistency: report the value at the final scalings, never
-    // above the unscaled bound.
-    let final_val = sigma_max(&apply_scalings(n, blocks, &d)).min(sigma_max(n));
-    Ok(MuInfo {
-        value: final_val.min(best.max(final_val)), // min over evaluations seen
-        scalings: d,
-    })
+    let path = yukta_linalg::simd::global_path();
+    let row_sizes: Vec<usize> = blocks.iter().map(|b| b.n_out).collect();
+    let col_sizes: Vec<usize> = blocks.iter().map(|b| b.n_in).collect();
+    let mut norms = vec![0.0; nb * nb];
+    osborne::block_norms_into(n, &row_sizes, &col_sizes, &mut norms);
+    let mut d = vec![1.0; nb];
+    osborne::osborne_point(&norms, nb, OSBORNE_SWEEPS, &mut d);
+    let mut row_w = Vec::new();
+    let mut col_w = Vec::new();
+    let mut scratch = CMat::zeros(1, 1);
+    Ok(refine_point(
+        n,
+        blocks,
+        &mut d,
+        path,
+        &mut row_w,
+        &mut col_w,
+        &mut scratch,
+    ))
 }
 
 /// A µ *lower* bound via a power-iteration construction: align every
@@ -273,21 +382,104 @@ pub fn log_grid(w_min: f64, w_max: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Per-point work shared by [`mu_peak`] and [`mu_peak_serial`]: evaluate
-/// the loop at `ω` through the Hessenberg fast path and bound µ there.
-/// Frequencies where the response is singular yield `None`.
-fn mu_at(
-    ev: &mut FreqEvaluator<'_>,
-    ts: Option<f64>,
-    w: f64,
+/// Reusable per-thread buffers for the batched µ chunk worker: block-norm
+/// matrices and Osborne scalings for a whole chunk of grid points, weight
+/// expansions and the σ̄ scratch for the refinement, and the chunk's
+/// stored responses. Thread-local because the sweep drivers share one
+/// `Fn` closure across workers.
+struct MuWorkspace {
+    norms: Vec<f64>,
+    d: Vec<f64>,
+    row_w: Vec<f64>,
+    col_w: Vec<f64>,
+    row_sizes: Vec<usize>,
+    col_sizes: Vec<usize>,
+    resp: Vec<Option<CMat>>,
+    scratch: CMat,
+}
+
+thread_local! {
+    static MU_WS: RefCell<MuWorkspace> = RefCell::new(MuWorkspace {
+        norms: Vec::new(),
+        d: Vec::new(),
+        row_w: Vec::new(),
+        col_w: Vec::new(),
+        row_sizes: Vec::new(),
+        col_sizes: Vec::new(),
+        resp: Vec::new(),
+        scratch: CMat::zeros(1, 1),
+    });
+}
+
+/// Per-chunk work shared by all sweep entry points: evaluate the loop at
+/// every ω of the chunk through the Hessenberg fast path, initialize all
+/// D-scalings with one batched Osborne pass over the chunk, then polish
+/// each point through the fused σ̄ kernel. Frequencies where the response
+/// is singular yield `None`.
+fn mu_chunk(
     blocks: &[MuBlock],
-) -> Option<MuInfo> {
-    let lambda = match ts {
-        Some(t) => C64::cis(w * t),
-        None => C64::new(0.0, w),
-    };
-    let n = ev.eval(lambda).ok()?;
-    Some(mu_upper_bound(&n, blocks).expect("block structure validated before the sweep"))
+    ts: Option<f64>,
+    freqs: &[f64],
+    ev: &mut FreqEvaluator<'_>,
+) -> Vec<Option<MuInfo>> {
+    MU_WS.with(|cell| {
+        let ws = &mut *cell.borrow_mut();
+        let nb = blocks.len();
+        let pts = freqs.len();
+        let path = ev.path();
+        ws.row_sizes.clear();
+        ws.row_sizes.extend(blocks.iter().map(|b| b.n_out));
+        ws.col_sizes.clear();
+        ws.col_sizes.extend(blocks.iter().map(|b| b.n_in));
+        ws.resp.clear();
+        for &w in freqs {
+            let lambda = match ts {
+                Some(t) => C64::cis(w * t),
+                None => C64::new(0.0, w),
+            };
+            ws.resp.push(ev.eval(lambda).ok());
+        }
+        ws.norms.clear();
+        ws.norms.resize(pts * nb * nb, 0.0);
+        ws.d.clear();
+        ws.d.resize(pts * nb, 1.0);
+        for (p, r) in ws.resp.iter().enumerate() {
+            if let Some(n) = r {
+                osborne::block_norms_into(
+                    n,
+                    &ws.row_sizes,
+                    &ws.col_sizes,
+                    &mut ws.norms[p * nb * nb..(p + 1) * nb * nb],
+                );
+            }
+            // Singular points keep zero norms; the batched update's
+            // finiteness guard pins their scalings at 1.
+        }
+        osborne::osborne_batch(&ws.norms, nb, pts, OSBORNE_SWEEPS, path, &mut ws.d);
+        let MuWorkspace {
+            d,
+            row_w,
+            col_w,
+            resp,
+            scratch,
+            ..
+        } = ws;
+        resp.iter()
+            .enumerate()
+            .map(|(p, r)| {
+                let n = r.as_ref()?;
+                Some(refine_point(
+                    n,
+                    blocks,
+                    &mut d[p * nb..(p + 1) * nb],
+                    path,
+                    row_w,
+                    col_w,
+                    scratch,
+                ))
+            })
+            .collect()
+    })
 }
 
 /// Folds per-frequency results (in grid order) into the peak record.
@@ -365,7 +557,9 @@ pub fn mu_peak_obs(
     check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
     let span = yukta_obs::span(rec, "mu.sweep");
     let ts = sys.ts();
-    let results = sweep::sweep(sys.freq_system(), grid, |_, w, ev| mu_at(ev, ts, w, blocks));
+    let results = sweep::sweep_chunks(sys.freq_system(), grid, |_, ws, ev| {
+        mu_chunk(blocks, ts, ws, ev)
+    });
     let peak = fold_peak(grid, results, blocks);
     end_mu_span(span, rec, "parallel", sys, grid, &peak);
     Ok(peak)
@@ -383,7 +577,9 @@ pub fn mu_peak_serial(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> Res
     let rec = yukta_obs::handle();
     let span = yukta_obs::span(rec, "mu.sweep");
     let ts = sys.ts();
-    let results = sweep::sweep_serial(sys.freq_system(), grid, |_, w, ev| mu_at(ev, ts, w, blocks));
+    let results = sweep::sweep_serial_chunks(sys.freq_system(), grid, |_, ws, ev| {
+        mu_chunk(blocks, ts, ws, ev)
+    });
     let peak = fold_peak(grid, results, blocks);
     end_mu_span(span, rec, "serial", sys, grid, &peak);
     Ok(peak)
@@ -407,8 +603,8 @@ pub fn mu_peak_with(
     let rec = yukta_obs::handle();
     let span = yukta_obs::span(rec, "mu.sweep");
     let ts = sys.ts();
-    let results = sweep::sweep_with(sys.freq_system(), grid, policy, |_, w, ev| {
-        mu_at(ev, ts, w, blocks)
+    let results = sweep::sweep_chunks_with(sys.freq_system(), grid, policy, |_, ws, ev| {
+        mu_chunk(blocks, ts, ws, ev)
     })?;
     let peak = fold_peak(grid, results, blocks);
     end_mu_span(span, rec, "parallel", sys, grid, &peak);
@@ -431,8 +627,8 @@ pub fn mu_peak_serial_with(
     let rec = yukta_obs::handle();
     let span = yukta_obs::span(rec, "mu.sweep");
     let ts = sys.ts();
-    let results = sweep::sweep_serial_with(sys.freq_system(), grid, policy, |_, w, ev| {
-        mu_at(ev, ts, w, blocks)
+    let results = sweep::sweep_serial_chunks_with(sys.freq_system(), grid, policy, |_, ws, ev| {
+        mu_chunk(blocks, ts, ws, ev)
     })?;
     let peak = fold_peak(grid, results, blocks);
     end_mu_span(span, rec, "serial", sys, grid, &peak);
@@ -456,8 +652,8 @@ pub fn mu_peak_serial_raw(
 ) -> Result<MuPeak> {
     check_blocks(sys.n_outputs(), sys.n_inputs(), blocks)?;
     let ts = sys.ts();
-    let results = sweep::sweep_serial_with(sys.freq_system(), grid, policy, |_, w, ev| {
-        mu_at(ev, ts, w, blocks)
+    let results = sweep::sweep_serial_chunks_with(sys.freq_system(), grid, policy, |_, ws, ev| {
+        mu_chunk(blocks, ts, ws, ev)
     })?;
     Ok(fold_peak(grid, results, blocks))
 }

@@ -109,6 +109,209 @@ where
         .collect()
 }
 
+/// Chunk-granular variant of [`sweep_serial`]: `f` receives a whole
+/// contiguous grid chunk (its start index, its frequencies, and the
+/// evaluator) and returns one result per point. Chunk boundaries are the
+/// same cache-sized partition the parallel driver uses, so batched
+/// kernels (e.g. the Osborne D-scaling initializer) see identical batch
+/// shapes in serial and parallel mode.
+pub fn sweep_serial_chunks<T, F>(sys: &FreqSystem, grid: &[f64], f: F) -> Vec<T>
+where
+    F: Fn(usize, &[f64], &mut FreqEvaluator<'_>) -> Vec<T>,
+{
+    sweep_serial_chunks_for_path(sys, grid, simd::global_path(), f)
+}
+
+/// [`sweep_serial_chunks`] under an explicit [`SimdPolicy`], resolved
+/// strictly.
+///
+/// # Errors
+///
+/// Returns [`yukta_linalg::Error::SimdUnsupported`] for
+/// [`SimdPolicy::ForceSimd`] on hardware without AVX2+FMA.
+pub fn sweep_serial_chunks_with<T, F>(
+    sys: &FreqSystem,
+    grid: &[f64],
+    policy: SimdPolicy,
+    f: F,
+) -> Result<Vec<T>>
+where
+    F: Fn(usize, &[f64], &mut FreqEvaluator<'_>) -> Vec<T>,
+{
+    let path = simd::resolve(policy, simd::detected())?;
+    Ok(sweep_serial_chunks_for_path(sys, grid, path, f))
+}
+
+fn sweep_serial_chunks_for_path<T, F>(
+    sys: &FreqSystem,
+    grid: &[f64],
+    path: SimdPath,
+    f: F,
+) -> Vec<T>
+where
+    F: Fn(usize, &[f64], &mut FreqEvaluator<'_>) -> Vec<T>,
+{
+    let chunk = chunk_points(sys);
+    let mut ev = sys.evaluator_for_path(path);
+    let mut out = Vec::with_capacity(grid.len());
+    let mut start = 0;
+    while start < grid.len() {
+        let end = (start + chunk).min(grid.len());
+        let vals = f(start, &grid[start..end], &mut ev);
+        debug_assert_eq!(vals.len(), end - start, "chunk closure must map 1:1");
+        out.extend(vals);
+        start = end;
+    }
+    out
+}
+
+/// Chunk-granular variant of [`sweep`]: like [`sweep_serial_chunks`] but
+/// fanning chunks out across cores. Chunk partition, per-chunk inputs,
+/// and reassembly order are identical to the serial variant, so results
+/// are bit-identical to [`sweep_serial_chunks`].
+pub fn sweep_chunks<T, F>(sys: &FreqSystem, grid: &[f64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[f64], &mut FreqEvaluator<'_>) -> Vec<T> + Sync,
+{
+    sweep_chunks_for_path(sys, grid, simd::global_path(), f)
+}
+
+/// [`sweep_chunks`] under an explicit [`SimdPolicy`], resolved strictly.
+///
+/// # Errors
+///
+/// Returns [`yukta_linalg::Error::SimdUnsupported`] for
+/// [`SimdPolicy::ForceSimd`] on hardware without AVX2+FMA.
+pub fn sweep_chunks_with<T, F>(
+    sys: &FreqSystem,
+    grid: &[f64],
+    policy: SimdPolicy,
+    f: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, &[f64], &mut FreqEvaluator<'_>) -> Vec<T> + Sync,
+{
+    let path = simd::resolve(policy, simd::detected())?;
+    Ok(sweep_chunks_for_path(sys, grid, path, f))
+}
+
+fn sweep_chunks_for_path<T, F>(sys: &FreqSystem, grid: &[f64], path: SimdPath, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[f64], &mut FreqEvaluator<'_>) -> Vec<T> + Sync,
+{
+    let workers = worker_count(grid.len());
+    let chunk = chunk_points(sys);
+    let nchunks = grid.len().div_ceil(chunk);
+    let workers = workers.min(nchunks);
+    if workers <= 1 {
+        return sweep_serial_chunks_for_path(sys, grid, path, f);
+    }
+    let rec = yukta_obs::handle();
+    if rec.enabled() {
+        rec.event(
+            "sweep.fanout",
+            &[
+                ("points", Value::U64(grid.len() as u64)),
+                ("workers", Value::U64(workers as u64)),
+                ("chunk_points", Value::U64(chunk as u64)),
+                ("path", Value::Str(path.label())),
+            ],
+        );
+    }
+    // Worker t claims chunks t, t + workers, t + 2·workers, … — a static
+    // round-robin that needs no work queue and keeps assignment (hence
+    // evaluator state per point) deterministic.
+    let mut tagged: Vec<(usize, Vec<T>)> = crossbeam::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                scope.spawn(move |_| {
+                    let mut ev = sys.evaluator_for_path(path);
+                    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
+                    let mut ci = t;
+                    while ci * chunk < grid.len() {
+                        let start = ci * chunk;
+                        let end = (start + chunk).min(grid.len());
+                        let token = rec.enabled().then(|| rec.span_begin("sweep.chunk"));
+                        let vals = f(start, &grid[start..end], &mut ev);
+                        debug_assert_eq!(vals.len(), end - start, "chunk closure must map 1:1");
+                        if let Some(token) = token {
+                            rec.span_end(
+                                "sweep.chunk",
+                                token,
+                                &[
+                                    ("chunk", Value::U64(ci as u64)),
+                                    ("start", Value::U64(start as u64)),
+                                    ("len", Value::U64((end - start) as u64)),
+                                ],
+                            );
+                        }
+                        parts.push((ci, vals));
+                        ci += workers;
+                    }
+                    parts
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope");
+    tagged.sort_by_key(|&(ci, _)| ci);
+    let mut out = Vec::with_capacity(grid.len());
+    for (_, mut part) in tagged {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Deterministic parallel map over `0..n`: `f(i)` runs once per index on
+/// a round-robin worker assignment and results come back in index order,
+/// bit-identical to `(0..n).map(f)`. This is the fan-out behind parallel
+/// γ-bisection, where each index is one candidate γ probed through a full
+/// H∞ synthesis — heavy, uniform, and independent.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let workers = cores.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut tagged: Vec<(usize, T)> = crossbeam::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut i = t;
+                    while i < n {
+                        out.push((i, f(i)));
+                        i += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+    .expect("parallel_map scope");
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
 /// Maps `f` over every grid point, fanning out across cache-sized
 /// contiguous chunks on multi-core hosts. Results come back in grid order
 /// and are bit-identical to [`sweep_serial`] with the same arguments.
@@ -140,78 +343,16 @@ where
     T: Send,
     F: Fn(usize, f64, &mut FreqEvaluator<'_>) -> T + Sync,
 {
-    let workers = worker_count(grid.len());
-    if workers <= 1 {
+    if worker_count(grid.len()) <= 1 {
         return sweep_serial_for_path(sys, grid, path, f);
     }
-    let chunk = chunk_points(sys);
-    let nchunks = grid.len().div_ceil(chunk);
-    let workers = workers.min(nchunks);
-    if workers <= 1 {
-        return sweep_serial_for_path(sys, grid, path, f);
-    }
-    let rec = yukta_obs::handle();
-    if rec.enabled() {
-        rec.event(
-            "sweep.fanout",
-            &[
-                ("points", Value::U64(grid.len() as u64)),
-                ("workers", Value::U64(workers as u64)),
-                ("chunk_points", Value::U64(chunk as u64)),
-                ("path", Value::Str(path.label())),
-            ],
-        );
-    }
-    // Worker t claims chunks t, t + workers, t + 2·workers, … — a static
-    // round-robin that needs no work queue and keeps assignment (hence
-    // evaluator state per point) deterministic.
-    let mut tagged: Vec<(usize, Vec<T>)> = crossbeam::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|t| {
-                scope.spawn(move |_| {
-                    let mut ev = sys.evaluator_for_path(path);
-                    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
-                    let mut ci = t;
-                    while ci * chunk < grid.len() {
-                        let start = ci * chunk;
-                        let end = (start + chunk).min(grid.len());
-                        let token = rec.enabled().then(|| rec.span_begin("sweep.chunk"));
-                        let vals: Vec<T> = grid[start..end]
-                            .iter()
-                            .enumerate()
-                            .map(|(k, &w)| f(start + k, w, &mut ev))
-                            .collect();
-                        if let Some(token) = token {
-                            rec.span_end(
-                                "sweep.chunk",
-                                token,
-                                &[
-                                    ("chunk", Value::U64(ci as u64)),
-                                    ("start", Value::U64(start as u64)),
-                                    ("len", Value::U64((end - start) as u64)),
-                                ],
-                            );
-                        }
-                        parts.push((ci, vals));
-                        ci += workers;
-                    }
-                    parts
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
+    // Per-point sweeps are the chunked driver with a 1:1 adapter.
+    sweep_chunks_for_path(sys, grid, path, |start, ws, ev| {
+        ws.iter()
+            .enumerate()
+            .map(|(k, &w)| f(start + k, w, ev))
             .collect()
     })
-    .expect("sweep scope");
-    tagged.sort_by_key(|&(ci, _)| ci);
-    let mut out = Vec::with_capacity(grid.len());
-    for (_, mut part) in tagged {
-        out.append(&mut part);
-    }
-    out
 }
 
 #[cfg(test)]
@@ -308,6 +449,62 @@ mod tests {
         let s = sys();
         let out = sweep(&s, &[], |k, _, _| k);
         assert!(out.is_empty());
+    }
+
+    fn gain_chunk(start: usize, ws: &[f64], ev: &mut FreqEvaluator<'_>) -> Vec<f64> {
+        ws.iter()
+            .enumerate()
+            .map(|(k, &w)| gain(start + k, w, ev))
+            .collect()
+    }
+
+    #[test]
+    fn chunked_parallel_bit_identical_to_chunked_serial() {
+        let s = sys();
+        let grid: Vec<f64> = (0..300).map(|k| 0.01 * 1.04f64.powi(k)).collect();
+        let serial = sweep_serial_chunks(&s, &grid, gain_chunk);
+        let parallel = sweep_chunks(&s, &grid, gain_chunk);
+        assert_eq!(serial.len(), grid.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_matches_per_point_sweep() {
+        let s = sys();
+        let grid: Vec<f64> = (0..150).map(|k| 0.02 * 1.05f64.powi(k)).collect();
+        let per_point = sweep_serial(&s, &grid, gain);
+        let chunked = sweep_serial_chunks(&s, &grid, gain_chunk);
+        for (a, b) in per_point.iter().zip(&chunked) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_with_policy_propagates_simd_errors() {
+        let s = sys();
+        let grid: Vec<f64> = (0..40).map(|k| 0.1 * k as f64 + 0.1).collect();
+        let scalar = sweep_serial_chunks_with(&s, &grid, SimdPolicy::ForceScalar, gain_chunk)
+            .expect("scalar path always available");
+        assert_eq!(scalar.len(), grid.len());
+        match sweep_chunks_with(&s, &grid, SimdPolicy::ForceSimd, gain_chunk) {
+            Ok(simd) => {
+                for (a, b) in scalar.iter().zip(&simd) {
+                    assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+                }
+            }
+            Err(Error::SimdUnsupported { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn parallel_map_is_index_ordered_and_complete() {
+        let vals = parallel_map(37, |i| 3 * i + 1);
+        assert_eq!(vals, (0..37).map(|i| 3 * i + 1).collect::<Vec<_>>());
+        let empty = parallel_map(0, |i| i);
+        assert!(empty.is_empty());
     }
 
     #[test]

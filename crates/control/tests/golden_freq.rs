@@ -93,8 +93,8 @@ const GOLDEN_RESP_B: [[u64; 8]; 3] = [
 ];
 
 /// Scalar-path µ sweep results: (peak bits, w_peak bits).
-const GOLDEN_MU_A: (u64, u64) = (4613171715169090560, 4576918229304087675);
-const GOLDEN_MU_B: (u64, u64) = (4611307296172337854, 4576918229304087675);
+const GOLDEN_MU_A: (u64, u64) = (4613171715169446510, 4576918229304087675);
+const GOLDEN_MU_B: (u64, u64) = (4611307296173852098, 4576918229304087675);
 
 /// Scalar-path H∞ norm estimates over the grids in `hinf_value`.
 const GOLDEN_HINF_A: u64 = 4613194778772981479;

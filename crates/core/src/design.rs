@@ -467,6 +467,7 @@ pub fn build_design(opts: &DesignOptions) -> Result<Design> {
         max_iters: 2,
         gamma_iters: 14,
         n_freq: 25,
+        ..DkOptions::default()
     };
     let hw_ssv = synthesize_ssv(&hw_id.sys, &hw_spec, dk)?;
     let os_spec = SsvSpec {

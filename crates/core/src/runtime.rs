@@ -76,6 +76,25 @@ impl Engine {
             }),
         }
     }
+
+    /// Hot-swaps the serving controllers for a freshly synthesized
+    /// replacement (adaptive resynthesis, DESIGN.md §13). State transfers
+    /// bumplessly when the replacement has the same shape; otherwise it
+    /// starts from reset. Returns `true` when the transfer was bumpless.
+    fn swap_primary(&mut self, mut next: Controllers) -> bool {
+        match self {
+            Engine::Raw(c) => {
+                let saved = c.save_state();
+                let bumpless = next.restore_state(&saved).is_ok();
+                if !bumpless {
+                    next.reset();
+                }
+                *c = next;
+                bumpless
+            }
+            Engine::Supervised(s) => s.swap_primary(next),
+        }
+    }
 }
 
 /// Telemetry label for an engine mode (`None` = raw engine, no supervisor).
@@ -343,6 +362,61 @@ impl Experiment {
     ) -> Result<Report> {
         let sup = Box::new(Supervisor::new(controllers, sup_cfg));
         self.execute(workload, Engine::Supervised(sup), plan)
+    }
+
+    /// [`Experiment::run_supervised`] with one mid-run controller swap:
+    /// just before invocation `swap_at`, the serving controllers are
+    /// hot-swapped for `next` (or, with `next = None`, for a fresh
+    /// instantiation of the same scheme — the zero-change resynthesis
+    /// case, whose run is bit-identical to an unswapped one because the
+    /// synthesis pipeline is deterministic and the transfer is bumpless).
+    /// Emits a `runtime.resynth` event recording the step and whether the
+    /// transfer was bumpless.
+    ///
+    /// This is the deployment seam for in-loop resynthesis: a background
+    /// D–K synthesis (fast enough to fit inside one controller period
+    /// after the batched-D/parallel-γ work, see `yukta_control::dk`)
+    /// produces `next`, and the runtime installs it between invocations
+    /// with no actuation gap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller-instantiation failures.
+    pub fn run_supervised_with_swap(
+        &self,
+        workload: &Workload,
+        sup_cfg: SupervisorConfig,
+        plan: Option<FaultPlan>,
+        swap_at: u64,
+        next: Option<Controllers>,
+    ) -> Result<Report> {
+        let controllers = self.scheme.instantiate(&self.design, self.options.limits)?;
+        let mut engine = Engine::Supervised(Box::new(Supervisor::new(controllers, sup_cfg)));
+        let mut st = self.init_state(workload, plan.as_ref());
+        let mut next = next;
+        let mut swapped = false;
+        while !st.done {
+            if !swapped && st.step == swap_at {
+                let replacement = match next.take() {
+                    Some(c) => c,
+                    None => self.scheme.instantiate(&self.design, self.options.limits)?,
+                };
+                let bumpless = engine.swap_primary(replacement);
+                swapped = true;
+                let rec = self.rec();
+                if rec.enabled() {
+                    rec.event(
+                        "runtime.resynth",
+                        &[
+                            ("step", Value::U64(st.step)),
+                            ("bumpless", Value::Bool(bumpless)),
+                        ],
+                    );
+                }
+            }
+            self.step_invocation(&mut st, &mut engine, false)?;
+        }
+        Ok(self.finish(st, &engine, plan.as_ref(), workload))
     }
 
     /// Instantiates the engine for this experiment: the scheme's
@@ -1008,6 +1082,70 @@ mod tests {
             rec.report.bit_identical(&base),
             "recovered run differs from uninterrupted run"
         );
+    }
+
+    #[test]
+    fn zero_change_swap_is_bit_identical() {
+        // Hot-swapping a freshly re-synthesized controller that encodes
+        // the same design must be invisible: the synthesis pipeline is
+        // deterministic and the transfer is bumpless, so the swapped run
+        // reproduces the unswapped one bit-for-bit.
+        let wl = catalog::parsec::blackscholes();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let base = exp
+            .run_supervised(&wl, SupervisorConfig::default(), None)
+            .unwrap();
+        let swapped = exp
+            .run_supervised_with_swap(&wl, SupervisorConfig::default(), None, 5, None)
+            .unwrap();
+        assert!(
+            swapped.bit_identical(&base),
+            "zero-change swap perturbed the run"
+        );
+    }
+
+    #[test]
+    fn mid_run_resynthesis_swap_is_safe() {
+        // Swapping in genuinely different controllers mid-run (the real
+        // adaptive-resynthesis case) must keep the loop serving: the run
+        // completes with finite, in-range actuations at every invocation
+        // and no actuation gap (one trace sample per supervisor
+        // invocation).
+        let wl = catalog::parsec::blackscholes();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let next = Scheme::DecoupledHeuristic
+            .instantiate(exp.design(), exp.options.limits)
+            .unwrap();
+        let rep = exp
+            .run_supervised_with_swap(&wl, SupervisorConfig::default(), None, 5, Some(next))
+            .unwrap();
+        assert!(rep.metrics.completed, "swap stalled the workload");
+        assert!(rep.metrics.energy_joules.is_finite());
+        for (k, s) in rep.trace.samples.iter().enumerate() {
+            assert!(
+                s.f_big.is_finite() && (0.2..=2.0).contains(&s.f_big),
+                "sample {k}: f_big {}",
+                s.f_big
+            );
+            assert!(
+                s.f_little.is_finite() && (0.2..=1.4).contains(&s.f_little),
+                "sample {k}: f_little {}",
+                s.f_little
+            );
+            assert!((1..=4).contains(&s.big_cores), "sample {k}");
+            assert!(s.p_big.is_finite() && s.temp.is_finite(), "sample {k}");
+        }
+        let st = rep.supervisor.expect("supervised run carries stats");
+        assert_eq!(
+            st.invocations,
+            rep.trace.samples.len() as u64,
+            "actuation gap around the swap"
+        );
+        assert_eq!(st.fallback_entries, 0, "swap tripped the supervisor");
     }
 
     #[test]

@@ -290,6 +290,24 @@ impl Supervisor {
         Ok(())
     }
 
+    /// Hot-swaps the primary controllers for a freshly synthesized
+    /// replacement without interrupting supervision. The current primary
+    /// state is transferred into `next` when the shapes match (bumpless
+    /// transfer); otherwise `next` starts from a clean reset. Mode
+    /// machine, watchdogs, and fallbacks are untouched, so the swap
+    /// introduces no actuation gap.
+    ///
+    /// Returns `true` when the transfer was bumpless.
+    pub fn swap_primary(&mut self, mut next: Controllers) -> bool {
+        let saved = self.primary.save_state();
+        let bumpless = next.restore_state(&saved).is_ok();
+        if !bumpless {
+            next.reset();
+        }
+        self.primary = next;
+        bumpless
+    }
+
     /// One supervised controller invocation. Never panics and never
     /// returns non-finite or out-of-range actuations, whatever the senses
     /// contain.
@@ -878,5 +896,66 @@ mod tests {
             assert_eq!(sup.mode(), restored.mode(), "sample {k}");
         }
         assert_eq!(sup.stats(), restored.stats());
+    }
+
+    #[test]
+    fn same_scheme_swap_is_bumpless_and_transparent() {
+        // A mid-run swap to a same-scheme replacement must carry the
+        // primary state across: the supervised trace stays bit-identical
+        // to an unswapped twin.
+        let cfg = SupervisorConfig::default();
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let mut twin = Supervisor::new(heuristic_primary(), cfg);
+        for k in 0..5 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            assert_eq!(sup.step(&h, &o), twin.step(&h, &o));
+        }
+        let bumpless = sup.swap_primary(heuristic_primary());
+        assert!(bumpless, "same-scheme swap must be bumpless");
+        for k in 5..25 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            assert_eq!(sup.step(&h, &o), twin.step(&h, &o), "sample {k}");
+        }
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        assert_eq!(sup.stats(), twin.stats());
+    }
+
+    #[test]
+    fn mismatched_swap_resets_replacement_and_keeps_serving() {
+        // Swapping in controllers of a different scheme cannot be
+        // bumpless; the replacement starts from reset but service
+        // continues with finite in-range actuations and no mode change.
+        let cfg = SupervisorConfig::default();
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        for k in 0..5 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            sup.step(&h, &o);
+        }
+        let next = Controllers::Split {
+            hw: Box::new(CoordinatedHeuristicHw::new()),
+            os: Box::new(CoordinatedHeuristicOs::new()),
+        };
+        let bumpless = sup.swap_primary(next);
+        assert!(!bumpless, "cross-scheme swap cannot transfer state");
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        // The replacement serves from reset, matching a fresh instance.
+        let mut bare_hw = CoordinatedHeuristicHw::new();
+        let mut bare_os = CoordinatedHeuristicOs::new();
+        for k in 5..15 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            let (hu, ou) = sup.step(&h, &o);
+            assert!(finite_hw(&hu) && finite_os(&ou), "sample {k}");
+            assert_eq!(hu, bare_hw.invoke(&h).unwrap(), "sample {k}");
+            assert_eq!(ou, bare_os.invoke(&o).unwrap(), "sample {k}");
+        }
+        assert_eq!(sup.stats().fallback_entries, 0);
     }
 }

@@ -19,6 +19,9 @@
 //! * [`svd`] — one-sided Jacobi SVD for real matrices and a complex largest
 //!   singular value via power iteration (the workhorse of the structured
 //!   singular value upper bound).
+//! * [`osborne`] — Osborne block balancing on block-norm matrices, batched
+//!   across frequency-grid chunks; the initializer of the µ D-scaling
+//!   search.
 //! * [`symeig`] — symmetric eigendecomposition (cyclic Jacobi), used by
 //!   balanced truncation.
 //! * [`sign`] — the matrix sign function (Newton iteration with determinant
@@ -52,6 +55,7 @@ pub mod freq;
 pub mod lu;
 pub mod lyap;
 pub mod mat;
+pub mod osborne;
 pub mod qr;
 pub mod riccati;
 pub mod sign;

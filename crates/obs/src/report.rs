@@ -131,6 +131,105 @@ pub fn summarize(text: &str) -> Result<RunSummary, String> {
     Ok(sum)
 }
 
+/// Wall-time breakdown of one D–K iteration, aggregated from the
+/// `dk.iteration` / `dk.k_step` / `dk.gamma_bisect` / `dk.d_step` spans
+/// that `yukta_control::dk::synthesize_ssv_obs` emits (obs_report
+/// `--phases dk`). When one log holds several syntheses, same-numbered
+/// iterations aggregate into one row.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DkIterRow {
+    pub iter: u64,
+    /// Total H∞ K-step time (contains the γ-bisection).
+    pub k_step_ns: f64,
+    /// γ-bisection time inside the K-step.
+    pub gamma_bisect_ns: f64,
+    /// D-step time: µ sweep plus scaling update.
+    pub d_step_ns: f64,
+    /// Whole-iteration wall time.
+    pub iteration_ns: f64,
+}
+
+/// Extracts the per-iteration D–K phase breakdown from a JSONL telemetry
+/// log. Non-dk records are ignored; a dk span without an `iter` field is
+/// an error (the emitter always attaches one).
+pub fn dk_phase_breakdown(text: &str) -> Result<Vec<DkIterRow>, String> {
+    let mut rows: Vec<DkIterRow> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("");
+        if !matches!(
+            name,
+            "dk.iteration" | "dk.k_step" | "dk.gamma_bisect" | "dk.d_step"
+        ) {
+            continue;
+        }
+        let iter = v
+            .get("fields")
+            .and_then(|f| f.get("iter"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: dk span {name:?} without iter field", i + 1))?
+            as u64;
+        let dur = v.get("dur_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let row = match rows.iter_mut().find(|r| r.iter == iter) {
+            Some(r) => r,
+            None => {
+                rows.push(DkIterRow {
+                    iter,
+                    ..Default::default()
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        match name {
+            "dk.iteration" => row.iteration_ns += dur,
+            "dk.k_step" => row.k_step_ns += dur,
+            "dk.gamma_bisect" => row.gamma_bisect_ns += dur,
+            _ => row.d_step_ns += dur,
+        }
+    }
+    rows.sort_by_key(|r| r.iter);
+    Ok(rows)
+}
+
+/// Renders the D–K breakdown as an aligned text table.
+pub fn render_dk(rows: &[DkIterRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>14} {:>12} {:>12}\n",
+        "iter", "k_step", "gamma_bisect", "d_step", "iteration"
+    ));
+    let mut total = DkIterRow::default();
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:>12} {:>14} {:>12} {:>12}\n",
+            r.iter,
+            fmt_ns(r.k_step_ns),
+            fmt_ns(r.gamma_bisect_ns),
+            fmt_ns(r.d_step_ns),
+            fmt_ns(r.iteration_ns)
+        ));
+        total.k_step_ns += r.k_step_ns;
+        total.gamma_bisect_ns += r.gamma_bisect_ns;
+        total.d_step_ns += r.d_step_ns;
+        total.iteration_ns += r.iteration_ns;
+    }
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>14} {:>12} {:>12}\n",
+        "total",
+        fmt_ns(total.k_step_ns),
+        fmt_ns(total.gamma_bisect_ns),
+        fmt_ns(total.d_step_ns),
+        fmt_ns(total.iteration_ns)
+    ));
+    out
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -240,5 +339,50 @@ mod tests {
     fn render_handles_empty_logs() {
         let sum = summarize("").unwrap();
         assert!(render(&sum).contains("0 span phase(s)"));
+    }
+
+    #[test]
+    fn dk_breakdown_groups_by_iteration() {
+        let rec = MemRecorder::manual();
+        for iter in 0..2u64 {
+            let it = span(&rec, "dk.iteration");
+            let k = span(&rec, "dk.k_step");
+            let g = span(&rec, "dk.gamma_bisect");
+            rec.advance_ns(300);
+            g.end_with(&[("iter", Value::U64(iter)), ("gamma", Value::F64(2.0))]);
+            rec.advance_ns(100);
+            k.end_with(&[("iter", Value::U64(iter)), ("gamma", Value::F64(2.0))]);
+            let d = span(&rec, "dk.d_step");
+            rec.advance_ns(50);
+            d.end_with(&[("iter", Value::U64(iter)), ("mu", Value::F64(0.5))]);
+            it.end_with(&[("iter", Value::U64(iter))]);
+        }
+        // Unrelated spans and events are ignored.
+        let s = span(&rec, "runtime.invoke");
+        rec.advance_ns(10);
+        s.end_with(&[]);
+        rec.event("board.fault", &[]);
+        let rows = dk_phase_breakdown(&to_jsonl(&rec.snapshot())).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.iter, i as u64);
+            assert_eq!(r.gamma_bisect_ns, 300.0);
+            assert_eq!(r.k_step_ns, 400.0);
+            assert_eq!(r.d_step_ns, 50.0);
+            assert_eq!(r.iteration_ns, 450.0);
+        }
+        let text = render_dk(&rows);
+        assert!(text.contains("gamma_bisect"));
+        assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn dk_breakdown_rejects_dk_span_without_iter() {
+        let rec = MemRecorder::manual();
+        let s = span(&rec, "dk.k_step");
+        rec.advance_ns(10);
+        s.end_with(&[]);
+        let err = dk_phase_breakdown(&to_jsonl(&rec.snapshot())).unwrap_err();
+        assert!(err.contains("without iter field"), "{err}");
     }
 }
