@@ -77,6 +77,23 @@ pub struct BoardState {
     pub caps: TmuCaps,
 }
 
+/// Counters auditing the actuation protocol at the board boundary — the
+/// plant-side cross-check of the core layer's single-writer-per-knob
+/// guarantee. A well-formed run issues exactly one actuation request per
+/// control invocation (so no step sees two writers racing), and the TMU
+/// only ever *shrinks* the requested operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActuationAudit {
+    /// Total actuation requests received.
+    pub actuation_requests: u64,
+    /// Plant steps preceded by two or more actuation requests — evidence
+    /// of two writers contending for the knobs within one invocation.
+    pub double_actuations: u64,
+    /// Steps where an effective knob exceeded its request — the TMU is a
+    /// capper, so this must stay zero by construction.
+    pub tmu_cap_expansions: u64,
+}
+
 /// What happened during one simulation step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepReport {
@@ -123,6 +140,10 @@ pub struct Board {
     /// Fault injector sitting between the plant and every observer
     /// (sensors) / requester (actuations). `None` = fault-free board.
     faults: Option<FaultInjector>,
+    /// Actuation-protocol counters; never consulted by the physics.
+    audit: ActuationAudit,
+    /// Actuation requests since the last plant step (double-writer check).
+    acts_since_step: u32,
     /// Telemetry sink for actuation/TMU/fault events. Never consulted by
     /// the physics: an instrumented board is bit-identical to a plain one.
     obs: ObsHandle,
@@ -163,6 +184,8 @@ impl Board {
             time: 0.0,
             cfg,
             faults: None,
+            audit: ActuationAudit::default(),
+            acts_since_step: 0,
             obs: ObsHandle::default(),
         }
     }
@@ -236,6 +259,13 @@ impl Board {
     /// injector, which may reject the DVFS part, ignore the hotplug part,
     /// or hold the whole request back for one invocation.
     pub fn actuate(&mut self, act: &Actuation) {
+        self.audit.actuation_requests += 1;
+        self.acts_since_step += 1;
+        if self.acts_since_step == 2 {
+            // Two requests landed without an intervening plant step: two
+            // writers raced the knobs. Counted once per step window.
+            self.audit.double_actuations += 1;
+        }
         let obs_on = self.obs.get().enabled();
         let fault_mark = self.fault_mark();
         let prev = obs_on.then_some((
@@ -384,6 +414,15 @@ impl Board {
             .big_cores
             .map_or(self.req_big_cores, |c| self.req_big_cores.min(c.max(1)));
         let little_cores = self.req_little_cores;
+        // The TMU may only shrink the requested point; an effective knob
+        // above its request means the capper turned into a writer.
+        if f_big > self.req_f_big + 1e-12
+            || f_little > self.req_f_little + 1e-12
+            || big_cores > self.req_big_cores
+        {
+            self.audit.tmu_cap_expansions += 1;
+        }
+        self.acts_since_step = 0;
 
         // Partition the active threads.
         let active: Vec<usize> = loads
@@ -620,6 +659,11 @@ impl Board {
     /// How many TMU emergency trips have fired so far.
     pub fn tmu_trips(&self) -> u64 {
         self.tmu.trips()
+    }
+
+    /// Actuation-protocol counters (single-writer / TMU-capper audit).
+    pub fn actuation_audit(&self) -> ActuationAudit {
+        self.audit
     }
 
     /// A snapshot of the effective operating point.
@@ -978,6 +1022,53 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap_or(0);
         assert!(trips > 0, "trip counter missing: {:?}", snap.counters);
+    }
+
+    #[test]
+    fn actuation_audit_counts_requests_and_flags_double_writers() {
+        let mut b = board();
+        let loads = eight_threads();
+        // Well-formed cadence: one actuation per step window.
+        for i in 0..5 {
+            b.actuate(&Actuation {
+                f_big: Some(1.0 + 0.1 * i as f64),
+                ..Default::default()
+            });
+            b.step(&loads);
+        }
+        let a = b.actuation_audit();
+        assert_eq!(a.actuation_requests, 5);
+        assert_eq!(a.double_actuations, 0);
+        // Two writers racing the same step window are flagged once.
+        b.actuate(&Actuation {
+            f_big: Some(1.2),
+            ..Default::default()
+        });
+        b.actuate(&Actuation {
+            f_big: Some(1.8),
+            ..Default::default()
+        });
+        b.step(&loads);
+        let a = b.actuation_audit();
+        assert_eq!(a.actuation_requests, 7);
+        assert_eq!(a.double_actuations, 1);
+    }
+
+    #[test]
+    fn tmu_caps_never_expand_the_operating_point() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(2.0),
+            placement: Some(Placement {
+                threads_big: 8,
+                packing_big: 2.0,
+                packing_little: 1.0,
+            }),
+            ..Default::default()
+        });
+        run(&mut b, &eight_threads(), 20.0);
+        assert!(b.tmu_trips() > 0, "campaign must engage the TMU");
+        assert_eq!(b.actuation_audit().tmu_cap_expansions, 0);
     }
 
     #[test]

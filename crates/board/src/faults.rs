@@ -155,6 +155,23 @@ pub struct FaultPlan {
     /// Consumed by the runtime loop, never by the board's injector, so
     /// adding crashes never perturbs the sensor/actuator fault stream.
     pub crashes: Vec<FaultKind>,
+    /// Number of correlated burst windows: seeded intervals during which
+    /// *all three* sensor channels latch together, the failure mode that
+    /// drives the supervisor's Fallback→Safe escalation. Zero disables
+    /// bursts and leaves the fault stream bit-identical to older plans.
+    #[serde(default)]
+    pub n_bursts: u32,
+    /// Duration of each burst window (simulated seconds).
+    #[serde(default)]
+    pub burst_secs: f64,
+    /// Burst window starts are drawn uniformly from `[0, burst_region)`
+    /// simulated seconds.
+    #[serde(default = "default_burst_region")]
+    pub burst_region: f64,
+}
+
+fn default_burst_region() -> f64 {
+    600.0
 }
 
 impl FaultPlan {
@@ -179,6 +196,9 @@ impl FaultPlan {
             p_act_lag: 0.08,
             schedule: Vec::new(),
             crashes: Vec::new(),
+            n_bursts: 0,
+            burst_secs: 0.0,
+            burst_region: default_burst_region(),
         }
     }
 
@@ -191,6 +211,21 @@ impl FaultPlan {
     /// Adds a controller-process crash at invocation `at_step`.
     pub fn with_crash(mut self, at_step: u64) -> Self {
         self.crashes.push(FaultKind::Crash { at_step });
+        self
+    }
+
+    /// Enables `n` correlated burst windows of `secs` seconds each, with
+    /// starts drawn from the plan's seeded RNG within `[0, burst_region)`.
+    pub fn with_bursts(mut self, n: u32, secs: f64) -> Self {
+        self.n_bursts = n;
+        self.burst_secs = secs;
+        self
+    }
+
+    /// Restricts burst-window starts to `[0, secs)` — useful for short
+    /// runs where the default 600 s region would rarely land a window.
+    pub fn with_burst_region(mut self, secs: f64) -> Self {
+        self.burst_region = secs.max(0.0);
         self
     }
 
@@ -222,6 +257,7 @@ impl FaultPlan {
                 || self.p_act_lag > 0.0))
             || !self.schedule.is_empty()
             || !self.crashes.is_empty()
+            || (self.n_bursts > 0 && self.burst_secs > 0.0)
     }
 }
 
@@ -258,6 +294,9 @@ pub struct FaultStats {
     pub hotplug_ignored: u64,
     /// Actuations applied with one period of lag.
     pub actuation_lags: u64,
+    /// Correlated burst windows entered (each latches every sensor).
+    #[serde(default)]
+    pub burst_windows: u64,
 }
 
 impl FaultStats {
@@ -276,6 +315,8 @@ struct SensorState {
     bias: f64,
     /// Last value served to a reader (for dropped samples).
     last_served: f64,
+    /// Value latched by an active correlated burst window.
+    burst_hold: Option<f64>,
     /// Short ring of true readings for delayed reads: (time, value).
     history: Vec<(f64, f64)>,
 }
@@ -286,6 +327,7 @@ impl SensorState {
             stuck_until: None,
             bias,
             last_served: 0.0,
+            burst_hold: None,
             history: Vec::new(),
         }
     }
@@ -342,6 +384,12 @@ pub struct FaultInjector {
     temp: SensorState,
     /// Actuation held back by a lag fault, applied on the next request.
     lagged: Option<crate::board::Actuation>,
+    /// Correlated burst windows, `(start, end)` in simulated seconds,
+    /// drawn once at construction from the plan's seeded RNG.
+    bursts: Vec<(f64, f64)>,
+    /// Index of the burst window most recently entered, so each window
+    /// increments [`FaultStats::burst_windows`] exactly once.
+    last_burst: Option<usize>,
     stats: FaultStats,
     trace: Vec<FaultEvent>,
 }
@@ -361,6 +409,16 @@ impl FaultInjector {
         let power_big = SensorState::new(bias(4.0));
         let power_little = SensorState::new(bias(0.4));
         let temp = SensorState::new(bias(60.0));
+        // Burst windows draw from the RNG only when bursts are configured,
+        // so burst-free plans keep their exact historical fault streams.
+        let mut bursts = Vec::new();
+        if plan.n_bursts > 0 && plan.burst_secs > 0.0 {
+            let region = plan.burst_region.max(f64::MIN_POSITIVE);
+            for _ in 0..plan.n_bursts {
+                let start = rng.gen_range(0.0..region);
+                bursts.push((start, start + plan.burst_secs));
+            }
+        }
         FaultInjector {
             plan,
             rng,
@@ -368,6 +426,8 @@ impl FaultInjector {
             power_little,
             temp,
             lagged: None,
+            bursts,
+            last_burst: None,
             stats: FaultStats::default(),
             trace: Vec::new(),
         }
@@ -421,10 +481,18 @@ impl FaultInjector {
             self.plan.bias_frac,
         );
 
+        let burst = self
+            .bursts
+            .iter()
+            .enumerate()
+            .find(|(_, (start, end))| *start <= time && time < *end)
+            .map(|(i, _)| i);
+
         // Disjoint field borrows: `state` aliases one sensor field while
         // stats/trace are touched directly.
         let stats = &mut self.stats;
         let trace = &mut self.trace;
+        let last_burst = &mut self.last_burst;
         let state = match channel {
             FaultChannel::PowerBig => &mut self.power_big,
             FaultChannel::PowerLittle => &mut self.power_little,
@@ -432,6 +500,29 @@ impl FaultInjector {
         };
         state.remember(time, truth);
         let prev_served = state.last_served;
+
+        // A correlated burst overrides the independent draws (which were
+        // already consumed above, keeping the stream aligned): every
+        // channel latches the first value it serves inside the window, so
+        // the supervisor's watchdogs see all sensors go stuck together.
+        if let Some(idx) = burst {
+            if *last_burst != Some(idx) {
+                *last_burst = Some(idx);
+                stats.burst_windows += 1;
+            }
+            let held = match state.burst_hold {
+                Some(h) => h,
+                None => {
+                    state.burst_hold = Some(truth);
+                    truth
+                }
+            };
+            state.last_served = held;
+            stats.sensor_faults += 1;
+            push_event(trace, time, FaultKind::StuckAt, channel, held);
+            return held;
+        }
+        state.burst_hold = None;
 
         // An active stuck-at latch overrides everything else.
         if let Some((held, until)) = state.stuck_until {
@@ -734,6 +825,57 @@ mod tests {
         for (a, b) in base.iter().zip(&crashed) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn correlated_burst_latches_all_sensors_together() {
+        let plan = FaultPlan::uniform(21, 0.0)
+            .with_bursts(1, 5.0)
+            .with_burst_region(1.0);
+        assert!(plan.is_active(), "burst-only plan must count as active");
+        let mut inj = FaultInjector::new(plan);
+        // First read inside the window latches each channel's truth...
+        assert_eq!(inj.filter_power_big(1.0, 2.0), 2.0);
+        assert_eq!(inj.filter_power_little(1.0, 0.2), 0.2);
+        assert_eq!(inj.filter_temp(1.0, 55.0), 55.0);
+        // ...and serves it for the rest of the window, whatever the truth
+        // does underneath — all three channels fail together.
+        assert_eq!(inj.filter_power_big(3.0, 9.9), 2.0);
+        assert_eq!(inj.filter_power_little(3.0, 0.9), 0.2);
+        assert_eq!(inj.filter_temp(3.0, 80.0), 55.0);
+        let stats = inj.stats();
+        assert_eq!(stats.burst_windows, 1);
+        assert!(stats.sensor_faults >= 6, "stats: {stats:?}");
+        // The window started before t = 1 s and lasts 5 s, so by t = 6.5 s
+        // it has ended and zero severity means truth passes through again.
+        assert_eq!(inj.filter_power_big(6.5, 3.3), 3.3);
+        assert_eq!(inj.filter_temp(6.5, 61.0), 61.0);
+    }
+
+    #[test]
+    fn burst_plans_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::uniform(17, 0.6)
+                .with_bursts(3, 4.0)
+                .with_burst_region(100.0);
+            let mut inj = FaultInjector::new(plan);
+            let vals = read_n(&mut inj, 300, 2.5);
+            (vals, inj.stats(), inj.trace().to_vec())
+        };
+        let (v1, s1, t1) = run();
+        let (v2, s2, t2) = run();
+        assert_eq!(s1, s2);
+        assert!(s1.burst_windows >= 1, "no burst window hit: {s1:?}");
+        assert_eq!(t1.len(), t2.len());
+        for (a, b) in v1.iter().zip(&v2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn degenerate_burst_configs_stay_inactive() {
+        assert!(!FaultPlan::uniform(9, 0.0).with_bursts(0, 5.0).is_active());
+        assert!(!FaultPlan::uniform(9, 0.0).with_bursts(2, 0.0).is_active());
     }
 
     #[test]

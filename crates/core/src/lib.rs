@@ -16,10 +16,15 @@
 //! * [`schemes`] — the named two-layer schemes of the evaluation.
 //! * [`runtime`] — the 500 ms control loop wiring controllers, board, and
 //!   workload; produces [`metrics::Report`]s with full traces.
+//! * [`modes`] — the checked reconfiguration automaton: one synchronous
+//!   state machine (Primary/Fallback/Safe × swap-pending × recovering)
+//!   through which every supervisor, hot-swap, and crash-recovery
+//!   transition flows, with machine-checked invariants (no actuation gap,
+//!   single writer per knob, no flapping) on every step.
 //! * [`supervisor`] — the fault-containment layer: sanitizes sensor views,
 //!   watches for stuck sensors, degrades SSV/LQG schemes to the
 //!   coordinated heuristic (and ultimately a safe static configuration),
-//!   and re-engages them with hysteresis.
+//!   and re-engages them with hysteresis — as a thin driver of [`modes`].
 //! * [`recorder`] — the crash-tolerance flight recorder: an append-only
 //!   journal of every invocation with a compact binary wire format and a
 //!   bit-exact replay verifier, feeding
@@ -41,6 +46,7 @@
 pub mod controllers;
 pub mod design;
 pub mod metrics;
+pub mod modes;
 pub mod optimizer;
 pub mod recorder;
 pub mod runtime;
@@ -50,9 +56,14 @@ pub mod supervisor;
 
 pub use controllers::ControllerState;
 pub use metrics::{FaultReport, Metrics, Report};
+pub use modes::{
+    Decision, InvariantViolation, Knob, LevelChange, ModeAutomaton, ModeConfig, ModeEvent,
+    ModeSnapshot, ModeState, TransitionRecord,
+};
 pub use recorder::{Journal, JournalRecord, ReplayOutcome};
 pub use runtime::{
-    Experiment, InjectedCrash, RecoveredRun, RecoveryOptions, RecoveryReport, RunOptions,
+    Experiment, InjectedCrash, RecoveredRun, RecoveryOptions, RecoveryReport, RunOptions, SwapSpec,
+    UnifiedOptions,
 };
 pub use schemes::{ControllersState, Scheme};
 pub use supervisor::{

@@ -2,7 +2,7 @@
 //! figure in the paper's evaluation.
 
 use serde::{Deserialize, Serialize};
-use yukta_board::{FaultEvent, FaultStats};
+use yukta_board::{ActuationAudit, FaultEvent, FaultStats};
 
 use crate::supervisor::SupervisorStats;
 
@@ -164,6 +164,11 @@ pub struct Report {
     pub supervisor: Option<SupervisorStats>,
     /// Fault-injection record (`None` when no faults were planned).
     pub faults: Option<FaultReport>,
+    /// Actuation-protocol audit from the board boundary: single writer
+    /// per step window, TMU strictly a capper. Deterministic, so it *is*
+    /// part of [`Report::bit_identical`].
+    #[serde(default)]
+    pub actuation: ActuationAudit,
     /// Wall-clock controller compute cost (excluded from
     /// [`Report::bit_identical`] — real time is nondeterministic).
     pub compute: ComputeStats,
@@ -225,6 +230,7 @@ impl Report {
             && trace_ok
             && faults_ok
             && self.supervisor == other.supervisor
+            && self.actuation == other.actuation
             && self.workload == other.workload
             && self.scheme == other.scheme
     }

@@ -22,6 +22,7 @@ use yukta_workloads::{Workload, WorkloadRun};
 use crate::controllers::{HwSense, OsSense};
 use crate::design::{Design, default_design};
 use crate::metrics::{ComputeStats, FaultReport, Metrics, Report, Trace, TraceSample};
+use crate::modes::{Knob, ModeAutomaton, ModeConfig, ModeSnapshot, TransitionRecord, level_label};
 use crate::recorder::{Journal, JournalRecord, ReplayOutcome, replay_with};
 use crate::schemes::{Controllers, ControllersState, Scheme};
 use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, spare_capacity};
@@ -29,24 +30,54 @@ use crate::supervisor::{Supervisor, SupervisorConfig, SupervisorMode, Supervisor
 
 /// The invocation engine of one run: either the controllers directly (the
 /// paper's experiments) or the fault-containment supervisor wrapping them.
+/// Both shapes drive the checked [`ModeAutomaton`] — the supervisor owns
+/// one internally; the raw engine carries its own so even unsupervised
+/// runs assert the no-actuation-gap and single-writer-per-knob invariants
+/// and route swap/recovery through the same protocol.
 enum Engine {
-    Raw(Controllers),
+    Raw { c: Controllers, auto: ModeAutomaton },
     Supervised(Box<Supervisor>),
 }
 
 /// A snapshot of an [`Engine`], mirroring its shape.
 enum EngineState {
-    Raw(ControllersState),
+    Raw {
+        c: ControllersState,
+        auto: ModeSnapshot,
+    },
     Supervised(Box<SupervisorState>),
 }
 
 impl Engine {
     fn invoke(&mut self, hw_sense: &HwSense, os_sense: &OsSense) -> Result<(HwInputs, OsInputs)> {
         match self {
-            Engine::Raw(c) => match c {
-                Controllers::Split { hw, os } => Ok((hw.invoke(hw_sense)?, os.invoke(os_sense)?)),
-                Controllers::Monolithic(m) => m.invoke(hw_sense, os_sense),
-            },
+            Engine::Raw { c, auto } => {
+                auto.begin_invocation();
+                let out = (|| match c {
+                    Controllers::Split { hw, os } => {
+                        Ok((hw.invoke(hw_sense)?, os.invoke(os_sense)?))
+                    }
+                    Controllers::Monolithic(m) => m.invoke(hw_sense, os_sense),
+                })();
+                match out {
+                    Ok(u) => {
+                        // The raw controllers are the single writer of all
+                        // three knobs every step.
+                        for k in Knob::ALL {
+                            auto.claim(k, "raw");
+                        }
+                        auto.end_invocation();
+                        Ok(u)
+                    }
+                    Err(e) => {
+                        // A typed error terminates the run with the error
+                        // instead of actuating: close the bracket without
+                        // the gap check so the abort is not a violation.
+                        auto.abort_invocation();
+                        Err(e)
+                    }
+                }
+            }
             Engine::Supervised(s) => Ok(s.step(hw_sense, os_sense)),
         }
     }
@@ -54,21 +85,69 @@ impl Engine {
     /// The supervisor mode serving invocations (`None` for raw engines).
     fn mode(&self) -> Option<SupervisorMode> {
         match self {
-            Engine::Raw(_) => None,
+            Engine::Raw { .. } => None,
             Engine::Supervised(s) => Some(s.mode()),
+        }
+    }
+
+    /// Invariant violations recorded by the engine's mode automaton.
+    fn violations(&self) -> u64 {
+        match self {
+            Engine::Raw { auto, .. } => auto.violations(),
+            Engine::Supervised(s) => s.violations(),
+        }
+    }
+
+    /// Drains the automaton's transition log for telemetry.
+    fn drain_transitions(&mut self) -> Vec<TransitionRecord> {
+        match self {
+            Engine::Raw { auto, .. } => auto.drain_transitions(),
+            Engine::Supervised(s) => s.drain_transitions(),
+        }
+    }
+
+    /// Enters the swap-pending window (the crash-vulnerable interval
+    /// between requesting a replacement and committing it).
+    fn request_swap(&mut self) {
+        match self {
+            Engine::Raw { auto, .. } => auto.request_swap(),
+            Engine::Supervised(s) => s.request_swap(),
+        }
+    }
+
+    /// Marks the start of a crash-recovery replay.
+    fn begin_recovery(&mut self) {
+        match self {
+            Engine::Raw { auto, .. } => auto.begin_recovery(),
+            Engine::Supervised(s) => s.begin_recovery(),
+        }
+    }
+
+    /// Marks the end of a crash-recovery replay.
+    fn end_recovery(&mut self) {
+        match self {
+            Engine::Raw { auto, .. } => auto.end_recovery(),
+            Engine::Supervised(s) => s.end_recovery(),
         }
     }
 
     fn save_state(&self) -> EngineState {
         match self {
-            Engine::Raw(c) => EngineState::Raw(c.save_state()),
+            Engine::Raw { c, auto } => EngineState::Raw {
+                c: c.save_state(),
+                auto: auto.snapshot(),
+            },
             Engine::Supervised(s) => EngineState::Supervised(Box::new(s.save_state())),
         }
     }
 
     fn restore_state(&mut self, state: &EngineState) -> Result<()> {
         match (self, state) {
-            (Engine::Raw(c), EngineState::Raw(s)) => c.restore_state(s),
+            (Engine::Raw { c, auto }, EngineState::Raw { c: cs, auto: snap }) => {
+                c.restore_state(cs)?;
+                auto.restore(snap);
+                Ok(())
+            }
             (Engine::Supervised(sup), EngineState::Supervised(s)) => sup.restore_state(s),
             _ => Err(Error::NoSolution {
                 op: "engine_restore_state",
@@ -77,19 +156,25 @@ impl Engine {
         }
     }
 
-    /// Hot-swaps the serving controllers for a freshly synthesized
-    /// replacement (adaptive resynthesis, DESIGN.md §13). State transfers
-    /// bumplessly when the replacement has the same shape; otherwise it
-    /// starts from reset. Returns `true` when the transfer was bumpless.
+    /// Commits a hot-swap of the serving controllers for a freshly
+    /// synthesized replacement (adaptive resynthesis, DESIGN.md §13),
+    /// routed through the automaton's request→commit protocol (a direct
+    /// call is an atomic request+commit). State transfers bumplessly when
+    /// the replacement has the same shape; otherwise it starts from reset.
+    /// Returns `true` when the transfer was bumpless.
     fn swap_primary(&mut self, mut next: Controllers) -> bool {
         match self {
-            Engine::Raw(c) => {
+            Engine::Raw { c, auto } => {
+                if !auto.swap_pending() {
+                    auto.request_swap();
+                }
                 let saved = c.save_state();
                 let bumpless = next.restore_state(&saved).is_ok();
                 if !bumpless {
                     next.reset();
                 }
                 *c = next;
+                auto.commit_swap();
                 bumpless
             }
             Engine::Supervised(s) => s.swap_primary(next),
@@ -101,9 +186,7 @@ impl Engine {
 fn mode_label(mode: Option<SupervisorMode>) -> &'static str {
     match mode {
         None => "raw",
-        Some(SupervisorMode::Primary) => "primary",
-        Some(SupervisorMode::Fallback) => "fallback",
-        Some(SupervisorMode::Safe) => "safe",
+        Some(level) => level_label(level),
     }
 }
 
@@ -175,6 +258,39 @@ pub struct RecoveryReport {
     /// Replayed invocations that failed to reproduce the journaled record
     /// bit-for-bit. Must be zero for a deterministic stack.
     pub replay_divergences: u64,
+    /// Mode-automaton invariant violations observed by the engine over the
+    /// whole run (actuation gaps, dual writers, flapping, illegal
+    /// swap/recovery events). Must be zero for a correct stack.
+    pub invariant_violations: u64,
+}
+
+/// A mid-run controller hot-swap, specified by recipe so recovery can
+/// rebuild the replacement deterministically after a crash (a heap-only
+/// controller instance cannot be re-created from a checkpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapSpec {
+    /// Invocation index just before which the swap commits.
+    pub at_step: u64,
+    /// Scheme to instantiate as the replacement; `None` re-instantiates
+    /// the experiment's own scheme (the zero-change resynthesis case).
+    pub scheme: Option<Scheme>,
+}
+
+/// The composed run configuration of [`Experiment::run_unified`]: any mix
+/// of supervision, fault injection, one mid-run hot-swap, and crash
+/// recovery, all driven through the checked mode automaton.
+#[derive(Debug, Clone, Default)]
+pub struct UnifiedOptions {
+    /// Wrap the controllers in the fault-containment supervisor
+    /// (validated via [`SupervisorConfig::validate`]).
+    pub sup_cfg: Option<SupervisorConfig>,
+    /// Fault-injection plan corrupting the board interface; its crash
+    /// points fire only when `recovery` is enabled.
+    pub plan: Option<FaultPlan>,
+    /// One mid-run controller hot-swap.
+    pub swap: Option<SwapSpec>,
+    /// Enable journaling + checkpoint/restore crash tolerance.
+    pub recovery: Option<RecoveryOptions>,
 }
 
 /// The outcome of [`Experiment::run_recoverable`].
@@ -212,6 +328,9 @@ struct RunState {
     /// Engine mode at the previous invocation, for `supervisor.transition`
     /// telemetry events.
     last_mode: Option<SupervisorMode>,
+    /// Whether the run's one hot-swap has committed (rolled back with the
+    /// checkpoint on crash recovery, so the replay re-performs it).
+    swapped: bool,
 }
 
 /// One recovery point: a deep copy of the run state, the engine snapshot,
@@ -320,7 +439,14 @@ impl Experiment {
         workload: &Workload,
         controllers: Controllers,
     ) -> Result<Report> {
-        self.execute(workload, Engine::Raw(controllers), None)
+        self.execute(
+            workload,
+            Engine::Raw {
+                c: controllers,
+                auto: ModeAutomaton::new(ModeConfig::default()),
+            },
+            None,
+        )
     }
 
     /// Runs the workload under the fault-containment supervisor, optionally
@@ -390,33 +516,28 @@ impl Experiment {
         swap_at: u64,
         next: Option<Controllers>,
     ) -> Result<Report> {
-        let controllers = self.scheme.instantiate(&self.design, self.options.limits)?;
-        let mut engine = Engine::Supervised(Box::new(Supervisor::new(controllers, sup_cfg)));
-        let mut st = self.init_state(workload, plan.as_ref());
-        let mut next = next;
-        let mut swapped = false;
-        while !st.done {
-            if !swapped && st.step == swap_at {
-                let replacement = match next.take() {
-                    Some(c) => c,
-                    None => self.scheme.instantiate(&self.design, self.options.limits)?,
-                };
-                let bumpless = engine.swap_primary(replacement);
-                swapped = true;
-                let rec = self.rec();
-                if rec.enabled() {
-                    rec.event(
-                        "runtime.resynth",
-                        &[
-                            ("step", Value::U64(st.step)),
-                            ("bumpless", Value::Bool(bumpless)),
-                        ],
-                    );
-                }
-            }
-            self.step_invocation(&mut st, &mut engine, false)?;
-        }
-        Ok(self.finish(st, &engine, plan.as_ref(), workload))
+        // Crash points are documented as ignored on this path; strip them
+        // so the unified runner does not demand recovery options. Crashes
+        // never touch the injector RNG or the fault report, so the strip
+        // is bit-invisible.
+        let plan = plan.map(|mut p| {
+            p.crashes.clear();
+            p
+        });
+        let run = self.run_unified_impl(
+            workload,
+            UnifiedOptions {
+                sup_cfg: Some(sup_cfg),
+                plan,
+                swap: Some(SwapSpec {
+                    at_step: swap_at,
+                    scheme: None,
+                }),
+                recovery: None,
+            },
+            next,
+        )?;
+        Ok(run.report)
     }
 
     /// Instantiates the engine for this experiment: the scheme's
@@ -424,9 +545,23 @@ impl Experiment {
     /// engine through the same path (a crashed daemon restarts from its
     /// binary, not from its heap).
     fn build_engine(&self, sup_cfg: Option<SupervisorConfig>) -> Result<Engine> {
-        let controllers = self.scheme.instantiate(&self.design, self.options.limits)?;
+        self.build_engine_for(self.scheme, sup_cfg)
+    }
+
+    /// [`Experiment::build_engine`] with an explicit serving scheme —
+    /// recovery rebuilds from the *post-swap* scheme when the checkpoint
+    /// being restored was taken after a cross-scheme hot-swap committed.
+    fn build_engine_for(
+        &self,
+        scheme: Scheme,
+        sup_cfg: Option<SupervisorConfig>,
+    ) -> Result<Engine> {
+        let controllers = scheme.instantiate(&self.design, self.options.limits)?;
         Ok(match sup_cfg {
-            None => Engine::Raw(controllers),
+            None => Engine::Raw {
+                c: controllers,
+                auto: ModeAutomaton::new(ModeConfig::default()),
+            },
             Some(cfg) => Engine::Supervised(Box::new(Supervisor::new(controllers, cfg))),
         })
     }
@@ -456,6 +591,7 @@ impl Experiment {
             fault_trace_len: 0,
             compute: ComputeStats::default(),
             last_mode: None,
+            swapped: false,
         }
     }
 
@@ -549,7 +685,11 @@ impl Experiment {
         let rec = self.rec();
         let span = yukta_obs::span(rec, "runtime.invoke");
         let t0 = Instant::now();
-        let (hw_u, os_u) = engine.invoke(&hw_sense, &os_sense)?;
+        let invoke_result = engine.invoke(&hw_sense, &os_sense);
+        // Drain the automaton's transition log even on the error path so
+        // an aborted invocation cannot leave stale records behind.
+        let transitions = engine.drain_transitions();
+        let (hw_u, os_u) = invoke_result?;
         let invoke_ns = t0.elapsed().as_nanos() as u64;
         let mode = engine.mode();
         if rec.enabled() {
@@ -565,6 +705,20 @@ impl Experiment {
                     &[
                         ("from", Value::Str(mode_label(st.last_mode))),
                         ("to", Value::Str(mode_label(mode))),
+                        ("step", Value::U64(st.step)),
+                        ("t_sim", Value::F64(now)),
+                    ],
+                );
+            }
+            // Every automaton transition this invocation, with its cause —
+            // the audited choke point's own account of the mode machine.
+            for t in &transitions {
+                rec.event(
+                    "mode.transition",
+                    &[
+                        ("from", Value::Str(level_label(t.from))),
+                        ("to", Value::Str(level_label(t.to))),
+                        ("cause", Value::Str(t.cause)),
                         ("step", Value::U64(st.step)),
                         ("t_sim", Value::F64(now)),
                     ],
@@ -639,7 +793,7 @@ impl Experiment {
     ) -> Report {
         let supervisor = match engine {
             Engine::Supervised(s) => Some(s.stats()),
-            Engine::Raw(_) => None,
+            Engine::Raw { .. } => None,
         };
         let faults = plan.map(|p| FaultReport {
             seed: p.seed,
@@ -658,6 +812,7 @@ impl Experiment {
             trace: st.trace,
             supervisor,
             faults,
+            actuation: st.board.actuation_audit(),
             compute: st.compute,
         }
     }
@@ -707,45 +862,131 @@ impl Experiment {
         plan: Option<FaultPlan>,
         ropts: RecoveryOptions,
     ) -> Result<RecoveredRun> {
-        let interval = ropts.checkpoint_interval.max(1);
-        // Crash points, soonest first; consumed as they fire so recovery
-        // does not re-crash at the same step.
-        let mut pending: Vec<u64> = plan
+        self.run_unified_impl(
+            workload,
+            UnifiedOptions {
+                sup_cfg,
+                plan,
+                swap: None,
+                recovery: Some(ropts),
+            },
+            None,
+        )
+    }
+
+    /// The composed entry point: one runner for every combination of
+    /// supervision, fault injection, a mid-run hot-swap, and crash
+    /// recovery, all flowing through the checked mode automaton. The
+    /// pairwise paths ([`Experiment::run_recoverable`],
+    /// [`Experiment::run_supervised_with_swap`]) are thin wrappers over
+    /// this, so a swap-enabled run is also checkpointable/recoverable —
+    /// including a crash that lands between swap-request and swap-commit,
+    /// which recovery replays to a bit-identical outcome.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`yukta_linalg::Error::NoSolution`] on invalid combinations:
+    /// a flapping-prone supervisor configuration
+    /// ([`SupervisorConfig::validate`]), or crash points in the plan
+    /// without recovery enabled. Propagates controller-instantiation and
+    /// restore failures.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises non-injected panics from the controller stack.
+    pub fn run_unified(&self, workload: &Workload, opts: UnifiedOptions) -> Result<RecoveredRun> {
+        self.run_unified_impl(workload, opts, None)
+    }
+
+    /// [`Experiment::run_unified`] plus an optional externally supplied
+    /// replacement instance for the swap. Instance-based swaps are
+    /// rejected when recovery is on: a heap-only instance cannot be
+    /// rebuilt after a crash rollback, so recoverable runs must describe
+    /// the replacement by recipe ([`SwapSpec::scheme`]).
+    fn run_unified_impl(
+        &self,
+        workload: &Workload,
+        opts: UnifiedOptions,
+        mut instance_next: Option<Controllers>,
+    ) -> Result<RecoveredRun> {
+        if let Some(cfg) = &opts.sup_cfg {
+            cfg.validate()?;
+        }
+        let crash_steps: Vec<u64> = opts
+            .plan
             .as_ref()
             .map(FaultPlan::crash_steps)
             .unwrap_or_default();
-        let mut engine = self.build_engine(sup_cfg)?;
-        let mut st = self.init_state(workload, plan.as_ref());
+        if !crash_steps.is_empty() && opts.recovery.is_none() {
+            return Err(Error::NoSolution {
+                op: "run_unified",
+                why: "crash points in the fault plan require recovery to be enabled",
+            });
+        }
+        if instance_next.is_some() && opts.recovery.is_some() {
+            return Err(Error::NoSolution {
+                op: "run_unified",
+                why: "instance-based swap cannot be rebuilt after a crash; use SwapSpec::scheme",
+            });
+        }
+        let interval = opts.recovery.map(|r| r.checkpoint_interval.max(1));
+        let swap_spec = opts.swap;
+        // Crash points, soonest first; consumed as they fire so recovery
+        // does not re-crash at the same step.
+        let mut pending = crash_steps;
+        let mut engine = self.build_engine(opts.sup_cfg)?;
+        let mut st = self.init_state(workload, opts.plan.as_ref());
         let mut journal = Journal::new();
         let mut recovery = RecoveryReport::default();
-        let mut ckpt = Checkpoint {
+        let mut ckpt = interval.map(|_| Checkpoint {
             state: st.clone(),
             engine: engine.save_state(),
             journal_len: 0,
-        };
-        recovery.checkpoints = 1;
+        });
+        if ckpt.is_some() {
+            recovery.checkpoints = 1;
+        }
         while !st.done {
-            if st.step > ckpt.state.step && st.step.is_multiple_of(interval) {
-                let rec = self.rec();
-                let span = yukta_obs::span(rec, "runtime.checkpoint");
-                ckpt = Checkpoint {
-                    state: st.clone(),
-                    engine: engine.save_state(),
-                    journal_len: journal.len(),
-                };
-                recovery.checkpoints += 1;
-                if rec.enabled() {
-                    span.end_with(&[
-                        ("step", Value::U64(st.step)),
-                        ("journal_len", Value::U64(journal.len() as u64)),
-                    ]);
-                } else {
-                    drop(span);
+            if let (Some(interval), Some(c)) = (interval, &mut ckpt) {
+                if st.step > c.state.step && st.step.is_multiple_of(interval) {
+                    let rec = self.rec();
+                    let span = yukta_obs::span(rec, "runtime.checkpoint");
+                    *c = Checkpoint {
+                        state: st.clone(),
+                        engine: engine.save_state(),
+                        journal_len: journal.len(),
+                    };
+                    recovery.checkpoints += 1;
+                    if rec.enabled() {
+                        span.end_with(&[
+                            ("step", Value::U64(st.step)),
+                            ("journal_len", Value::U64(journal.len() as u64)),
+                        ]);
+                    } else {
+                        drop(span);
+                    }
                 }
             }
             let crash_here = pending.first() == Some(&st.step);
+            let swap_here = match swap_spec {
+                Some(spec) => !st.swapped && st.step == spec.at_step,
+                None => false,
+            };
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.step_invocation(&mut st, &mut engine, crash_here)
+                if swap_here {
+                    if let Some(spec) = swap_spec {
+                        // A crash at the swap step lands inside the swap
+                        // window, between request and commit.
+                        self.perform_swap(
+                            &mut st,
+                            &mut engine,
+                            spec,
+                            &mut instance_next,
+                            crash_here,
+                        )?;
+                    }
+                }
+                self.step_invocation(&mut st, &mut engine, crash_here && !swap_here)
             }));
             match outcome {
                 Ok(result) => {
@@ -761,6 +1002,11 @@ impl Experiment {
                     if payload.downcast_ref::<InjectedCrash>().is_none() {
                         resume_unwind(payload);
                     }
+                    let Some(c) = &ckpt else {
+                        // Unreachable: crashes were rejected above unless
+                        // recovery (and thus a checkpoint) exists.
+                        resume_unwind(payload);
+                    };
                     pending.remove(0);
                     recovery.crashes += 1;
                     let rec = self.rec();
@@ -771,10 +1017,32 @@ impl Experiment {
                     // lost. Restart from the binary (fresh instantiation),
                     // load the checkpoint, replay the journal suffix.
                     let recover_span = yukta_obs::span(rec, "runtime.recover");
-                    engine = self.build_engine(sup_cfg)?;
-                    engine.restore_state(&ckpt.engine)?;
-                    st = ckpt.state.clone();
-                    for i in ckpt.journal_len..journal.len() {
+                    // The checkpoint may postdate a committed hot-swap, in
+                    // which case the serving controllers are the swap
+                    // recipe's, not the experiment's own scheme.
+                    let serving = match (c.state.swapped, swap_spec) {
+                        (true, Some(spec)) => spec.scheme.unwrap_or(self.scheme),
+                        _ => self.scheme,
+                    };
+                    engine = self.build_engine_for(serving, opts.sup_cfg)?;
+                    engine.restore_state(&c.engine)?;
+                    engine.begin_recovery();
+                    st = c.state.clone();
+                    for i in c.journal_len..journal.len() {
+                        // A swap that committed after the checkpoint was
+                        // rolled back with it: re-perform it at the same
+                        // point of the replay (deterministic by recipe).
+                        if let Some(spec) = swap_spec {
+                            if !st.swapped && st.step == spec.at_step {
+                                self.perform_swap(
+                                    &mut st,
+                                    &mut engine,
+                                    spec,
+                                    &mut instance_next,
+                                    false,
+                                )?;
+                            }
+                        }
                         match self.step_invocation(&mut st, &mut engine, false)? {
                             Some(r) => {
                                 recovery.replayed_records += 1;
@@ -790,13 +1058,14 @@ impl Experiment {
                             }
                         }
                     }
+                    engine.end_recovery();
                     recovery.recoveries += 1;
                     if rec.enabled() {
                         recover_span.end_with(&[
                             ("step", Value::U64(st.step)),
                             (
                                 "replayed",
-                                Value::U64((journal.len() - ckpt.journal_len) as u64),
+                                Value::U64((journal.len() - c.journal_len) as u64),
                             ),
                             ("divergences", Value::U64(recovery.replay_divergences)),
                         ]);
@@ -806,12 +1075,52 @@ impl Experiment {
                 }
             }
         }
-        let report = self.finish(st, &engine, plan.as_ref(), workload);
+        recovery.invariant_violations = engine.violations();
+        let report = self.finish(st, &engine, opts.plan.as_ref(), workload);
         Ok(RecoveredRun {
             report,
             journal,
             recovery,
         })
+    }
+
+    /// Stages and commits the run's hot-swap through the automaton's
+    /// request→commit protocol. With `crash_here`, the injected crash
+    /// fires inside the vulnerable window — after the request, before the
+    /// commit — which is exactly the interleaving the chaos campaign must
+    /// recover from bit-identically.
+    fn perform_swap(
+        &self,
+        st: &mut RunState,
+        engine: &mut Engine,
+        spec: SwapSpec,
+        instance_next: &mut Option<Controllers>,
+        crash_here: bool,
+    ) -> Result<()> {
+        engine.request_swap();
+        if crash_here {
+            std::panic::panic_any(InjectedCrash { step: st.step });
+        }
+        let replacement = match instance_next.take() {
+            Some(c) => c,
+            None => {
+                let scheme = spec.scheme.unwrap_or(self.scheme);
+                scheme.instantiate(&self.design, self.options.limits)?
+            }
+        };
+        let bumpless = engine.swap_primary(replacement);
+        st.swapped = true;
+        let rec = self.rec();
+        if rec.enabled() {
+            rec.event(
+                "runtime.resynth",
+                &[
+                    ("step", Value::U64(st.step)),
+                    ("bumpless", Value::Bool(bumpless)),
+                ],
+            );
+        }
+        Ok(())
     }
 
     /// Replays a journal against a freshly instantiated engine for this
@@ -1187,5 +1496,187 @@ mod tests {
         }
         // Raw-engine records carry no supervisor mode.
         assert!(rec.journal.records().iter().all(|r| r.mode.is_none()));
+    }
+
+    #[test]
+    fn unified_rejects_invalid_combinations_with_typed_errors() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        // Crash points without recovery: there is nothing to recover with.
+        let err = exp
+            .run_unified(
+                &wl,
+                UnifiedOptions {
+                    sup_cfg: Some(SupervisorConfig::default()),
+                    plan: Some(FaultPlan::uniform(1, 0.0).with_crash(3)),
+                    swap: None,
+                    recovery: None,
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::NoSolution {
+                    op: "run_unified",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Flapping-prone supervisor configurations are rejected up front.
+        let err = exp
+            .run_unified(
+                &wl,
+                UnifiedOptions {
+                    sup_cfg: Some(SupervisorConfig {
+                        reengage_after: 1,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::NoSolution {
+                    op: "supervisor_config",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn crash_inside_the_swap_window_recovers_bit_identically() {
+        // The composed case the pairwise paths never exercised: a crash
+        // that lands between swap-request and swap-commit, under fault
+        // injection. Recovery rolls back to the checkpoint, replays the
+        // journal suffix, re-performs the swap by recipe, and the final
+        // report is bit-identical to the crash-free twin.
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let swap_at = 7;
+        let plan = FaultPlan::uniform(33, 0.4)
+            .with_crash(swap_at)
+            .with_crash(19);
+        // run_supervised_with_swap strips crash points, so the same plan
+        // doubles as the uninterrupted baseline.
+        let base = exp
+            .run_supervised_with_swap(
+                &wl,
+                SupervisorConfig::default(),
+                Some(plan.clone()),
+                swap_at,
+                None,
+            )
+            .unwrap();
+        let run = exp
+            .run_unified(
+                &wl,
+                UnifiedOptions {
+                    sup_cfg: Some(SupervisorConfig::default()),
+                    plan: Some(plan),
+                    swap: Some(SwapSpec {
+                        at_step: swap_at,
+                        scheme: None,
+                    }),
+                    recovery: Some(RecoveryOptions {
+                        checkpoint_interval: 5,
+                    }),
+                },
+            )
+            .unwrap();
+        assert_eq!(run.recovery.crashes, 2, "both crashes must fire");
+        assert_eq!(run.recovery.recoveries, 2);
+        assert_eq!(run.recovery.replay_divergences, 0, "replay diverged");
+        assert_eq!(run.recovery.invariant_violations, 0);
+        assert!(
+            run.report.bit_identical(&base),
+            "crash during the swap window perturbed the run"
+        );
+    }
+
+    #[test]
+    fn unified_swap_with_recovery_on_raw_engine_matches_plain_swap() {
+        // Swap + recovery composes on the raw engine too: the automaton
+        // lives in the engine, not the supervisor.
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::DecoupledHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let swap_at = 6;
+        let run = exp
+            .run_unified(
+                &wl,
+                UnifiedOptions {
+                    sup_cfg: None,
+                    plan: Some(FaultPlan::uniform(9, 0.0).with_crash(swap_at)),
+                    swap: Some(SwapSpec {
+                        at_step: swap_at,
+                        scheme: None,
+                    }),
+                    recovery: Some(RecoveryOptions {
+                        checkpoint_interval: 4,
+                    }),
+                },
+            )
+            .unwrap();
+        assert_eq!(run.recovery.crashes, 1);
+        assert_eq!(run.recovery.replay_divergences, 0);
+        assert_eq!(run.recovery.invariant_violations, 0);
+        // Zero-change swap + zero-severity plan: bit-identical to a plain
+        // run of the same scheme.
+        let base = exp.run(&wl).unwrap();
+        assert_eq!(
+            run.report.metrics.energy_joules.to_bits(),
+            base.metrics.energy_joules.to_bits()
+        );
+        assert_eq!(
+            run.report.metrics.delay_seconds.to_bits(),
+            base.metrics.delay_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn instance_swap_plus_recovery_is_a_typed_error() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let next = Scheme::DecoupledHeuristic
+            .instantiate(exp.design(), exp.options.limits)
+            .unwrap();
+        let err = exp
+            .run_unified_impl(
+                &wl,
+                UnifiedOptions {
+                    sup_cfg: Some(SupervisorConfig::default()),
+                    plan: None,
+                    swap: Some(SwapSpec {
+                        at_step: 4,
+                        scheme: None,
+                    }),
+                    recovery: Some(RecoveryOptions::default()),
+                },
+                Some(next),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::NoSolution {
+                    op: "run_unified",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -14,8 +14,9 @@
 //! 3. **degrades gracefully** — on any fault evidence or a typed controller
 //!    error the model-based scheme is demoted to the *coordinated
 //!    heuristic* (the paper's strongest baseline, memoryless and
-//!    conservative), and if even that fails, to a fixed safe static
-//!    configuration;
+//!    conservative), and if even that fails — or the fault evidence is
+//!    sustained for [`SupervisorConfig::escalate_after`] samples — to a
+//!    fixed safe static configuration;
 //! 4. **re-engages with hysteresis** — after
 //!    [`SupervisorConfig::reengage_after`] consecutive clean samples the
 //!    demoted controller is reset (stale estimator state from the faulty
@@ -24,6 +25,16 @@
 //!    are clamped, and a long streak of clamped samples triggers an
 //!    anti-windup reset of the primary controller's internal state.
 //!
+//! The mode decisions themselves (which level serves, when to demote,
+//! when to re-engage, the swap/recovery protocol) live in one checked
+//! state machine — [`crate::modes::ModeAutomaton`] — and the supervisor is
+//! a thin driver: it feeds the automaton events (sample cleanliness,
+//! controller errors) and performs the matching actions (controller
+//! resets, fresh fallbacks, counters). Every invocation runs inside an
+//! automaton bracket that asserts single-writer-per-knob and no actuation
+//! gap; violations are counted in
+//! [`SupervisorStats::invariant_violations`] (zero in any correct run).
+//!
 //! Everything the supervisor does is pure `f64` arithmetic with no
 //! randomness, so supervised runs stay bit-reproducible; with no faults
 //! injected the supervisor is exactly transparent (clean samples take the
@@ -31,12 +42,20 @@
 
 use serde::{Deserialize, Serialize};
 
-use yukta_linalg::Result;
+use yukta_linalg::{Error, Result};
 
 use crate::controllers::heuristic::{CoordinatedHeuristicHw, CoordinatedHeuristicOs};
 use crate::controllers::{HwPolicy, HwSense, OsPolicy, OsSense};
+use crate::modes::{
+    InvariantViolation, Knob, LevelChange, ModeAutomaton, ModeConfig, ModeSnapshot,
+    TransitionRecord, level_label,
+};
 use crate::schemes::{Controllers, ControllersState};
 use crate::signals::{HwInputs, HwOutputs, OsInputs, OsOutputs};
+
+fn default_escalate_after() -> u32 {
+    24
+}
 
 /// Tuning knobs of the supervisor's fault handling.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,14 +69,64 @@ pub struct SupervisorConfig {
     /// Consecutive samples with at least one clamped actuation before the
     /// primary controller's state is reset (anti-windup freeze).
     pub windup_reset_after: u32,
+    /// Consecutive dirty samples in Fallback before escalating to Safe
+    /// (sustained correlated faults defeat the heuristic's sensor view).
+    #[serde(default = "default_escalate_after")]
+    pub escalate_after: u32,
 }
 
 impl Default for SupervisorConfig {
     fn default() -> Self {
         SupervisorConfig {
-            reengage_after: 6,     // 3 s of clean telemetry at 500 ms
-            stuck_window: 4,       // 2 s of frozen readings
-            windup_reset_after: 8, // 4 s of continuous saturation
+            reengage_after: 6,                        // 3 s of clean telemetry at 500 ms
+            stuck_window: 4,                          // 2 s of frozen readings
+            windup_reset_after: 8,                    // 4 s of continuous saturation
+            escalate_after: default_escalate_after(), // 12 s of sustained dirt
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Rejects flapping-prone or degenerate configurations with typed
+    /// errors (mirroring `DkOptions::validate`). Checked at every unified
+    /// runtime entry point before a supervisor is constructed.
+    ///
+    /// # Errors
+    ///
+    /// [`yukta_linalg::Error::NoSolution`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
+        if self.reengage_after < 2 {
+            return Err(Error::NoSolution {
+                op: "supervisor_config",
+                why: "reengage_after < 2 re-engages on a single clean sample (mode flapping)",
+            });
+        }
+        if self.stuck_window < 2 {
+            return Err(Error::NoSolution {
+                op: "supervisor_config",
+                why: "stuck_window < 2 flags every reading as stuck",
+            });
+        }
+        if self.windup_reset_after < 1 {
+            return Err(Error::NoSolution {
+                op: "supervisor_config",
+                why: "windup_reset_after must be at least 1",
+            });
+        }
+        if self.escalate_after < 2 {
+            return Err(Error::NoSolution {
+                op: "supervisor_config",
+                why: "escalate_after < 2 escalates on the first dirty sample (mode flapping)",
+            });
+        }
+        Ok(())
+    }
+
+    /// The automaton guard thresholds this configuration induces.
+    pub fn mode_config(&self) -> ModeConfig {
+        ModeConfig {
+            reengage_after: self.reengage_after,
+            escalate_after: self.escalate_after,
         }
     }
 }
@@ -92,12 +161,16 @@ pub struct SupervisorStats {
     pub fallback_entries: u64,
     /// Fallback → Primary promotions (hysteresis re-engagements).
     pub fallback_exits: u64,
-    /// Fallback → Safe demotions.
+    /// Fallback → Safe demotions (fallback errors or sustained dirt).
     pub safe_entries: u64,
     /// Total supervised invocations.
     pub invocations: u64,
     /// Invocations served by Fallback or Safe.
     pub degraded_invocations: u64,
+    /// Mode-automaton invariant violations (actuation gaps, dual writers,
+    /// flapping, illegal events). Zero in any correct run.
+    #[serde(default)]
+    pub invariant_violations: u64,
 }
 
 impl SupervisorStats {
@@ -124,10 +197,9 @@ struct StuckChannel {
 /// rebuilt fresh on restore. Produced by [`Supervisor::save_state`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SupervisorState {
-    /// Mode of the state machine.
-    pub mode: SupervisorMode,
-    /// Consecutive clean samples toward re-engagement.
-    pub clean_streak: u32,
+    /// Snapshot of the mode automaton (level, streaks, swap/recovery
+    /// phase, step counter).
+    pub automaton: ModeSnapshot,
     /// Consecutive actuation-clamped samples toward an anti-windup reset.
     pub clamp_streak: u32,
     /// Stuck-sensor watchdogs as `(last_bits, repeats)` per channel
@@ -196,14 +268,14 @@ fn repair(v: &mut f64, rail: (f64, f64), last_good: f64, stats: &mut SupervisorS
 }
 
 /// Wraps a scheme's controllers with fault detection, fallback, and
-/// actuation saturation. See the module docs for the full state machine.
+/// actuation saturation. Mode decisions flow through the checked
+/// [`ModeAutomaton`]; see the module docs for the full state machine.
 pub struct Supervisor {
     cfg: SupervisorConfig,
     primary: Controllers,
     fb_hw: CoordinatedHeuristicHw,
     fb_os: CoordinatedHeuristicOs,
-    mode: SupervisorMode,
-    clean_streak: u32,
+    auto: ModeAutomaton,
     clamp_streak: u32,
     watchdogs: [StuckChannel; 3],
     last_good_hw: HwOutputs,
@@ -219,8 +291,7 @@ impl Supervisor {
             primary,
             fb_hw: CoordinatedHeuristicHw::new(),
             fb_os: CoordinatedHeuristicOs::new(),
-            mode: SupervisorMode::Primary,
-            clean_streak: 0,
+            auto: ModeAutomaton::new(cfg.mode_config()),
             clamp_streak: 0,
             watchdogs: [StuckChannel::default(); 3],
             last_good_hw: HwOutputs::default(),
@@ -231,12 +302,52 @@ impl Supervisor {
 
     /// The controller level currently in charge.
     pub fn mode(&self) -> SupervisorMode {
-        self.mode
+        self.auto.level()
     }
 
-    /// Fault-handling counters so far.
+    /// Fault-handling counters so far, including the automaton's invariant
+    /// violation count.
     pub fn stats(&self) -> SupervisorStats {
-        self.stats
+        let mut s = self.stats;
+        s.invariant_violations = self.auto.violations();
+        s
+    }
+
+    /// Invariant violations recorded by the mode automaton (zero in any
+    /// correct run).
+    pub fn violations(&self) -> u64 {
+        self.auto.violations()
+    }
+
+    /// The first invariant violation recorded, if any (diagnostic).
+    pub fn first_violation(&self) -> Option<InvariantViolation> {
+        self.auto.first_violation()
+    }
+
+    /// Drains the automaton's transition log for telemetry.
+    pub fn drain_transitions(&mut self) -> Vec<TransitionRecord> {
+        self.auto.drain_transitions()
+    }
+
+    /// Whether a hot-swap has been requested but not yet committed.
+    pub fn swap_pending(&self) -> bool {
+        self.auto.swap_pending()
+    }
+
+    /// Enters the swap-pending window (replacement being prepared). The
+    /// commit happens in [`Supervisor::swap_primary`].
+    pub fn request_swap(&mut self) {
+        self.auto.request_swap();
+    }
+
+    /// Marks the start of a crash-recovery replay.
+    pub fn begin_recovery(&mut self) {
+        self.auto.begin_recovery();
+    }
+
+    /// Marks the end of a crash-recovery replay.
+    pub fn end_recovery(&mut self) {
+        self.auto.end_recovery();
     }
 
     /// A label combining the supervised controllers' names.
@@ -244,13 +355,12 @@ impl Supervisor {
         format!("supervised({})", self.primary.label())
     }
 
-    /// Snapshots the complete supervisor state (mode machine, watchdogs,
+    /// Snapshots the complete supervisor state (mode automaton, watchdogs,
     /// hysteresis counters, stats, and the wrapped primary controllers)
     /// for a checkpoint.
     pub fn save_state(&self) -> SupervisorState {
         SupervisorState {
-            mode: self.mode,
-            clean_streak: self.clean_streak,
+            automaton: self.auto.snapshot(),
             clamp_streak: self.clamp_streak,
             watchdogs: [
                 (self.watchdogs[0].last_bits, self.watchdogs[0].repeats),
@@ -259,7 +369,7 @@ impl Supervisor {
             ],
             last_good_hw: self.last_good_hw,
             last_good_os: self.last_good_os,
-            stats: self.stats,
+            stats: self.stats(),
             primary: self.primary.save_state(),
         }
     }
@@ -277,8 +387,7 @@ impl Supervisor {
         self.primary.restore_state(&state.primary)?;
         self.fb_hw = CoordinatedHeuristicHw::new();
         self.fb_os = CoordinatedHeuristicOs::new();
-        self.mode = state.mode;
-        self.clean_streak = state.clean_streak;
+        self.auto.restore(&state.automaton);
         self.clamp_streak = state.clamp_streak;
         for (w, &(bits, repeats)) in self.watchdogs.iter_mut().zip(&state.watchdogs) {
             w.last_bits = bits;
@@ -297,21 +406,57 @@ impl Supervisor {
     /// machine, watchdogs, and fallbacks are untouched, so the swap
     /// introduces no actuation gap.
     ///
+    /// The swap is routed through the automaton's request→commit protocol;
+    /// callers that staged the swap earlier (entering the crash-vulnerable
+    /// window) use [`Supervisor::request_swap`] first, and this call
+    /// commits it. A direct call is an atomic request+commit.
+    ///
     /// Returns `true` when the transfer was bumpless.
     pub fn swap_primary(&mut self, mut next: Controllers) -> bool {
+        if !self.auto.swap_pending() {
+            self.auto.request_swap();
+        }
         let saved = self.primary.save_state();
         let bumpless = next.restore_state(&saved).is_ok();
         if !bumpless {
             next.reset();
         }
         self.primary = next;
+        self.auto.commit_swap();
         bumpless
+    }
+
+    /// Performs the driver action matching an automaton level change:
+    /// reset the controller being engaged (stale state from the previous
+    /// episode must not leak forward) and bump the matching counter.
+    fn apply_change(&mut self, change: Option<LevelChange>) {
+        let Some(ch) = change else { return };
+        match (ch.from, ch.to) {
+            (SupervisorMode::Fallback, SupervisorMode::Primary) => {
+                self.primary.reset();
+                self.stats.fallback_exits += 1;
+            }
+            (SupervisorMode::Safe, SupervisorMode::Fallback) => {
+                self.fb_hw = CoordinatedHeuristicHw::new();
+                self.fb_os = CoordinatedHeuristicOs::new();
+            }
+            (SupervisorMode::Primary, SupervisorMode::Fallback) => {
+                self.fb_hw = CoordinatedHeuristicHw::new();
+                self.fb_os = CoordinatedHeuristicOs::new();
+                self.stats.fallback_entries += 1;
+            }
+            (SupervisorMode::Fallback, SupervisorMode::Safe) => {
+                self.stats.safe_entries += 1;
+            }
+            _ => {}
+        }
     }
 
     /// One supervised controller invocation. Never panics and never
     /// returns non-finite or out-of-range actuations, whatever the senses
     /// contain.
     pub fn step(&mut self, hw_raw: &HwSense, os_raw: &OsSense) -> (HwInputs, OsInputs) {
+        self.auto.begin_invocation();
         self.stats.invocations += 1;
         let mut hw = *hw_raw;
         let mut os = *os_raw;
@@ -344,28 +489,18 @@ impl Supervisor {
         self.last_good_hw = hw.outputs;
         self.last_good_os = os.outputs;
 
-        // Hysteresis re-engagement.
-        if clean {
-            self.clean_streak += 1;
-        } else {
-            self.clean_streak = 0;
-        }
-        if self.mode != SupervisorMode::Primary && self.clean_streak >= self.cfg.reengage_after {
-            self.promote();
-            self.clean_streak = 0;
-        }
+        // One sample event: hysteresis re-engagement, fault-evidence
+        // demotion, and sustained-dirt escalation all fire (at most one)
+        // inside the automaton.
+        let d = self.auto.on_sample(clean);
+        self.apply_change(d.change);
 
-        // Fault evidence demotes the model-based scheme for this sample and
-        // until the clean streak rebuilds.
-        if self.mode == SupervisorMode::Primary && !clean {
-            self.demote_to_fallback();
-        }
-
-        let (hw_u, os_u) = match self.mode {
+        let (hw_u, os_u) = match self.auto.level() {
             SupervisorMode::Primary => match self.invoke_primary(&hw, &os) {
                 Some(u) => u,
                 None => {
-                    self.demote_to_fallback();
+                    let d = self.auto.on_primary_error();
+                    self.apply_change(d.change);
                     self.invoke_fallback(&hw, &os)
                 }
             },
@@ -389,7 +524,15 @@ impl Supervisor {
             self.clamp_streak = 0;
         }
 
-        if self.mode != SupervisorMode::Primary {
+        // Close the invocation bracket: the serving level is the single
+        // writer of all three knobs this step; the TMU only caps.
+        let owner = level_label(self.auto.level());
+        self.auto.claim(Knob::Dvfs, owner);
+        self.auto.claim(Knob::Hotplug, owner);
+        self.auto.claim(Knob::Migration, owner);
+        self.auto.end_invocation();
+
+        if self.auto.level() != SupervisorMode::Primary {
             self.stats.degraded_invocations += 1;
         }
         (hw_u, os_u)
@@ -438,46 +581,17 @@ impl Supervisor {
         }
     }
 
-    /// Invokes the coordinated heuristic; drops to Safe if even that fails.
+    /// Invokes the coordinated heuristic; drops to Safe (through the
+    /// automaton) if even that fails.
     fn invoke_fallback(&mut self, hw: &HwSense, os: &OsSense) -> (HwInputs, OsInputs) {
         match (self.fb_hw.invoke(hw), self.fb_os.invoke(os)) {
             (Ok(hu), Ok(ou)) if finite_hw(&hu) && finite_os(&ou) => (hu, ou),
             _ => {
                 self.stats.controller_errors += 1;
-                if self.mode != SupervisorMode::Safe {
-                    self.mode = SupervisorMode::Safe;
-                    self.stats.safe_entries += 1;
-                }
+                let d = self.auto.on_fallback_error();
+                self.apply_change(d.change);
                 safe_static(os.active_threads)
             }
-        }
-    }
-
-    /// Promotes one level after a clean streak, resetting the controller
-    /// being re-engaged so stale state cannot leak forward.
-    fn promote(&mut self) {
-        match self.mode {
-            SupervisorMode::Safe => {
-                self.fb_hw = CoordinatedHeuristicHw::new();
-                self.fb_os = CoordinatedHeuristicOs::new();
-                self.mode = SupervisorMode::Fallback;
-            }
-            SupervisorMode::Fallback => {
-                self.primary.reset();
-                self.mode = SupervisorMode::Primary;
-                self.stats.fallback_exits += 1;
-            }
-            SupervisorMode::Primary => {}
-        }
-    }
-
-    fn demote_to_fallback(&mut self) {
-        if self.mode == SupervisorMode::Primary {
-            self.fb_hw = CoordinatedHeuristicHw::new();
-            self.fb_os = CoordinatedHeuristicOs::new();
-            self.mode = SupervisorMode::Fallback;
-            self.stats.fallback_entries += 1;
-            self.clean_streak = 0;
         }
     }
 
@@ -619,6 +733,7 @@ mod tests {
         assert_eq!(st.sensor_faults_seen(), 0);
         assert_eq!(st.fallback_entries, 0);
         assert_eq!(st.degraded_invocations, 0);
+        assert_eq!(st.invariant_violations, 0);
     }
 
     #[test]
@@ -843,6 +958,7 @@ mod tests {
         }
         assert_eq!(sup.stats().fallback_entries, 1);
         assert_eq!(sup.stats().fallback_exits, 1);
+        assert_eq!(sup.stats().invariant_violations, 0);
     }
 
     #[test]
@@ -874,13 +990,107 @@ mod tests {
     }
 
     #[test]
+    fn sustained_dirt_escalates_to_safe_then_recovers_through_fallback() {
+        // Correlated faults keep every sample dirty: after
+        // `escalate_after` dirty samples in Fallback the supervisor parks
+        // in Safe; a clean streak then re-engages one level at a time.
+        let cfg = SupervisorConfig {
+            escalate_after: 5,
+            ..Default::default()
+        };
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let mut bad = clean_hw_sense();
+        bad.outputs.p_big = f64::NAN;
+        let os = clean_os_sense();
+        // Sample 1 demotes to Fallback (dirty_streak 1); escalation at
+        // dirty_streak == escalate_after.
+        for k in 0..cfg.escalate_after {
+            sup.step(&bad, &os);
+            if k + 1 < cfg.escalate_after {
+                assert_eq!(sup.mode(), SupervisorMode::Fallback, "sample {k}");
+            }
+        }
+        assert_eq!(sup.mode(), SupervisorMode::Safe);
+        assert_eq!(sup.stats().safe_entries, 1);
+        // Safe still serves legal actuations.
+        let (hu, ou) = sup.step(&bad, &os);
+        assert!(finite_hw(&hu) && finite_os(&ou));
+        assert!((1.0..=4.0).contains(&hu.big_cores));
+        // Clean telemetry climbs back: Safe → Fallback → Primary.
+        let mut k = 0usize;
+        while sup.mode() != SupervisorMode::Primary {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            sup.step(&h, &o);
+            k += 1;
+            assert!(k <= 3 * cfg.reengage_after as usize, "no re-engagement");
+        }
+        assert_eq!(sup.stats().fallback_exits, 1);
+        assert_eq!(sup.stats().invariant_violations, 0);
+    }
+
+    #[test]
+    fn validate_rejects_flapping_prone_configs() {
+        assert!(SupervisorConfig::default().validate().is_ok());
+        let bad = |cfg: SupervisorConfig| matches!(cfg.validate(), Err(Error::NoSolution { op, .. }) if op == "supervisor_config");
+        assert!(bad(SupervisorConfig {
+            reengage_after: 1,
+            ..Default::default()
+        }));
+        assert!(bad(SupervisorConfig {
+            stuck_window: 0,
+            ..Default::default()
+        }));
+        assert!(bad(SupervisorConfig {
+            windup_reset_after: 0,
+            ..Default::default()
+        }));
+        assert!(bad(SupervisorConfig {
+            escalate_after: 1,
+            ..Default::default()
+        }));
+    }
+
+    #[test]
+    fn staged_swap_window_is_transparent_and_checked() {
+        // request_swap opens the crash-vulnerable window; steps inside it
+        // and the eventual commit are bit-transparent vs an unswapped
+        // twin, and the protocol records no violations.
+        let cfg = SupervisorConfig::default();
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let mut twin = Supervisor::new(heuristic_primary(), cfg);
+        for k in 0..4 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            assert_eq!(sup.step(&h, &o), twin.step(&h, &o));
+        }
+        sup.request_swap();
+        assert!(sup.swap_pending());
+        let mut h = clean_hw_sense();
+        let mut o = clean_os_sense();
+        jitter(&mut h, &mut o, 4);
+        assert_eq!(sup.step(&h, &o), twin.step(&h, &o), "pending window");
+        assert!(sup.swap_primary(heuristic_primary()), "commit is bumpless");
+        assert!(!sup.swap_pending());
+        for k in 5..15 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            assert_eq!(sup.step(&h, &o), twin.step(&h, &o), "sample {k}");
+        }
+        assert_eq!(sup.violations(), 0, "{:?}", sup.first_violation());
+    }
+
+    #[test]
     fn save_restore_roundtrips_supervisor_bit_for_bit() {
         let cfg = SupervisorConfig::default();
         // Capture mid-episode: demoted, partway through a clean streak.
         let mut sup = demoted_then_clean(cfg, 2);
         let snap = sup.save_state();
-        assert_eq!(snap.mode, SupervisorMode::Fallback);
-        assert_eq!(snap.clean_streak, 2);
+        assert_eq!(snap.automaton.level, SupervisorMode::Fallback);
+        assert_eq!(snap.automaton.clean_streak, 2);
         // "Restart the daemon": a fresh supervisor around fresh
         // controllers, restored from the snapshot.
         let mut restored = Supervisor::new(heuristic_primary(), cfg);
@@ -957,5 +1167,6 @@ mod tests {
             assert_eq!(ou, bare_os.invoke(&o).unwrap(), "sample {k}");
         }
         assert_eq!(sup.stats().fallback_entries, 0);
+        assert_eq!(sup.stats().invariant_violations, 0);
     }
 }
