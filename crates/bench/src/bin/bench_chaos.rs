@@ -25,13 +25,10 @@
 //! Any violation exits non-zero, which gates CI. `--quick` runs a reduced
 //! grid for smoke coverage. Output: `results/BENCH_chaos.json`.
 
-use std::panic::{self, AssertUnwindSafe, catch_unwind};
-
-use yukta_bench::{eval_options, write_results};
+use yukta_bench::campaign::Campaign;
+use yukta_bench::eval_options;
 use yukta_board::FaultPlan;
-use yukta_core::runtime::{
-    Experiment, InjectedCrash, RecoveryOptions, RunOptions, SwapSpec, UnifiedOptions,
-};
+use yukta_core::runtime::{Experiment, RecoveryOptions, RunOptions, SwapSpec, UnifiedOptions};
 use yukta_core::schemes::Scheme;
 use yukta_core::supervisor::SupervisorConfig;
 use yukta_workloads::catalog;
@@ -131,6 +128,7 @@ fn run_cell(
                 recovery: Some(RecoveryOptions {
                     checkpoint_interval: 20,
                 }),
+                serving: None,
             },
         )
         .expect("unified chaos run");
@@ -159,15 +157,9 @@ fn run_cell(
 
 fn main() {
     let _obs = yukta_bench::obs::capture("bench_chaos");
-    let quick = std::env::args().any(|a| a == "--quick");
-    // Injected crashes unwind through `panic_any`; silence the default
-    // hook's backtrace spam for those (and only those) payloads.
-    let default_hook = panic::take_hook();
-    panic::set_hook(Box::new(move |info| {
-        if info.payload().downcast_ref::<InjectedCrash>().is_none() {
-            default_hook(info);
-        }
-    }));
+    let mut camp = Campaign::new("bench_chaos");
+    let quick = camp.quick();
+    Campaign::silence_injected_crashes();
 
     let schemes: Vec<Scheme> = if quick {
         vec![Scheme::CoordinatedHeuristic, Scheme::YuktaHwSsvOsSsv]
@@ -190,10 +182,6 @@ fn main() {
     let wl = catalog::parsec::blackscholes();
     let options: RunOptions = eval_options();
 
-    let mut rows: Vec<String> = Vec::new();
-    let mut cells = 0usize;
-    let mut failures = 0usize;
-    let mut panics = 0usize;
     let mut total_violations = 0u64;
     for (ci, scheme) in schemes.iter().enumerate() {
         let exp = Experiment::new(*scheme)
@@ -210,17 +198,8 @@ fn main() {
         let mut deg_envelope: Vec<(&'static str, f64)> = Vec::new();
         for &severity in severities {
             for v in &VARIANTS {
-                cells += 1;
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| run_cell(&exp, &wl, seed, severity, v)));
-                let Ok(c) = outcome else {
-                    panics += 1;
-                    failures += 1;
-                    eprintln!(
-                        "PANIC: {} severity {severity} variant {}",
-                        scheme.label(),
-                        v.name
-                    );
+                let label = format!("{} severity {severity} variant {}", scheme.label(), v.name);
+                let Some(c) = camp.cell(&label, || run_cell(&exp, &wl, seed, severity, v)) else {
                     continue;
                 };
                 total_violations += c.invariant_violations;
@@ -259,15 +238,11 @@ fn main() {
                     && c.tmu_cap_expansions == 0
                     && (!v.bursts || c.burst_windows > 0);
                 if !ok {
-                    failures += 1;
-                    eprintln!(
-                        "FAIL: {} severity {severity} variant {}: \
-                         completed={} bit_identical={} crashes={}/{} \
+                    camp.fail(&format!(
+                        "{label}: completed={} bit_identical={} crashes={}/{} \
                          divergences={} violations={} double_act={} \
                          tmu_expand={} bursts={} monotone={monotone} \
                          degraded_frac={:.3}",
-                        scheme.label(),
-                        v.name,
                         c.completed,
                         c.bit_identical,
                         c.recoveries,
@@ -278,7 +253,7 @@ fn main() {
                         c.tmu_cap_expansions,
                         c.burst_windows,
                         c.degraded_frac,
-                    );
+                    ));
                 } else {
                     println!(
                         "  [{}] severity {severity} {}: E×D {:.1} J·s \
@@ -298,7 +273,7 @@ fn main() {
                     .map(|c| c.to_string())
                     .collect::<Vec<_>>()
                     .join(", ");
-                rows.push(format!(
+                camp.push_row(format!(
                     "    {{\"scheme\": \"{}\", \"workload\": \"{}\", \
                      \"variant\": \"{}\", \"severity\": {severity}, \
                      \"seed\": {seed}, \"crash_steps\": [{crash_list}], \
@@ -335,19 +310,8 @@ fn main() {
         }
     }
 
-    let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cells\": {cells},\n  \
-         \"panics\": {panics},\n  \"invariant_violations\": {total_violations},\n  \
-         \"failures\": {failures},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
-    write_results("BENCH_chaos.json", &json);
-    if failures > 0 {
-        eprintln!("campaign FAILED: {failures}/{cells} cells violated a gate");
-        std::process::exit(1);
-    }
-    println!(
-        "campaign complete: {cells} cells, {panics} panics, \
-         {total_violations} invariant violations, every crash recovered bit-identically"
+    camp.finish(
+        "BENCH_chaos.json",
+        &[("invariant_violations", total_violations.to_string())],
     );
 }

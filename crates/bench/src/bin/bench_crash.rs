@@ -21,12 +21,11 @@
 //! Any violation exits non-zero, which gates CI. `--quick` runs a reduced
 //! grid for smoke coverage. Output: `results/BENCH_crash.json`.
 
-use std::panic;
-
-use yukta_bench::{eval_options, write_results};
+use yukta_bench::campaign::Campaign;
+use yukta_bench::eval_options;
 use yukta_board::FaultPlan;
 use yukta_core::recorder::Journal;
-use yukta_core::runtime::{Experiment, InjectedCrash, RecoveryOptions, RunOptions};
+use yukta_core::runtime::{Experiment, RecoveryOptions, RunOptions};
 use yukta_core::schemes::Scheme;
 use yukta_core::supervisor::SupervisorConfig;
 use yukta_workloads::{Workload, catalog};
@@ -35,15 +34,9 @@ const SEVERITY: f64 = 0.5;
 
 fn main() {
     let _obs = yukta_bench::obs::capture("bench_crash");
-    let quick = std::env::args().any(|a| a == "--quick");
-    // Injected crashes unwind through `panic_any`; silence the default
-    // hook's backtrace spam for those (and only those) payloads.
-    let default_hook = panic::take_hook();
-    panic::set_hook(Box::new(move |info| {
-        if info.payload().downcast_ref::<InjectedCrash>().is_none() {
-            default_hook(info);
-        }
-    }));
+    let mut camp = Campaign::new("bench_crash");
+    let quick = camp.quick();
+    Campaign::silence_injected_crashes();
 
     let schemes: Vec<Scheme> = if quick {
         vec![Scheme::CoordinatedHeuristic, Scheme::DecoupledHeuristic]
@@ -71,9 +64,6 @@ fn main() {
         ..eval_options()
     };
 
-    let mut rows: Vec<String> = Vec::new();
-    let mut cells = 0usize;
-    let mut failures = 0usize;
     for (ci, scheme) in schemes.iter().enumerate() {
         for (wi, wl) in workloads.iter().enumerate() {
             let exp = Experiment::new(*scheme)
@@ -95,13 +85,17 @@ fn main() {
             );
             for &interval in intervals {
                 for &crashes in crash_sets {
-                    cells += 1;
+                    let label = format!(
+                        "{} / {} interval {interval} crashes {crashes:?}",
+                        scheme.label(),
+                        wl.name
+                    );
                     let mut crashed_plan = plan.clone();
                     for &at in crashes {
                         crashed_plan = crashed_plan.with_crash(at);
                     }
-                    let rec = exp
-                        .run_recoverable(
+                    let Some(rec) = camp.cell(&label, || {
+                        exp.run_recoverable(
                             wl,
                             Some(SupervisorConfig::default()),
                             Some(crashed_plan),
@@ -109,7 +103,10 @@ fn main() {
                                 checkpoint_interval: interval,
                             },
                         )
-                        .expect("recoverable run");
+                        .expect("recoverable run")
+                    }) else {
+                        continue;
+                    };
                     let identical = rec.report.bit_identical(&baseline);
                     let bytes = rec.journal.to_bytes();
                     let decode_ok = Journal::from_bytes(&bytes)
@@ -125,16 +122,11 @@ fn main() {
                         && rec.recovery.replay_divergences == 0
                         && replay.is_exact();
                     if !ok {
-                        failures += 1;
-                        eprintln!(
-                            "FAIL: {} / {} interval {interval} crashes {crashes:?}: \
-                             bit_identical={identical} decode_ok={decode_ok} \
+                        camp.fail(&format!(
+                            "{label}: bit_identical={identical} decode_ok={decode_ok} \
                              recovery={:?} replay={:?}",
-                            scheme.label(),
-                            wl.name,
-                            rec.recovery,
-                            replay
-                        );
+                            rec.recovery, replay
+                        ));
                     } else {
                         println!(
                             "  interval {interval}, crashes {crashes:?}: \
@@ -150,7 +142,7 @@ fn main() {
                         .map(|c| c.to_string())
                         .collect::<Vec<_>>()
                         .join(", ");
-                    rows.push(format!(
+                    camp.push_row(format!(
                         "    {{\"scheme\": \"{}\", \"workload\": \"{}\", \
                          \"severity\": {SEVERITY}, \"seed\": {seed}, \
                          \"checkpoint_interval\": {interval}, \
@@ -180,15 +172,5 @@ fn main() {
         }
     }
 
-    let json = format!(
-        "{{\n  \"quick\": {},\n  \"severity\": {SEVERITY},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        quick,
-        rows.join(",\n")
-    );
-    write_results("BENCH_crash.json", &json);
-    if failures > 0 {
-        eprintln!("campaign FAILED: {failures}/{cells} cells diverged");
-        std::process::exit(1);
-    }
-    println!("campaign complete: {cells} cells, every crash recovered bit-identically");
+    camp.finish("BENCH_crash.json", &[("severity", SEVERITY.to_string())]);
 }

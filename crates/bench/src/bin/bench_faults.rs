@@ -4,7 +4,7 @@
 //! The campaign asserts three robustness properties end to end:
 //!
 //! 1. **No panics.** Every cell of the severity grid runs inside
-//!    `catch_unwind`; any escaped panic aborts the campaign with a
+//!    `catch_unwind`; any escaped panic fails the campaign with a
 //!    non-zero exit status.
 //! 2. **Zero-severity transparency.** At severity 0 the supervised run
 //!    must reproduce the unsupervised baseline E×D *bit-identically*.
@@ -16,9 +16,8 @@
 //! `--quick` runs a reduced grid (heuristic schemes, one workload, short
 //! timeout) for CI smoke coverage. Output: `results/BENCH_faults.json`.
 
-use std::panic::{self, AssertUnwindSafe};
-
-use yukta_bench::{eval_options, write_results};
+use yukta_bench::campaign::Campaign;
+use yukta_bench::eval_options;
 use yukta_board::FaultPlan;
 use yukta_core::runtime::{Experiment, RunOptions};
 use yukta_core::schemes::Scheme;
@@ -29,7 +28,8 @@ const SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() {
     let _obs = yukta_bench::obs::capture("bench_faults");
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut camp = Campaign::new("bench_faults");
+    let quick = camp.quick();
     let schemes: Vec<Scheme> = if quick {
         vec![Scheme::CoordinatedHeuristic, Scheme::DecoupledHeuristic]
     } else {
@@ -54,8 +54,6 @@ fn main() {
         ..eval_options()
     };
 
-    let mut rows: Vec<String> = Vec::new();
-    let mut cells = 0usize;
     for (ci, scheme) in schemes.iter().enumerate() {
         for (wi, wl) in workloads.iter().enumerate() {
             let exp = Experiment::new(*scheme)
@@ -73,39 +71,27 @@ fn main() {
             for (si, &severity) in SEVERITIES.iter().enumerate() {
                 let seed = ((ci * 10 + wi) * 100 + si) as u64 + 0xFA;
                 let plan = FaultPlan::uniform(seed, severity);
-                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                let label = format!("{} / {} @ severity {severity}", scheme.label(), wl.name);
+                let Some(outcome) = camp.cell(&label, || {
                     exp.run_supervised(wl, SupervisorConfig::default(), Some(plan))
-                }));
+                }) else {
+                    continue;
+                };
                 let rep = match outcome {
-                    Ok(Ok(rep)) => rep,
-                    Ok(Err(e)) => {
-                        eprintln!(
-                            "FAIL: controller error escaped the supervisor \
-                             ({} / {} @ severity {severity}): {e}",
-                            scheme.label(),
-                            wl.name
-                        );
-                        std::process::exit(1);
-                    }
-                    Err(_) => {
-                        eprintln!(
-                            "FAIL: panic in supervised run ({} / {} @ severity {severity})",
-                            scheme.label(),
-                            wl.name
-                        );
-                        std::process::exit(1);
+                    Ok(rep) => rep,
+                    Err(e) => {
+                        camp.fail(&format!(
+                            "controller error escaped the supervisor ({label}): {e}"
+                        ));
+                        continue;
                     }
                 };
-                cells += 1;
                 let exd = rep.metrics.exd();
                 if severity == 0.0 && exd.to_bits() != base_exd.to_bits() {
-                    eprintln!(
-                        "FAIL: zero-severity supervised E×D {exd} is not bit-identical \
-                         to baseline {base_exd} ({} / {})",
-                        scheme.label(),
-                        wl.name
-                    );
-                    std::process::exit(1);
+                    camp.fail(&format!(
+                        "zero-severity supervised E×D {exd} is not bit-identical \
+                         to baseline {base_exd} ({label})"
+                    ));
                 }
                 let ratio = exd / base_exd;
                 reported_degradation = reported_degradation.max(ratio);
@@ -118,7 +104,7 @@ fn main() {
                     sup.fallback_entries,
                     sup.degraded_seconds()
                 );
-                rows.push(format!(
+                camp.push_row(format!(
                     "    {{\"scheme\": \"{}\", \"workload\": \"{}\", \
                      \"severity\": {severity}, \"seed\": {seed}, \
                      \"completed\": {}, \"energy_j\": {:.4}, \"delay_s\": {:.4}, \
@@ -162,12 +148,8 @@ fn main() {
         }
     }
 
-    let json = format!(
-        "{{\n  \"quick\": {},\n  \"severities\": {:?},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        quick,
-        SEVERITIES,
-        rows.join(",\n")
+    camp.finish(
+        "BENCH_faults.json",
+        &[("severities", format!("{SEVERITIES:?}"))],
     );
-    write_results("BENCH_faults.json", &json);
-    println!("campaign complete: {cells} cells, zero panics");
 }

@@ -12,6 +12,7 @@ use std::path::Path;
 
 use yukta_core::metrics::Report;
 
+pub mod campaign;
 pub mod obs;
 use yukta_core::runtime::{Experiment, RunOptions};
 use yukta_core::schemes::Scheme;

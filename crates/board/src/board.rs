@@ -137,6 +137,13 @@ pub struct Board {
     hmp_factor_big: f64,
     hmp_factor_little: f64,
     hmp_timer: f64,
+    /// External big-cluster frequency cap (GHz) imposed from *outside*
+    /// the control stack — a power-budget governor, a firmware policy, a
+    /// co-located tenant. Like the TMU it is strictly a capper: it can
+    /// only shrink the requested point, never expand it, so it coexists
+    /// with the single-writer actuation protocol without becoming a
+    /// second writer. `None` = uncapped.
+    ext_cap_f_big: Option<f64>,
     /// Fault injector sitting between the plant and every observer
     /// (sensors) / requester (actuations). `None` = fault-free board.
     faults: Option<FaultInjector>,
@@ -183,6 +190,7 @@ impl Board {
             hmp_timer: 0.0,
             time: 0.0,
             cfg,
+            ext_cap_f_big: None,
             faults: None,
             audit: ActuationAudit::default(),
             acts_since_step: 0,
@@ -404,9 +412,11 @@ impl Board {
             self.hmp_factor_big = self.draw_hmp_factor();
             self.hmp_factor_little = self.draw_hmp_factor();
         }
-        // Apply TMU caps to the requested operating point.
+        // Apply TMU caps to the requested operating point, then the
+        // external cap (both strictly shrink; see `ext_cap_f_big`).
         let caps = self.tmu.caps();
         let f_big = caps.f_big.map_or(self.req_f_big, |c| self.req_f_big.min(c));
+        let f_big = self.ext_cap_f_big.map_or(f_big, |c| f_big.min(c));
         let f_little = caps
             .f_little
             .map_or(self.req_f_little, |c| self.req_f_little.min(c));
@@ -666,12 +676,29 @@ impl Board {
         self.audit
     }
 
+    /// Imposes (or lifts, with `None`) an external big-cluster frequency
+    /// cap. The cap models the destructive-interference scenario of the
+    /// SLO campaign: an actor *above* the Hw controller throttles the
+    /// cluster while the Os layer keeps scaling. Values are clamped to
+    /// the DVFS range; non-finite values are ignored.
+    pub fn set_external_cap_f_big(&mut self, cap: Option<f64>) {
+        self.ext_cap_f_big = cap
+            .filter(|c| c.is_finite())
+            .map(|c| c.clamp(self.cfg.big.f_min, self.cfg.big.f_max));
+    }
+
+    /// The external big-cluster frequency cap currently in force.
+    pub fn external_cap_f_big(&self) -> Option<f64> {
+        self.ext_cap_f_big
+    }
+
     /// A snapshot of the effective operating point.
     pub fn state(&self) -> BoardState {
         let caps = self.tmu.caps();
+        let f_big_tmu = caps.f_big.map_or(self.req_f_big, |c| self.req_f_big.min(c));
         BoardState {
             time: self.time,
-            f_big: caps.f_big.map_or(self.req_f_big, |c| self.req_f_big.min(c)),
+            f_big: self.ext_cap_f_big.map_or(f_big_tmu, |c| f_big_tmu.min(c)),
             f_little: caps
                 .f_little
                 .map_or(self.req_f_little, |c| self.req_f_little.min(c)),
@@ -1069,6 +1096,54 @@ mod tests {
         run(&mut b, &eight_threads(), 20.0);
         assert!(b.tmu_trips() > 0, "campaign must engage the TMU");
         assert_eq!(b.actuation_audit().tmu_cap_expansions, 0);
+    }
+
+    #[test]
+    fn external_cap_is_strictly_a_capper() {
+        let mut b = board();
+        b.actuate(&Actuation {
+            f_big: Some(1.8),
+            ..Default::default()
+        });
+        assert!((b.state().f_big - 1.8).abs() < 1e-9);
+        b.set_external_cap_f_big(Some(0.6));
+        assert!((b.state().f_big - 0.6).abs() < 1e-9);
+        // The request is preserved: lifting the cap restores it, and the
+        // audit never sees the cap as a writer or an expansion.
+        run(&mut b, &eight_threads(), 1.0);
+        b.set_external_cap_f_big(None);
+        assert!((b.state().f_big - 1.8).abs() < 1e-9);
+        assert_eq!(b.actuation_audit().tmu_cap_expansions, 0);
+        // Non-finite caps are ignored; out-of-range caps are clamped.
+        b.set_external_cap_f_big(Some(f64::NAN));
+        assert_eq!(b.external_cap_f_big(), None);
+        b.set_external_cap_f_big(Some(0.05));
+        assert!((b.external_cap_f_big().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_cap_throttles_throughput() {
+        let mk = |cap: Option<f64>| {
+            let mut b = board();
+            b.set_external_cap_f_big(cap);
+            b.actuate(&Actuation {
+                f_big: Some(1.8),
+                placement: Some(Placement {
+                    threads_big: 8,
+                    packing_big: 2.0,
+                    packing_little: 1.0,
+                }),
+                ..Default::default()
+            });
+            run(&mut b, &eight_threads(), 5.0);
+            b.total_instructions()
+        };
+        let free = mk(None);
+        let capped = mk(Some(0.4));
+        assert!(
+            capped < 0.5 * free,
+            "cap must bite: free {free}, capped {capped}"
+        );
     }
 
     #[test]

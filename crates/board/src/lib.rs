@@ -50,6 +50,7 @@ pub mod config;
 pub mod faults;
 pub mod perf;
 pub mod power;
+pub mod queue;
 pub mod sensors;
 pub mod thermal;
 pub mod tmu;
@@ -60,3 +61,4 @@ pub use faults::{
     FaultChannel, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats, ScheduledFault,
 };
 pub use perf::ThreadLoad;
+pub use queue::{LatencySnapshot, QueueConfig, QueueStats, RequestQueue};

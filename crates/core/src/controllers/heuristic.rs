@@ -14,7 +14,20 @@
 use yukta_linalg::{Error, Result};
 
 use crate::controllers::{ControllerState, HwPolicy, HwSense, OsPolicy, OsSense};
-use crate::signals::{HwInputs, OsInputs};
+use crate::signals::{HwInputs, Limits, OsInputs, SloSense};
+
+/// Whether the serving layer is close to (or past) its tail-latency bound.
+///
+/// Only meaningful when a request-serving run attached an active
+/// [`SloSense`]; on batch runs `slo.active` is `false` and this is a
+/// constant `false`, which keeps every batch trace bit-identical to the
+/// pre-serving implementation.
+fn slo_pressure(slo: &SloSense, limits: &Limits) -> bool {
+    // React at 60% of the bound: by the time the windowed p99 *crosses*
+    // the SLO the queue already holds a period of overload, and the tail
+    // pays for every period of late ramping.
+    slo.active && (slo.p99_s > 0.6 * limits.latency_slo_s || slo.backlog_frac > 0.3)
+}
 
 /// HMP-style coordinated scheduler (OS half of *Coordinated heuristic*,
 /// also reused by *Yukta: HW SSV + OS heuristic*).
@@ -47,9 +60,12 @@ impl OsPolicy for CoordinatedHeuristicOs {
         // Big-first placement over the cores the hardware layer exposes
         // (the coordination), one thread per core while possible.
         // E×D awareness: when the big cluster is running slow (deep DVFS
-        // throttle), spill some threads to little instead of stacking big.
+        // throttle), spill some threads to little instead of stacking big —
+        // unless the serving layer is under SLO pressure, where latency
+        // beats E×D and threads migrate toward the fast cluster.
         let f_ratio = (sense.ext.f_big / 2.0).clamp(0.0, 1.0);
-        let big_capacity = if f_ratio < 0.3 { nbc.min(2) } else { nbc };
+        let throttled = f_ratio < 0.3 && !slo_pressure(&sense.slo, &sense.limits);
+        let big_capacity = if throttled { nbc.min(2) } else { nbc };
         let (tb, pb, pl);
         if n <= big_capacity {
             tb = n;
@@ -104,8 +120,25 @@ impl HwPolicy for CoordinatedHeuristicHw {
         let need_little =
             ((tl as f64 / sense.ext.packing_little.max(1.0)).ceil() as usize).clamp(1, 4);
         // Frequency: climb one step while clearly safe, back off
-        // proportionally to the violation.
-        let f_big = step_frequency(cur.f_big, y.p_big, lim.p_big_max, y.temp, lim.temp_max, 2.0);
+        // proportionally to the violation. Under SLO pressure the governor
+        // jumps straight to the cluster cap instead of stepping: a flash
+        // crowd ramps faster than any incremental climb, and the tail pays
+        // for every period spent below capacity. The violation backoff is
+        // unchanged — the safety rails outrank the SLO.
+        let climb = if slo_pressure(&sense.slo, &lim) {
+            2.0
+        } else {
+            0.1
+        };
+        let f_big = step_frequency(
+            cur.f_big,
+            y.p_big,
+            lim.p_big_max,
+            y.temp,
+            lim.temp_max,
+            2.0,
+            climb,
+        );
         let f_little = step_frequency(
             cur.f_little,
             y.p_little,
@@ -113,6 +146,7 @@ impl HwPolicy for CoordinatedHeuristicHw {
             y.temp,
             lim.temp_max,
             1.4,
+            climb,
         );
         Ok(HwInputs {
             big_cores: need_big as f64,
@@ -128,8 +162,9 @@ impl HwPolicy for CoordinatedHeuristicHw {
 }
 
 /// One-step-up / proportional-step-down frequency rule shared by the
-/// coordinated governor.
-fn step_frequency(f: f64, p: f64, p_max: f64, t: f64, t_max: f64, f_cap: f64) -> f64 {
+/// coordinated governor. `climb` is the upward step while safe (0.1
+/// normally; large enough to hit the cap under SLO pressure).
+fn step_frequency(f: f64, p: f64, p_max: f64, t: f64, t_max: f64, f_cap: f64, climb: f64) -> f64 {
     if p > p_max || t > t_max {
         let over = ((p / p_max - 1.0).max(0.0) + (t / t_max - 1.0).max(0.0)).max(0.01);
         let steps = (over / 0.05).ceil().min(5.0);
@@ -139,7 +174,7 @@ fn step_frequency(f: f64, p: f64, p_max: f64, t: f64, t_max: f64, f_cap: f64) ->
         // what makes the heuristic probe the limit and produce the
         // peaks/valleys of Figure 10(a): the next step up periodically
         // violates and gets knocked back.
-        (f + 0.1).min(f_cap)
+        (f + climb).min(f_cap)
     }
 }
 
@@ -280,6 +315,7 @@ mod tests {
                 f_little: 1.0,
             },
             active_threads: 8,
+            slo: Default::default(),
             limits: Limits::default(),
         }
     }
@@ -300,7 +336,19 @@ mod tests {
             },
             active_threads: n_active,
             system: HwOutputs::default(),
+            slo: Default::default(),
             limits: Limits::default(),
+        }
+    }
+
+    /// An active SLO observation with p99 past 80% of the 1 s bound.
+    fn pressured_slo() -> SloSense {
+        SloSense {
+            active: true,
+            p95_s: 0.6,
+            p99_s: 0.9,
+            backlog_frac: 0.2,
+            drop_frac: 0.0,
         }
     }
 
@@ -374,6 +422,45 @@ mod tests {
         let u = hw.invoke(&s).unwrap();
         assert_eq!(u.big_cores, 2.0);
         assert_eq!(u.little_cores, 1.0);
+    }
+
+    #[test]
+    fn slo_pressure_jumps_to_max_frequency_when_safe() {
+        let mut hw = CoordinatedHeuristicHw::new();
+        let mut s = hw_sense(2.0, 55.0, 1.0);
+        s.slo = pressured_slo();
+        let u = hw.invoke(&s).unwrap();
+        assert!((u.f_big - 2.0).abs() < 1e-9, "f_big {}", u.f_big);
+        // An inactive observation with the same readings is ignored: batch
+        // runs stay bit-identical.
+        s.slo.active = false;
+        let u2 = hw.invoke(&s).unwrap();
+        assert!((u2.f_big - 1.1).abs() < 1e-9, "f_big {}", u2.f_big);
+    }
+
+    #[test]
+    fn slo_pressure_keeps_threads_on_big_despite_throttle() {
+        let mut os = CoordinatedHeuristicOs::new();
+        let mut s = os_sense(4, 4.0, 0.3); // deep DVFS throttle
+        let spilled = os.invoke(&s).unwrap();
+        assert!(spilled.threads_big < 4.0);
+        s.slo = pressured_slo();
+        let held = os.invoke(&s).unwrap();
+        assert_eq!(
+            held.threads_big, 4.0,
+            "latency beats E\u{d7}D under pressure"
+        );
+    }
+
+    #[test]
+    fn slo_backoff_rule_is_unchanged_under_pressure() {
+        // Pressure only accelerates the climb; violations still back off
+        // proportionally (the safety rails outrank the SLO).
+        let mut hw = CoordinatedHeuristicHw::new();
+        let mut s = hw_sense(3.96, 55.0, 1.6);
+        s.slo = pressured_slo();
+        let u = hw.invoke(&s).unwrap();
+        assert!(u.f_big <= 1.3, "f_big {}", u.f_big);
     }
 
     #[test]

@@ -395,6 +395,7 @@ mod tests {
                 f_little: 1.0,
             },
             active_threads: 8,
+            slo: Default::default(),
             limits: Limits::default(),
         }
     }
@@ -424,6 +425,7 @@ mod tests {
                 p_little: 0.2,
                 temp: 60.0,
             },
+            slo: Default::default(),
             limits: Limits::default(),
         }
     }

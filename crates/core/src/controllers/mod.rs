@@ -11,7 +11,7 @@ pub mod ssv;
 
 use yukta_linalg::{Error, Result};
 
-use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs};
+use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, SloSense};
 
 /// A flat, policy-agnostic snapshot of one controller's internal state,
 /// produced by [`HwPolicy::save_state`]/[`OsPolicy::save_state`] and
@@ -79,6 +79,8 @@ pub struct HwSense {
     /// the real board this is visible to the privileged controller
     /// process).
     pub active_threads: usize,
+    /// Serving-layer tail-latency observation (inactive on batch runs).
+    pub slo: SloSense,
     /// The constraint limits.
     pub limits: Limits,
 }
@@ -97,6 +99,8 @@ pub struct OsSense {
     /// System measurements available to the optimizer (the OS reads the
     /// same power/temperature sysfs files as the hardware layer).
     pub system: HwOutputs,
+    /// Serving-layer tail-latency observation (inactive on batch runs).
+    pub slo: SloSense,
     /// The constraint limits.
     pub limits: Limits,
 }

@@ -406,6 +406,7 @@ mod tests {
                 f_little: 1.0,
             },
             active_threads: 8,
+            slo: Default::default(),
             limits: Limits::default(),
         }
     }
@@ -499,6 +500,7 @@ mod tests {
             },
             active_threads: 2,
             system: HwOutputs::default(),
+            slo: Default::default(),
             limits: Limits::default(),
         };
         let u = c.invoke(&sense).unwrap();

@@ -149,6 +149,50 @@ pub struct FaultReport {
     pub trace: Vec<FaultEvent>,
 }
 
+/// Request-serving outcome of one run (attached when the run carried a
+/// [`crate::runtime::ServingSpec`]). All fields are deterministic and part
+/// of [`Report::bit_identical`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Requests offered by the open-loop arrival process.
+    pub offered: u64,
+    /// Requests admitted past shedding and the backlog cap.
+    pub admitted: u64,
+    /// Requests dropped by admission control (load shedding).
+    pub shed: u64,
+    /// Requests rejected at the full backlog.
+    pub rejected: u64,
+    /// Admitted requests dropped after exceeding the queue timeout.
+    pub timed_out: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Run-lifetime p95 latency (s); 0 when nothing completed.
+    pub p95_s: f64,
+    /// Run-lifetime p99 latency (s); 0 when nothing completed.
+    pub p99_s: f64,
+    /// Controller invocations whose windowed p99 exceeded the SLO bound,
+    /// as a fraction of serving invocations.
+    pub violation_frac: f64,
+    /// Highest admission shed fraction commanded during the run.
+    pub max_shed_frac: f64,
+}
+
+impl SloReport {
+    /// All requests dropped for any reason (shed + rejected + timed out).
+    pub fn dropped(&self) -> u64 {
+        self.shed + self.rejected + self.timed_out
+    }
+
+    /// Fraction of offered requests that were served to completion.
+    pub fn goodput_frac(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+}
+
 /// The outcome of running one scheme on one workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -164,6 +208,9 @@ pub struct Report {
     pub supervisor: Option<SupervisorStats>,
     /// Fault-injection record (`None` when no faults were planned).
     pub faults: Option<FaultReport>,
+    /// Request-serving outcome (`None` for batch runs).
+    #[serde(default)]
+    pub slo: Option<SloReport>,
     /// Actuation-protocol audit from the board boundary: single writer
     /// per step window, TMU strictly a capper. Deterministic, so it *is*
     /// part of [`Report::bit_identical`].
@@ -226,9 +273,26 @@ impl Report {
             }
             _ => false,
         };
+        let slo_ok = match (&self.slo, &other.slo) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.offered == b.offered
+                    && a.admitted == b.admitted
+                    && a.shed == b.shed
+                    && a.rejected == b.rejected
+                    && a.timed_out == b.timed_out
+                    && a.completed == b.completed
+                    && a.p95_s.to_bits() == b.p95_s.to_bits()
+                    && a.p99_s.to_bits() == b.p99_s.to_bits()
+                    && a.violation_frac.to_bits() == b.violation_frac.to_bits()
+                    && a.max_shed_frac.to_bits() == b.max_shed_frac.to_bits()
+            }
+            _ => false,
+        };
         metrics_ok
             && trace_ok
             && faults_ok
+            && slo_ok
             && self.supervisor == other.supervisor
             && self.actuation == other.actuation
             && self.workload == other.workload

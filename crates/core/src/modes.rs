@@ -56,8 +56,8 @@
 //! never silent behavior:
 //!
 //! * **No actuation gap** — every `begin_invocation`/`end_invocation`
-//!   bracket must claim every knob (DVFS, hotplug, migration) exactly
-//!   once; a missing claim is [`InvariantViolation::ActuationGap`].
+//!   bracket must claim every knob (DVFS, hotplug, migration, admission)
+//!   exactly once; a missing claim is [`InvariantViolation::ActuationGap`].
 //! * **Single writer per knob** — a second claim on the same knob within
 //!   one bracket is [`InvariantViolation::DualWriter`]. The TMU is a
 //!   *capper*, not a writer: it never claims a knob, and the board audits
@@ -87,11 +87,16 @@ pub enum Knob {
     Hotplug,
     /// Thread placement.
     Migration,
+    /// Request admission control (load-shedding fraction). Shedding is a
+    /// reconfiguration action like any other: it must have exactly one
+    /// writer per invocation — the supervisor's overload governor — so
+    /// ad-hoc drop paths cannot race it.
+    Admission,
 }
 
 impl Knob {
     /// All knobs, in claim order.
-    pub const ALL: [Knob; 3] = [Knob::Dvfs, Knob::Hotplug, Knob::Migration];
+    pub const ALL: [Knob; 4] = [Knob::Dvfs, Knob::Hotplug, Knob::Migration, Knob::Admission];
 
     /// Short label for telemetry and diagnostics.
     pub fn label(&self) -> &'static str {
@@ -99,6 +104,7 @@ impl Knob {
             Knob::Dvfs => "dvfs",
             Knob::Hotplug => "hotplug",
             Knob::Migration => "migration",
+            Knob::Admission => "admission",
         }
     }
 
@@ -107,6 +113,7 @@ impl Knob {
             Knob::Dvfs => 0,
             Knob::Hotplug => 1,
             Knob::Migration => 2,
+            Knob::Admission => 3,
         }
     }
 }
@@ -356,7 +363,7 @@ pub struct ModeAutomaton {
     recovering: bool,
     step: u64,
     in_bracket: bool,
-    claims: [Option<&'static str>; 3],
+    claims: [Option<&'static str>; 4],
     violations: u64,
     first_violation: Option<InvariantViolation>,
     transitions: Vec<TransitionRecord>,
@@ -374,7 +381,7 @@ impl ModeAutomaton {
             recovering: false,
             step: 0,
             in_bracket: false,
-            claims: [None; 3],
+            claims: [None; 4],
             violations: 0,
             first_violation: None,
             transitions: Vec::new(),
@@ -459,7 +466,7 @@ impl ModeAutomaton {
             self.record_violation(InvariantViolation::UnterminatedInvocation { step: self.step });
         }
         self.step += 1;
-        self.claims = [None; 3];
+        self.claims = [None; 4];
         self.in_bracket = true;
     }
 
@@ -505,7 +512,7 @@ impl ModeAutomaton {
     /// error path of a raw engine, where the run terminates with the error
     /// instead of actuating.
     pub fn abort_invocation(&mut self) {
-        self.claims = [None; 3];
+        self.claims = [None; 4];
         self.in_bracket = false;
     }
 
@@ -712,7 +719,7 @@ impl ModeAutomaton {
         self.violations = snap.violations;
         self.first_violation = None;
         self.in_bracket = false;
-        self.claims = [None; 3];
+        self.claims = [None; 4];
         self.transitions.clear();
     }
 }
@@ -867,6 +874,7 @@ mod tests {
         a.claim(Knob::Dvfs, "primary");
         a.claim(Knob::Dvfs, "fallback"); // second writer on the same knob
         a.claim(Knob::Hotplug, "primary");
+        a.claim(Knob::Admission, "admission");
         // Migration never claimed.
         a.end_invocation();
         assert_eq!(a.violations(), 2);
@@ -876,6 +884,27 @@ mod tests {
                 knob: Knob::Dvfs,
                 first: "primary",
                 second: "fallback",
+            })
+        );
+    }
+
+    #[test]
+    fn unclaimed_admission_knob_is_an_actuation_gap() {
+        // Shedding is part of the no-actuation-gap contract: a bracket
+        // that writes everything except the admission knob leaves the
+        // door policy undefined for that invocation.
+        let mut a = ModeAutomaton::new(cfg());
+        a.begin_invocation();
+        for k in [Knob::Dvfs, Knob::Hotplug, Knob::Migration] {
+            a.claim(k, "primary");
+        }
+        a.end_invocation();
+        assert_eq!(a.violations(), 1);
+        assert_eq!(
+            a.first_violation(),
+            Some(InvariantViolation::ActuationGap {
+                step: 1,
+                knob: Knob::Admission,
             })
         );
     }

@@ -20,13 +20,16 @@ use yukta_board::{FaultChannel, FaultEvent, FaultKind};
 use yukta_linalg::{Error, Result};
 
 use crate::controllers::{HwSense, OsSense};
-use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs};
+use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, SloSense};
 use crate::supervisor::SupervisorMode;
 
 /// Magic number opening every serialized journal (`"YKTJ"` big-endian).
 pub const JOURNAL_MAGIC: u32 = 0x594B_544A;
-/// Current journal format version.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Current journal format version. Version 2 added the request-serving
+/// fields: one [`SloSense`] per sense vector and `latency_slo_s` in
+/// [`Limits`]. Version-1 journals are rejected rather than migrated — the
+/// journal is a per-run crash-recovery artifact, not an archival format.
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// Everything the runtime knew and decided at one controller invocation.
 #[derive(Debug, Clone)]
@@ -83,6 +86,14 @@ impl JournalRecord {
             eq(a.p_big_max, b.p_big_max)
                 && eq(a.p_little_max, b.p_little_max)
                 && eq(a.temp_max, b.temp_max)
+                && eq(a.latency_slo_s, b.latency_slo_s)
+        }
+        fn slo(a: &SloSense, b: &SloSense) -> bool {
+            a.active == b.active
+                && eq(a.p95_s, b.p95_s)
+                && eq(a.p99_s, b.p99_s)
+                && eq(a.backlog_frac, b.backlog_frac)
+                && eq(a.drop_frac, b.drop_frac)
         }
         self.step == other.step
             && eq(self.time, other.time)
@@ -90,12 +101,14 @@ impl JournalRecord {
             && os_in(&self.hw_sense.ext, &other.hw_sense.ext)
             && hw_in(&self.hw_sense.current, &other.hw_sense.current)
             && self.hw_sense.active_threads == other.hw_sense.active_threads
+            && slo(&self.hw_sense.slo, &other.hw_sense.slo)
             && lim(&self.hw_sense.limits, &other.hw_sense.limits)
             && os_out(&self.os_sense.outputs, &other.os_sense.outputs)
             && hw_in(&self.os_sense.ext, &other.os_sense.ext)
             && os_in(&self.os_sense.current, &other.os_sense.current)
             && self.os_sense.active_threads == other.os_sense.active_threads
             && hw_out(&self.os_sense.system, &other.os_sense.system)
+            && slo(&self.os_sense.slo, &other.os_sense.slo)
             && lim(&self.os_sense.limits, &other.os_sense.limits)
             && hw_in(&self.hw_u, &other.hw_u)
             && os_in(&self.os_u, &other.os_u)
@@ -154,10 +167,11 @@ impl Journal {
     /// Serializes the journal to the compact little-endian binary format.
     ///
     /// Layout: header `magic:u32, version:u32, count:u64`, then per record
-    /// `step:u64, time:f64`, the hardware sense (14 `f64` in Table II order
-    /// — outputs, ext, current, limits — plus `active_threads:u64`), the
-    /// software sense (17 `f64` — outputs, ext, current, system, limits —
-    /// plus `active_threads:u64`), the actuations (4 + 3 `f64`), the mode
+    /// `step:u64, time:f64`, the hardware sense (15 `f64` in Table II order
+    /// — outputs, ext, current, limits — plus `active_threads:u64` and the
+    /// SLO sense `active:u8` + 4 `f64`), the software sense (18 `f64` —
+    /// outputs, ext, current, system, limits — plus `active_threads:u64`
+    /// and the SLO sense), the actuations (4 + 3 `f64`), the mode
     /// byte (0 = raw, 1 = primary, 2 = fallback, 3 = safe), and the fault
     /// events (`count:u32`, then per event `time:f64, kind:u8,
     /// at_step:u64, channel:u8, value:f64`; `at_step` is 0 for non-crash
@@ -182,6 +196,7 @@ impl Journal {
             }
             put_limits(&mut out, &r.hw_sense.limits);
             put_u64(&mut out, r.hw_sense.active_threads as u64);
+            put_slo(&mut out, &r.hw_sense.slo);
             for v in r.os_sense.outputs.to_vec() {
                 put_f64(&mut out, v);
             }
@@ -196,6 +211,7 @@ impl Journal {
             }
             put_limits(&mut out, &r.os_sense.limits);
             put_u64(&mut out, r.os_sense.active_threads as u64);
+            put_slo(&mut out, &r.os_sense.slo);
             for v in r.hw_u.to_vec() {
                 put_f64(&mut out, v);
             }
@@ -246,6 +262,7 @@ impl Journal {
             let hw_current = c.hw_inputs()?;
             let hw_limits = c.limits()?;
             let hw_threads = c.u64()? as usize;
+            let hw_slo = c.slo()?;
             let os_outputs = OsOutputs {
                 perf_little: c.f64()?,
                 perf_big: c.f64()?,
@@ -261,6 +278,7 @@ impl Journal {
             };
             let os_limits = c.limits()?;
             let os_threads = c.u64()? as usize;
+            let os_slo = c.slo()?;
             let hw_u = c.hw_inputs()?;
             let os_u = c.os_inputs()?;
             let mode = mode_decode(c.u8()?)?;
@@ -288,6 +306,7 @@ impl Journal {
                     ext: hw_ext,
                     current: hw_current,
                     active_threads: hw_threads,
+                    slo: hw_slo,
                     limits: hw_limits,
                 },
                 os_sense: OsSense {
@@ -296,6 +315,7 @@ impl Journal {
                     current: os_current,
                     active_threads: os_threads,
                     system: os_system,
+                    slo: os_slo,
                     limits: os_limits,
                 },
                 hw_u,
@@ -390,6 +410,15 @@ fn put_limits(out: &mut Vec<u8>, l: &Limits) {
     put_f64(out, l.p_big_max);
     put_f64(out, l.p_little_max);
     put_f64(out, l.temp_max);
+    put_f64(out, l.latency_slo_s);
+}
+
+fn put_slo(out: &mut Vec<u8>, s: &SloSense) {
+    out.push(u8::from(s.active));
+    put_f64(out, s.p95_s);
+    put_f64(out, s.p99_s);
+    put_f64(out, s.backlog_frac);
+    put_f64(out, s.drop_frac);
 }
 
 fn mode_code(mode: Option<SupervisorMode>) -> u8 {
@@ -522,6 +551,22 @@ impl Cursor<'_> {
             p_big_max: self.f64()?,
             p_little_max: self.f64()?,
             temp_max: self.f64()?,
+            latency_slo_s: self.f64()?,
+        })
+    }
+
+    fn slo(&mut self) -> Result<SloSense> {
+        let active = match self.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(decode_err("invalid slo-active flag")),
+        };
+        Ok(SloSense {
+            active,
+            p95_s: self.f64()?,
+            p99_s: self.f64()?,
+            backlog_frac: self.f64()?,
+            drop_frac: self.f64()?,
         })
     }
 }
@@ -554,6 +599,13 @@ mod tests {
                     f_little: 1.4,
                 },
                 active_threads: 8,
+                slo: SloSense {
+                    active: step.is_multiple_of(2),
+                    p95_s: 0.4 + 1e-6 * k,
+                    p99_s: 0.9 + 1e-6 * k,
+                    backlog_frac: 0.25,
+                    drop_frac: 0.01,
+                },
                 limits: Limits::default(),
             },
             os_sense: OsSense {
@@ -579,6 +631,13 @@ mod tests {
                     p_big: 2.5,
                     p_little: 0.2,
                     temp: 61.0,
+                },
+                slo: SloSense {
+                    active: true,
+                    p95_s: 0.5,
+                    p99_s: 1.1 + 1e-9 * k,
+                    backlog_frac: 0.6,
+                    drop_frac: 0.05,
                 },
                 limits: Limits::default(),
             },

@@ -14,18 +14,20 @@ use std::panic::{AssertUnwindSafe, catch_unwind, resume_unwind};
 use std::sync::Arc;
 use std::time::Instant;
 
-use yukta_board::{Actuation, Board, BoardConfig, Cluster, FaultPlan, Placement};
+use yukta_board::{
+    Actuation, Board, BoardConfig, Cluster, FaultPlan, Placement, QueueConfig, RequestQueue,
+};
 use yukta_linalg::{Error, Result};
 use yukta_obs::{ObsHandle, Recorder, Value};
-use yukta_workloads::{Workload, WorkloadRun};
+use yukta_workloads::{Traffic, TrafficConfig, Workload, WorkloadRun};
 
 use crate::controllers::{HwSense, OsSense};
 use crate::design::{Design, default_design};
-use crate::metrics::{ComputeStats, FaultReport, Metrics, Report, Trace, TraceSample};
+use crate::metrics::{ComputeStats, FaultReport, Metrics, Report, SloReport, Trace, TraceSample};
 use crate::modes::{Knob, ModeAutomaton, ModeConfig, ModeSnapshot, TransitionRecord, level_label};
 use crate::recorder::{Journal, JournalRecord, ReplayOutcome, replay_with};
 use crate::schemes::{Controllers, ControllersState, Scheme};
-use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, spare_capacity};
+use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, SloSense, spare_capacity};
 use crate::supervisor::{Supervisor, SupervisorConfig, SupervisorMode, SupervisorState};
 
 /// The invocation engine of one run: either the controllers directly (the
@@ -87,6 +89,15 @@ impl Engine {
         match self {
             Engine::Raw { .. } => None,
             Engine::Supervised(s) => Some(s.mode()),
+        }
+    }
+
+    /// The admission shed fraction commanded this invocation. Raw engines
+    /// have no overload governor and never shed.
+    fn shed_frac(&self) -> f64 {
+        match self {
+            Engine::Raw { .. } => 0.0,
+            Engine::Supervised(s) => s.shed_frac(),
         }
     }
 
@@ -276,9 +287,65 @@ pub struct SwapSpec {
     pub scheme: Option<Scheme>,
 }
 
+/// Request-serving configuration of a run: an open-loop arrival process
+/// feeding a bounded admission queue in front of the plant, with tail
+/// latency observed back into both controllers' senses as [`SloSense`]
+/// and the SLO bound taken from [`Limits::latency_slo_s`]. Optionally an
+/// external frequency cap throttles the big cluster for the whole run —
+/// the destructive-interference case where an outside actor (thermal
+/// daemon, power capper) shrinks capacity while the OS layer scales up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingSpec {
+    /// Open-loop arrival process (pattern, rate, load factor, seed).
+    pub traffic: TrafficConfig,
+    /// Admission queue (backlog cap, timeout, stats window).
+    pub queue: QueueConfig,
+    /// External big-cluster frequency cap (GHz), strictly a capper on top
+    /// of whatever the controllers command (`None` = no interference).
+    pub ext_cap_f_big: Option<f64>,
+}
+
+impl ServingSpec {
+    /// Rejects non-finite/degenerate traffic, queue, SLO-bound, and cap
+    /// parameters with typed errors before a run starts.
+    ///
+    /// # Errors
+    ///
+    /// [`yukta_linalg::Error::NoSolution`] naming the offending group.
+    pub fn validate(&self, limits: &Limits) -> Result<()> {
+        if self.traffic.validate().is_err() {
+            return Err(Error::NoSolution {
+                op: "serving_spec",
+                why: "invalid traffic config (see TrafficConfig::validate)",
+            });
+        }
+        if self.queue.validate().is_err() {
+            return Err(Error::NoSolution {
+                op: "serving_spec",
+                why: "invalid queue config (see QueueConfig::validate)",
+            });
+        }
+        if !(limits.latency_slo_s.is_finite() && limits.latency_slo_s > 0.0) {
+            return Err(Error::NoSolution {
+                op: "serving_spec",
+                why: "latency SLO bound must be finite and positive",
+            });
+        }
+        if let Some(cap) = self.ext_cap_f_big {
+            if !(cap.is_finite() && cap > 0.0) {
+                return Err(Error::NoSolution {
+                    op: "serving_spec",
+                    why: "external frequency cap must be finite and positive",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The composed run configuration of [`Experiment::run_unified`]: any mix
-/// of supervision, fault injection, one mid-run hot-swap, and crash
-/// recovery, all driven through the checked mode automaton.
+/// of supervision, fault injection, one mid-run hot-swap, crash recovery,
+/// and request serving, all driven through the checked mode automaton.
 #[derive(Debug, Clone, Default)]
 pub struct UnifiedOptions {
     /// Wrap the controllers in the fault-containment supervisor
@@ -291,6 +358,10 @@ pub struct UnifiedOptions {
     pub swap: Option<SwapSpec>,
     /// Enable journaling + checkpoint/restore crash tolerance.
     pub recovery: Option<RecoveryOptions>,
+    /// Attach a request-serving layer (validated via
+    /// [`ServingSpec::validate`]). `None` keeps the run a pure batch
+    /// execution, bit-identical to the pre-serving runtime.
+    pub serving: Option<ServingSpec>,
 }
 
 /// The outcome of [`Experiment::run_recoverable`].
@@ -331,6 +402,30 @@ struct RunState {
     /// Whether the run's one hot-swap has committed (rolled back with the
     /// checkpoint on crash recovery, so the replay re-performs it).
     swapped: bool,
+    /// Request-serving state (`None` for batch runs). Cloned with the
+    /// checkpoint — the traffic RNG and queue roll back with everything
+    /// else, so crash recovery replays the identical arrival stream.
+    serving: Option<ServingState>,
+}
+
+/// Live request-serving state of one run.
+#[derive(Clone)]
+struct ServingState {
+    /// Open-loop arrival process (owns its own RNG stream, salted away
+    /// from the fault injector's).
+    traffic: Traffic,
+    /// Admission queue fed by the board's delivered instructions.
+    queue: RequestQueue,
+    /// Shed fraction commanded at the previous invocation, applied to
+    /// this window's arrivals (the actuation pipeline has one period of
+    /// latency like every other knob).
+    shed_frac: f64,
+    /// Highest shed fraction commanded so far.
+    max_shed_frac: f64,
+    /// Serving invocations observed.
+    invocations: u64,
+    /// Invocations whose windowed p99 exceeded the SLO bound.
+    violations: u64,
 }
 
 /// One recovery point: a deep copy of the run state, the engine snapshot,
@@ -534,6 +629,7 @@ impl Experiment {
                     scheme: None,
                 }),
                 recovery: None,
+                serving: None,
             },
             next,
         )?;
@@ -567,7 +663,12 @@ impl Experiment {
     }
 
     /// Fresh run state at simulated time zero.
-    fn init_state(&self, workload: &Workload, plan: Option<&FaultPlan>) -> RunState {
+    fn init_state(
+        &self,
+        workload: &Workload,
+        plan: Option<&FaultPlan>,
+        serving: Option<&ServingSpec>,
+    ) -> RunState {
         let mut cfg = BoardConfig::odroid_xu3();
         if let Some(seed) = self.options.board_seed {
             cfg.seed = seed;
@@ -578,6 +679,17 @@ impl Experiment {
             None => Board::new(cfg),
         };
         board.set_obs(self.obs_handle());
+        if let Some(spec) = serving {
+            board.set_external_cap_f_big(spec.ext_cap_f_big);
+        }
+        let serving = serving.map(|spec| ServingState {
+            traffic: Traffic::new(spec.traffic),
+            queue: RequestQueue::new(spec.queue),
+            shed_frac: 0.0,
+            max_shed_frac: 0.0,
+            invocations: 0,
+            violations: 0,
+        });
         RunState {
             board,
             run: WorkloadRun::new(workload),
@@ -592,6 +704,7 @@ impl Experiment {
             compute: ComputeStats::default(),
             last_mode: None,
             swapped: false,
+            serving,
         }
     }
 
@@ -640,6 +753,38 @@ impl Experiment {
         st.last_instr_little = il;
         let n_active = st.run.active_threads();
         let tb_actual = bs.placement.threads_big.min(n_active);
+        // Serving layer: serve the backlog with the instructions the board
+        // actually delivered this window, admit this window's arrivals
+        // (they wait for the next window — no serve-before-arrival), then
+        // observe windowed tail latency into both controllers' senses.
+        let slo = match &mut st.serving {
+            Some(sv) => {
+                let capacity_gi = (bips_big + bips_little) * 0.5;
+                sv.queue.advance(now - 0.5, now, capacity_gi);
+                for r in sv.traffic.tick(0.5) {
+                    sv.queue.offer(r.arrival_s, r.demand_gi, sv.shed_frac);
+                }
+                let snap = sv.queue.latency_snapshot();
+                let seen = snap.completed + snap.dropped;
+                let drop_frac = if seen > 0 {
+                    snap.dropped as f64 / seen as f64
+                } else {
+                    0.0
+                };
+                sv.invocations += 1;
+                if snap.p99_s > self.options.limits.latency_slo_s {
+                    sv.violations += 1;
+                }
+                SloSense {
+                    active: true,
+                    p95_s: snap.p95_s,
+                    p99_s: snap.p99_s,
+                    backlog_frac: snap.backlog_frac,
+                    drop_frac,
+                }
+            }
+            None => SloSense::default(),
+        };
         let hw_outputs = HwOutputs {
             perf: bips_big + bips_little,
             p_big: st.board.read_power(Cluster::Big),
@@ -668,6 +813,7 @@ impl Experiment {
             ext: current_os,
             current: current_hw,
             active_threads: n_active,
+            slo,
             limits: self.options.limits,
         };
         let os_sense = OsSense {
@@ -676,6 +822,7 @@ impl Experiment {
             current: current_os,
             active_threads: n_active,
             system: hw_outputs,
+            slo,
             limits: self.options.limits,
         };
         // Invoke the controllers (both see the pre-invocation state,
@@ -728,6 +875,13 @@ impl Experiment {
             drop(span);
         }
         st.last_mode = mode;
+        // The shed fraction the supervisor just committed takes effect on
+        // the *next* window's admissions — one controller period of
+        // actuation latency, like every other knob.
+        if let Some(sv) = &mut st.serving {
+            sv.shed_frac = engine.shed_frac();
+            sv.max_shed_frac = sv.max_shed_frac.max(sv.shed_frac);
+        }
         st.compute.invocations += 1;
         st.compute.total_ns += invoke_ns;
         st.compute.max_ns = st.compute.max_ns.max(invoke_ns);
@@ -801,6 +955,25 @@ impl Experiment {
             stats: st.board.fault_stats().unwrap_or_default(),
             trace: st.board.fault_trace().unwrap_or_default().to_vec(),
         });
+        let slo = st.serving.as_ref().map(|sv| {
+            let qs = sv.queue.stats();
+            SloReport {
+                offered: qs.offered,
+                admitted: qs.admitted,
+                shed: qs.shed,
+                rejected: qs.rejected,
+                timed_out: qs.timed_out,
+                completed: qs.completed,
+                p95_s: sv.queue.lifetime_quantile(0.95).unwrap_or(0.0),
+                p99_s: sv.queue.lifetime_quantile(0.99).unwrap_or(0.0),
+                violation_frac: if sv.invocations == 0 {
+                    0.0
+                } else {
+                    sv.violations as f64 / sv.invocations as f64
+                },
+                max_shed_frac: sv.max_shed_frac,
+            }
+        });
         Report {
             workload: workload.name.clone(),
             scheme: self.scheme.label().to_string(),
@@ -812,6 +985,7 @@ impl Experiment {
             trace: st.trace,
             supervisor,
             faults,
+            slo,
             actuation: st.board.actuation_audit(),
             compute: st.compute,
         }
@@ -823,7 +997,7 @@ impl Experiment {
         mut engine: Engine,
         plan: Option<FaultPlan>,
     ) -> Result<Report> {
-        let mut st = self.init_state(workload, plan.as_ref());
+        let mut st = self.init_state(workload, plan.as_ref(), None);
         while !st.done {
             self.step_invocation(&mut st, &mut engine, false)?;
         }
@@ -869,6 +1043,7 @@ impl Experiment {
                 plan,
                 swap: None,
                 recovery: Some(ropts),
+                serving: None,
             },
             None,
         )
@@ -912,6 +1087,9 @@ impl Experiment {
         if let Some(cfg) = &opts.sup_cfg {
             cfg.validate()?;
         }
+        if let Some(spec) = &opts.serving {
+            spec.validate(&self.options.limits)?;
+        }
         let crash_steps: Vec<u64> = opts
             .plan
             .as_ref()
@@ -935,7 +1113,7 @@ impl Experiment {
         // does not re-crash at the same step.
         let mut pending = crash_steps;
         let mut engine = self.build_engine(opts.sup_cfg)?;
-        let mut st = self.init_state(workload, opts.plan.as_ref());
+        let mut st = self.init_state(workload, opts.plan.as_ref(), opts.serving.as_ref());
         let mut journal = Journal::new();
         let mut recovery = RecoveryReport::default();
         let mut ckpt = interval.map(|_| Checkpoint {
@@ -1513,6 +1691,7 @@ mod tests {
                     plan: Some(FaultPlan::uniform(1, 0.0).with_crash(3)),
                     swap: None,
                     recovery: None,
+                    serving: None,
                 },
             )
             .unwrap_err();
@@ -1590,6 +1769,7 @@ mod tests {
                     recovery: Some(RecoveryOptions {
                         checkpoint_interval: 5,
                     }),
+                    serving: None,
                 },
             )
             .unwrap();
@@ -1625,6 +1805,7 @@ mod tests {
                     recovery: Some(RecoveryOptions {
                         checkpoint_interval: 4,
                     }),
+                    serving: None,
                 },
             )
             .unwrap();
@@ -1664,6 +1845,7 @@ mod tests {
                         scheme: None,
                     }),
                     recovery: Some(RecoveryOptions::default()),
+                    serving: None,
                 },
                 Some(next),
             )
@@ -1678,5 +1860,205 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    fn serving_options(spec: ServingSpec) -> UnifiedOptions {
+        UnifiedOptions {
+            sup_cfg: Some(SupervisorConfig::default()),
+            plan: None,
+            swap: None,
+            recovery: None,
+            serving: Some(spec),
+        }
+    }
+
+    #[test]
+    fn serving_runs_are_deterministic_and_report_slo() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let spec = ServingSpec::default();
+        let a = exp.run_unified(&wl, serving_options(spec.clone())).unwrap();
+        let b = exp.run_unified(&wl, serving_options(spec)).unwrap();
+        assert!(
+            a.report.bit_identical(&b.report),
+            "same serving spec must reproduce exactly"
+        );
+        let slo = a.report.slo.expect("serving run carries an SLO report");
+        assert!(slo.offered > 0, "open-loop traffic never arrived");
+        assert!(slo.completed > 0, "nothing was served");
+        assert!(slo.offered >= slo.admitted);
+        assert!(slo.p99_s >= slo.p95_s);
+        // A batch run of the same scheme carries no SLO report. (Its
+        // bit-identity against the pre-serving runtime is covered by
+        // `zero_severity_supervised_run_is_bit_identical_to_baseline` —
+        // an *attached* serving layer legitimately changes actuations,
+        // because tail latency is now a controlled output.)
+        let batch = exp.run(&wl).unwrap();
+        assert!(batch.slo.is_none());
+    }
+
+    #[test]
+    fn sustained_overload_sheds_without_invariant_violations() {
+        // ~8 GIPS offered against a ~3 GIPS board: the governor must shed.
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let spec = ServingSpec {
+            traffic: TrafficConfig {
+                load_factor: 2.0,
+                service_mean_gi: 0.1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run = exp.run_unified(&wl, serving_options(spec)).unwrap();
+        let slo = run.report.slo.unwrap();
+        assert!(slo.max_shed_frac > 0.0, "overload never engaged shedding");
+        assert!(slo.dropped() > 0);
+        assert!(slo.violation_frac > 0.0);
+        let sup = run.report.supervisor.unwrap();
+        assert!(sup.shed_engagements >= 1);
+        assert_eq!(sup.invariant_violations, 0);
+        assert_eq!(run.report.actuation.double_actuations, 0);
+    }
+
+    #[test]
+    fn external_cap_interference_worsens_tail_latency() {
+        // The destructive-interference cell: an external governor caps the
+        // big cluster while the OS layer scales up — tail latency must be
+        // strictly worse than the uncapped twin.
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let near_capacity = TrafficConfig {
+            load_factor: 1.2,
+            service_mean_gi: 0.05,
+            ..Default::default()
+        };
+        let free = exp
+            .run_unified(
+                &wl,
+                serving_options(ServingSpec {
+                    traffic: near_capacity,
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+        let capped = exp
+            .run_unified(
+                &wl,
+                serving_options(ServingSpec {
+                    traffic: near_capacity,
+                    ext_cap_f_big: Some(0.6),
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+        let sf = free.report.slo.unwrap();
+        let sc = capped.report.slo.unwrap();
+        assert!(
+            sc.p99_s > sf.p99_s,
+            "capped p99 {} vs free p99 {}",
+            sc.p99_s,
+            sf.p99_s
+        );
+        assert!(sc.violation_frac >= sf.violation_frac);
+        // The cap is strictly a capper: no invariant violations either way.
+        assert_eq!(capped.report.supervisor.unwrap().invariant_violations, 0);
+    }
+
+    #[test]
+    fn crash_recovery_with_serving_is_bit_identical() {
+        // A crash mid-run must roll back traffic RNG, queue state, and the
+        // shed fraction together: the recovered report is bit-identical to
+        // the uninterrupted serving twin.
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let spec = ServingSpec {
+            traffic: TrafficConfig {
+                load_factor: 2.0,
+                service_mean_gi: 0.1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let base = exp
+            .run_unified(
+                &wl,
+                UnifiedOptions {
+                    sup_cfg: Some(SupervisorConfig::default()),
+                    plan: Some(FaultPlan::uniform(5, 0.3)),
+                    swap: None,
+                    recovery: None,
+                    serving: Some(spec.clone()),
+                },
+            )
+            .unwrap();
+        let run = exp
+            .run_unified(
+                &wl,
+                UnifiedOptions {
+                    sup_cfg: Some(SupervisorConfig::default()),
+                    plan: Some(FaultPlan::uniform(5, 0.3).with_crash(9)),
+                    swap: None,
+                    recovery: Some(RecoveryOptions {
+                        checkpoint_interval: 4,
+                    }),
+                    serving: Some(spec),
+                },
+            )
+            .unwrap();
+        assert_eq!(run.recovery.crashes, 1);
+        assert_eq!(run.recovery.replay_divergences, 0);
+        assert!(
+            run.report.bit_identical(&base.report),
+            "crash recovery perturbed the serving layer"
+        );
+    }
+
+    #[test]
+    fn degenerate_serving_specs_are_rejected_with_typed_errors() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        for spec in [
+            ServingSpec {
+                traffic: TrafficConfig {
+                    base_rate_rps: -1.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ServingSpec {
+                queue: QueueConfig {
+                    timeout_s: f64::NAN,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ServingSpec {
+                ext_cap_f_big: Some(-0.5),
+                ..Default::default()
+            },
+        ] {
+            let err = exp.run_unified(&wl, serving_options(spec)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::NoSolution {
+                        op: "serving_spec",
+                        ..
+                    }
+                ),
+                "{err:?}"
+            );
+        }
     }
 }

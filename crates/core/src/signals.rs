@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 use yukta_control::quant::{InputGrid, SignalScaler};
 
 /// The constraint limits used throughout the evaluation: 3.3 W big-cluster
-/// power, 0.33 W little-cluster power, 79 °C hotspot.
+/// power, 0.33 W little-cluster power, 79 °C hotspot — plus, for serving
+/// runs, the tail-latency SLO that joins them in the B specification.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Limits {
     /// Sustained big-cluster power limit (W).
@@ -15,6 +16,16 @@ pub struct Limits {
     pub p_little_max: f64,
     /// Hotspot temperature limit (°C).
     pub temp_max: f64,
+    /// p99 request-latency SLO (s). Like the power/thermal limits this
+    /// is a B-specification bound: the controllers treat it as a
+    /// constraint, the supervisor treats sustained excursions as
+    /// overload. Only meaningful when a serving layer is attached.
+    #[serde(default = "default_latency_slo_s")]
+    pub latency_slo_s: f64,
+}
+
+fn default_latency_slo_s() -> f64 {
+    1.0
 }
 
 impl Default for Limits {
@@ -23,7 +34,35 @@ impl Default for Limits {
             p_big_max: 3.3,
             p_little_max: 0.33,
             temp_max: 79.0,
+            latency_slo_s: default_latency_slo_s(),
         }
+    }
+}
+
+/// The serving layer's SLO observation, attached to both controllers'
+/// sense vectors. `active` is false on batch runs (every field zero),
+/// which keeps non-serving executions bit-identical to the pre-serving
+/// code path — controllers must gate any SLO-aware behavior on it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloSense {
+    /// A serving layer is attached and the fields below are live.
+    pub active: bool,
+    /// p95 request latency over the stats window (s).
+    pub p95_s: f64,
+    /// p99 request latency over the stats window (s).
+    pub p99_s: f64,
+    /// Admission-queue backlog as a fraction of its cap.
+    pub backlog_frac: f64,
+    /// Requests dropped (shed + rejected + timed out) over the window,
+    /// as a fraction of completions + drops.
+    pub drop_frac: f64,
+}
+
+impl SloSense {
+    /// Headroom of the p99 against the SLO bound: negative when the
+    /// bound is violated. Mirrors how the power limits enter the B spec.
+    pub fn headroom_s(&self, limits: &Limits) -> f64 {
+        limits.latency_slo_s - self.p99_s
     }
 }
 
@@ -243,6 +282,21 @@ mod tests {
         assert_eq!(l.p_big_max, 3.3);
         assert_eq!(l.p_little_max, 0.33);
         assert_eq!(l.temp_max, 79.0);
+        assert_eq!(l.latency_slo_s, 1.0);
+    }
+
+    #[test]
+    fn slo_sense_headroom_mirrors_b_spec_margins() {
+        let limits = Limits::default();
+        let mut slo = SloSense {
+            active: true,
+            p99_s: 0.4,
+            ..Default::default()
+        };
+        assert!((slo.headroom_s(&limits) - 0.6).abs() < 1e-12);
+        slo.p99_s = 1.5;
+        assert!(slo.headroom_s(&limits) < 0.0);
+        assert!(!SloSense::default().active, "batch default is inactive");
     }
 
     #[test]

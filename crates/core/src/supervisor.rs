@@ -51,10 +51,112 @@ use crate::modes::{
     TransitionRecord, level_label,
 };
 use crate::schemes::{Controllers, ControllersState};
-use crate::signals::{HwInputs, HwOutputs, OsInputs, OsOutputs};
+use crate::signals::{HwInputs, HwOutputs, Limits, OsInputs, OsOutputs, SloSense};
 
 fn default_escalate_after() -> u32 {
     24
+}
+
+/// Overload-protection policy: when the serving layer's tail latency blows
+/// past the SLO for a sustained streak, the supervisor sheds a fraction of
+/// incoming requests (admission control) instead of letting the backlog
+/// melt down. Shedding is an actuation like any other: the supervisor is
+/// the single writer of the [`Knob::Admission`] knob, and the shed
+/// fraction moves hysteretically (engage high, release low) so admission
+/// does not flap at the SLO boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShedPolicy {
+    /// p99/SLO ratio at or above which a sample counts as overloaded.
+    pub engage_ratio: f64,
+    /// p99/SLO ratio at or below which shedding decays one step
+    /// (hysteresis: between `release_ratio` and `engage_ratio` the shed
+    /// fraction holds).
+    pub release_ratio: f64,
+    /// Backlog fraction at or above which a sample counts as overloaded
+    /// regardless of latency (the queue is about to reject).
+    pub backlog_hi: f64,
+    /// Consecutive overloaded samples before shedding engages or ramps.
+    pub overload_after: u32,
+    /// Shed-fraction increment (and decay) per qualifying sample.
+    pub shed_step: f64,
+    /// Shed-fraction ceiling; Safe mode pins admission here.
+    pub shed_max: f64,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy {
+            engage_ratio: 1.0,  // shed only once the SLO is actually violated
+            release_ratio: 0.7, // 30% hysteresis band against flapping
+            backlog_hi: 0.9,    // queue nearly full → shed regardless
+            overload_after: 4,  // 2 s of sustained overload at 500 ms
+            shed_step: 0.1,
+            shed_max: 0.9, // never black-hole the service completely
+        }
+    }
+}
+
+impl ShedPolicy {
+    /// Rejects non-finite, negative, or flapping-prone shed thresholds
+    /// with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`yukta_linalg::Error::NoSolution`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
+        let finite = [
+            self.engage_ratio,
+            self.release_ratio,
+            self.backlog_hi,
+            self.shed_step,
+            self.shed_max,
+        ]
+        .iter()
+        .all(|v| v.is_finite());
+        if !finite {
+            return Err(Error::NoSolution {
+                op: "shed_policy",
+                why: "shed thresholds must be finite",
+            });
+        }
+        if self.engage_ratio <= 0.0 || self.release_ratio <= 0.0 {
+            return Err(Error::NoSolution {
+                op: "shed_policy",
+                why: "overload ratios must be positive",
+            });
+        }
+        if self.release_ratio >= self.engage_ratio {
+            return Err(Error::NoSolution {
+                op: "shed_policy",
+                why: "release_ratio >= engage_ratio leaves no hysteresis band (admission flapping)",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.backlog_hi) {
+            return Err(Error::NoSolution {
+                op: "shed_policy",
+                why: "backlog_hi must lie in [0, 1]",
+            });
+        }
+        if self.shed_step <= 0.0 || self.shed_step > 1.0 {
+            return Err(Error::NoSolution {
+                op: "shed_policy",
+                why: "shed_step must lie in (0, 1]",
+            });
+        }
+        if !(0.0..1.0).contains(&self.shed_max) {
+            return Err(Error::NoSolution {
+                op: "shed_policy",
+                why: "shed_max must lie in [0, 1) — shedding everything forever is an outage",
+            });
+        }
+        if self.overload_after < 2 {
+            return Err(Error::NoSolution {
+                op: "shed_policy",
+                why: "overload_after < 2 sheds on a single slow sample (admission flapping)",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Tuning knobs of the supervisor's fault handling.
@@ -73,6 +175,9 @@ pub struct SupervisorConfig {
     /// (sustained correlated faults defeat the heuristic's sensor view).
     #[serde(default = "default_escalate_after")]
     pub escalate_after: u32,
+    /// Overload-protection (load-shedding) policy for request-serving runs.
+    #[serde(default)]
+    pub shed: ShedPolicy,
 }
 
 impl Default for SupervisorConfig {
@@ -82,6 +187,7 @@ impl Default for SupervisorConfig {
             stuck_window: 4,                          // 2 s of frozen readings
             windup_reset_after: 8,                    // 4 s of continuous saturation
             escalate_after: default_escalate_after(), // 12 s of sustained dirt
+            shed: ShedPolicy::default(),
         }
     }
 }
@@ -119,7 +225,7 @@ impl SupervisorConfig {
                 why: "escalate_after < 2 escalates on the first dirty sample (mode flapping)",
             });
         }
-        Ok(())
+        self.shed.validate()
     }
 
     /// The automaton guard thresholds this configuration induces.
@@ -171,6 +277,10 @@ pub struct SupervisorStats {
     /// flapping, illegal events). Zero in any correct run.
     #[serde(default)]
     pub invariant_violations: u64,
+    /// Load-shedding engagements: transitions of the shed fraction from
+    /// zero to positive (one per overload episode).
+    #[serde(default)]
+    pub shed_engagements: u64,
 }
 
 impl SupervisorStats {
@@ -209,6 +319,10 @@ pub struct SupervisorState {
     pub last_good_hw: HwOutputs,
     /// Last sanitized software-layer outputs.
     pub last_good_os: OsOutputs,
+    /// Current admission shed fraction.
+    pub shed_frac: f64,
+    /// Consecutive overloaded samples toward a shed engagement.
+    pub overload_streak: u32,
     /// Counters accumulated so far.
     pub stats: SupervisorStats,
     /// Snapshot of the wrapped primary controllers.
@@ -280,6 +394,8 @@ pub struct Supervisor {
     watchdogs: [StuckChannel; 3],
     last_good_hw: HwOutputs,
     last_good_os: OsOutputs,
+    shed_frac: f64,
+    overload_streak: u32,
     stats: SupervisorStats,
 }
 
@@ -296,7 +412,60 @@ impl Supervisor {
             watchdogs: [StuckChannel::default(); 3],
             last_good_hw: HwOutputs::default(),
             last_good_os: OsOutputs::default(),
+            shed_frac: 0.0,
+            overload_streak: 0,
             stats: SupervisorStats::default(),
+        }
+    }
+
+    /// The admission shed fraction currently in force: the fraction of
+    /// incoming requests the serving layer must drop at the door. Zero
+    /// unless the overload governor engaged; Safe mode pins it at
+    /// [`ShedPolicy::shed_max`] (a degraded configuration cannot absorb
+    /// open-loop traffic, so admission is throttled along with everything
+    /// else).
+    pub fn shed_frac(&self) -> f64 {
+        if self.auto.level() == SupervisorMode::Safe {
+            self.shed_frac.max(self.cfg.shed.shed_max)
+        } else {
+            self.shed_frac
+        }
+    }
+
+    /// Hysteretic overload governor: one step per supervised invocation.
+    /// Inactive SLO observations (batch runs) keep the shed fraction at
+    /// exactly zero, so non-serving executions are bit-identical to the
+    /// pre-serving supervisor.
+    fn shed_step(&mut self, slo: &SloSense, limits: &Limits) {
+        if !slo.active {
+            self.shed_frac = 0.0;
+            self.overload_streak = 0;
+            return;
+        }
+        let p = self.cfg.shed;
+        // latency_slo_s is validated positive at the runtime entry points;
+        // guard anyway so a hostile Limits cannot poison the governor.
+        let bound = if limits.latency_slo_s > 0.0 && limits.latency_slo_s.is_finite() {
+            limits.latency_slo_s
+        } else {
+            1.0
+        };
+        let ratio = slo.p99_s / bound;
+        let overloaded = ratio >= p.engage_ratio || slo.backlog_frac >= p.backlog_hi;
+        if overloaded {
+            self.overload_streak = self.overload_streak.saturating_add(1);
+            if self.overload_streak >= p.overload_after {
+                if self.shed_frac == 0.0 {
+                    self.stats.shed_engagements += 1;
+                }
+                self.shed_frac = (self.shed_frac + p.shed_step).min(p.shed_max);
+            }
+        } else {
+            self.overload_streak = 0;
+            if ratio <= p.release_ratio && slo.backlog_frac < p.backlog_hi {
+                self.shed_frac = (self.shed_frac - p.shed_step).max(0.0);
+            }
+            // Between release and engage: hold (the hysteresis band).
         }
     }
 
@@ -369,6 +538,8 @@ impl Supervisor {
             ],
             last_good_hw: self.last_good_hw,
             last_good_os: self.last_good_os,
+            shed_frac: self.shed_frac,
+            overload_streak: self.overload_streak,
             stats: self.stats(),
             primary: self.primary.save_state(),
         }
@@ -395,6 +566,8 @@ impl Supervisor {
         }
         self.last_good_hw = state.last_good_hw;
         self.last_good_os = state.last_good_os;
+        self.shed_frac = state.shed_frac;
+        self.overload_streak = state.overload_streak;
         self.stats = state.stats;
         Ok(())
     }
@@ -489,6 +662,13 @@ impl Supervisor {
         self.last_good_hw = hw.outputs;
         self.last_good_os = os.outputs;
 
+        // Overload governor: walk the admission shed fraction from the
+        // serving layer's tail-latency observation. Overload evidence is
+        // deliberately NOT fault evidence — demoting the controller under
+        // load would slow the plant exactly when it must speed up; the
+        // governor sheds at the door instead.
+        self.shed_step(&hw.slo, &hw.limits);
+
         // One sample event: hysteresis re-engagement, fault-evidence
         // demotion, and sustained-dirt escalation all fire (at most one)
         // inside the automaton.
@@ -525,11 +705,13 @@ impl Supervisor {
         }
 
         // Close the invocation bracket: the serving level is the single
-        // writer of all three knobs this step; the TMU only caps.
+        // writer of the three plant knobs this step (the TMU only caps),
+        // and the overload governor is the single writer of admission.
         let owner = level_label(self.auto.level());
         self.auto.claim(Knob::Dvfs, owner);
         self.auto.claim(Knob::Hotplug, owner);
         self.auto.claim(Knob::Migration, owner);
+        self.auto.claim(Knob::Admission, "admission");
         self.auto.end_invocation();
 
         if self.auto.level() != SupervisorMode::Primary {
@@ -670,6 +852,7 @@ mod tests {
                 f_little: 1.0,
             },
             active_threads: 8,
+            slo: Default::default(),
             limits: Limits::default(),
         }
     }
@@ -699,6 +882,7 @@ mod tests {
                 p_little: 0.2,
                 temp: 60.0,
             },
+            slo: Default::default(),
             limits: Limits::default(),
         }
     }
@@ -1050,6 +1234,180 @@ mod tests {
             escalate_after: 1,
             ..Default::default()
         }));
+    }
+
+    #[test]
+    fn shed_policy_validation_rejects_degenerate_thresholds() {
+        assert!(ShedPolicy::default().validate().is_ok());
+        let bad = |p: ShedPolicy| matches!(p.validate(), Err(Error::NoSolution { op, .. }) if op == "shed_policy");
+        assert!(bad(ShedPolicy {
+            engage_ratio: f64::NAN,
+            ..Default::default()
+        }));
+        assert!(bad(ShedPolicy {
+            engage_ratio: -1.0,
+            ..Default::default()
+        }));
+        assert!(bad(ShedPolicy {
+            release_ratio: 1.5, // >= engage_ratio: no hysteresis band
+            ..Default::default()
+        }));
+        assert!(bad(ShedPolicy {
+            backlog_hi: 1.5,
+            ..Default::default()
+        }));
+        assert!(bad(ShedPolicy {
+            shed_step: 0.0,
+            ..Default::default()
+        }));
+        assert!(bad(ShedPolicy {
+            shed_max: 1.0,
+            ..Default::default()
+        }));
+        assert!(bad(ShedPolicy {
+            overload_after: 1,
+            ..Default::default()
+        }));
+        // A bad shed policy fails the whole supervisor config.
+        let cfg = SupervisorConfig {
+            shed: ShedPolicy {
+                shed_step: f64::INFINITY,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(matches!(cfg.validate(), Err(Error::NoSolution { op, .. }) if op == "shed_policy"));
+    }
+
+    /// An SLO observation violating the default 1 s p99 bound.
+    fn violating_slo() -> SloSense {
+        SloSense {
+            active: true,
+            p95_s: 1.1,
+            p99_s: 1.6,
+            backlog_frac: 0.4,
+            drop_frac: 0.0,
+        }
+    }
+
+    #[test]
+    fn sustained_overload_engages_shedding_with_hysteresis() {
+        let cfg = SupervisorConfig::default();
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        // Jitter every sensor channel each sample so the stuck-sensor
+        // watchdog stays quiet: this test is about overload, not faults.
+        let mut tick = 0usize;
+        let mut senses = |slo: SloSense| {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, tick);
+            tick += 1;
+            h.slo = slo;
+            (h, o)
+        };
+        // Overloaded samples below the streak threshold: no shedding yet.
+        for k in 0..cfg.shed.overload_after - 1 {
+            let (h, o) = senses(violating_slo());
+            sup.step(&h, &o);
+            assert_eq!(sup.shed_frac(), 0.0, "sample {k}");
+        }
+        // The streak completes: shedding engages and ramps.
+        let mut shed_prev = 0.0;
+        for k in 0..5 {
+            let (h, o) = senses(violating_slo());
+            sup.step(&h, &o);
+            assert!(sup.shed_frac() >= shed_prev, "sample {k} must not decay");
+            shed_prev = sup.shed_frac();
+        }
+        assert!(shed_prev > 0.0);
+        assert!(shed_prev <= cfg.shed.shed_max);
+        assert_eq!(sup.stats().shed_engagements, 1);
+        // In the hysteresis band (between release and engage): hold.
+        let mut band = violating_slo();
+        band.p99_s = 0.85; // between 0.7 and 1.0
+        band.backlog_frac = 0.1;
+        let (h, o) = senses(band);
+        sup.step(&h, &o);
+        assert_eq!(sup.shed_frac(), shed_prev, "hysteresis band holds");
+        // Clear recovery: the shed fraction decays back to zero.
+        for _ in 0..12 {
+            let mut calm = violating_slo();
+            calm.p99_s = 0.2;
+            calm.backlog_frac = 0.0;
+            let (h, o) = senses(calm);
+            sup.step(&h, &o);
+        }
+        assert_eq!(sup.shed_frac(), 0.0);
+        assert_eq!(sup.stats().shed_engagements, 1, "one episode");
+        assert_eq!(sup.stats().invariant_violations, 0);
+        // Overload is not fault evidence: the primary stayed in charge.
+        assert_eq!(sup.mode(), SupervisorMode::Primary);
+        assert_eq!(sup.stats().fallback_entries, 0);
+    }
+
+    #[test]
+    fn inactive_slo_keeps_shedding_at_exactly_zero() {
+        let mut sup = Supervisor::new(heuristic_primary(), SupervisorConfig::default());
+        for k in 0..20 {
+            let mut h = clean_hw_sense();
+            let mut o = clean_os_sense();
+            jitter(&mut h, &mut o, k);
+            // Poisoned latency readings on an *inactive* observation must
+            // be ignored (batch runs carry no serving layer).
+            h.slo.p99_s = 99.0;
+            h.slo.backlog_frac = 1.0;
+            sup.step(&h, &o);
+            assert_eq!(sup.shed_frac(), 0.0, "sample {k}");
+        }
+        assert_eq!(sup.stats().shed_engagements, 0);
+    }
+
+    #[test]
+    fn safe_mode_pins_admission_at_shed_max() {
+        let cfg = SupervisorConfig {
+            escalate_after: 3,
+            ..Default::default()
+        };
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let mut bad = clean_hw_sense();
+        bad.outputs.p_big = f64::NAN;
+        let os = clean_os_sense();
+        while sup.mode() != SupervisorMode::Safe {
+            sup.step(&bad, &os);
+        }
+        assert_eq!(sup.shed_frac(), cfg.shed.shed_max);
+        assert_eq!(sup.stats().invariant_violations, 0);
+    }
+
+    #[test]
+    fn shedder_state_survives_save_restore() {
+        let cfg = SupervisorConfig::default();
+        let mut sup = Supervisor::new(heuristic_primary(), cfg);
+        let os = clean_os_sense();
+        for k in 0..cfg.shed.overload_after + 2 {
+            let mut h = clean_hw_sense();
+            h.slo = violating_slo();
+            h.outputs.p_big += 1e-9 * (k as f64 + 1.0);
+            sup.step(&h, &os);
+        }
+        assert!(sup.shed_frac() > 0.0);
+        let snap = sup.save_state();
+        let mut restored = Supervisor::new(heuristic_primary(), cfg);
+        restored.restore_state(&snap).unwrap();
+        assert_eq!(restored.shed_frac().to_bits(), sup.shed_frac().to_bits());
+        for k in 0..6 {
+            let mut h = clean_hw_sense();
+            h.slo = violating_slo();
+            h.outputs.p_big += 1e-9 * (k as f64 + 50.0);
+            let a = sup.step(&h, &os);
+            let b = restored.step(&h, &os);
+            assert_eq!(a, b, "sample {k}");
+            assert_eq!(
+                sup.shed_frac().to_bits(),
+                restored.shed_frac().to_bits(),
+                "sample {k}"
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ fn check_crash_offset(seed: u64, severity: f64, swap_at: u64, offset: i64) {
                 recovery: Some(RecoveryOptions {
                     checkpoint_interval: 5,
                 }),
+                serving: None,
             },
         )
         .unwrap();
@@ -105,6 +106,7 @@ fn check_interleaving(
                 recovery: Some(RecoveryOptions {
                     checkpoint_interval: 7,
                 }),
+                serving: None,
             },
         )
         .unwrap();

@@ -172,6 +172,7 @@ fn senses_strategy() -> impl Strategy<Value = (HwSense, OsSense)> {
                     ext: current_os,
                     current: current_hw,
                     active_threads: n_active,
+                    slo: Default::default(),
                     limits,
                 },
                 OsSense {
@@ -180,6 +181,7 @@ fn senses_strategy() -> impl Strategy<Value = (HwSense, OsSense)> {
                     current: current_os,
                     active_threads: n_active,
                     system: hw_y,
+                    slo: Default::default(),
                     limits,
                 },
             )

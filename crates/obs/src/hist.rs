@@ -83,6 +83,53 @@ impl FixedHistogram {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
+    /// Estimated `q`-quantile (`0 < q <= 1`) by linear interpolation
+    /// inside the bucket containing the target rank, clamped to the
+    /// observed finite min/max. Returns `None` before the first
+    /// observation or for `q` outside `(0, 1]`.
+    ///
+    /// Error bound (the contract SLO gating relies on): the estimate
+    /// lies inside the same bucket as the exact rank-`⌈q·n⌉` order
+    /// statistic of the recorded stream, so the absolute error is at
+    /// most that bucket's width — where bucket edges are additionally
+    /// clamped to the observed min/max. For ranks landing in the
+    /// overflow bucket the estimate is the observed maximum.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum < rank {
+                continue;
+            }
+            if i == self.bounds.len() {
+                // Overflow bucket: the observed maximum is the best
+                // available estimate (or +inf if nothing finite landed).
+                return Some(self.max().unwrap_or(f64::INFINITY));
+            }
+            let upper = self.bounds[i];
+            let lower = if i == 0 {
+                upper.min(self.min)
+            } else {
+                self.bounds[i - 1]
+            };
+            let lower = if lower.is_finite() { lower } else { upper };
+            let frac = (rank - (cum - c)) as f64 / c as f64;
+            let mut est = lower + frac * (upper - lower);
+            if let Some(mn) = self.min() {
+                est = est.max(mn);
+            }
+            if let Some(mx) = self.max() {
+                est = est.min(mx);
+            }
+            return Some(est);
+        }
+        None
+    }
+
     /// Bucket upper bounds (the overflow bucket is implicit).
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
@@ -128,5 +175,107 @@ mod tests {
         let h = FixedHistogram::new_ns();
         assert_eq!(h.mean(), None);
         assert_eq!(h.counts().len(), DEFAULT_NS_BOUNDS.len() + 1);
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    /// Exact quantile by the same rank convention the histogram uses:
+    /// the `⌈q·n⌉`-th order statistic.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Documented error bound for an estimate of `exact`: the width of
+    /// the bucket containing `exact`, with edges clamped to the
+    /// observed min/max (overflow bucket: distance from last bound to
+    /// max).
+    fn error_bound(h: &FixedHistogram, exact: f64) -> f64 {
+        let bounds = h.bounds();
+        let (mn, mx) = (h.min().unwrap(), h.max().unwrap());
+        match bounds.iter().position(|&b| exact <= b) {
+            Some(0) => bounds[0].min(mx) - mn.min(bounds[0]),
+            Some(i) => bounds[i].min(mx) - bounds[i - 1].max(mn),
+            None => mx - bounds[bounds.len() - 1],
+        }
+    }
+
+    fn assert_quantiles_within_bound(values: &[f64], bounds: &[f64]) {
+        let mut h = FixedHistogram::new(bounds);
+        for &v in values {
+            h.record(v);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.95, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q).unwrap();
+            let tol = error_bound(&h, exact).max(1e-12);
+            assert!(
+                (est - exact).abs() <= tol,
+                "q={q}: estimate {est} vs exact {exact}, bound {tol}"
+            );
+            assert!(est >= h.min().unwrap() && est <= h.max().unwrap());
+        }
+    }
+
+    #[test]
+    fn quantile_accuracy_on_heavy_tailed_stream() {
+        // Bounded-Pareto-style tail spanning the whole ladder, generated
+        // by a deterministic LCG (no external RNG in this crate).
+        let bounds = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0];
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut values = Vec::new();
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-9);
+            // Pareto(alpha=1.1) capped at 5000: adversarial for tails.
+            values.push((1.0 / u.powf(1.0 / 1.1)).min(5000.0));
+        }
+        assert_quantiles_within_bound(&values, &bounds);
+    }
+
+    #[test]
+    fn quantile_accuracy_on_point_mass_at_bucket_boundary() {
+        // Every value sits exactly on a bound — the worst case for
+        // interpolation — plus a handful of outliers on either side.
+        let bounds = [10.0, 100.0, 1000.0];
+        let mut values = vec![100.0; 990];
+        values.extend([5.0, 5.0, 5.0, 5.0, 5.0, 900.0, 900.0, 900.0, 900.0, 900.0]);
+        assert_quantiles_within_bound(&values, &bounds);
+    }
+
+    #[test]
+    fn quantile_accuracy_on_bimodal_spike() {
+        // 97% tiny, 3% huge: p95 and p99 straddle the gap between modes.
+        let bounds = [1.0, 2.0, 4.0, 8.0, 512.0, 2048.0];
+        let mut values = Vec::new();
+        for i in 0..970 {
+            values.push(0.5 + (i % 7) as f64 * 0.07);
+        }
+        for i in 0..30 {
+            values.push(1500.0 + i as f64);
+        }
+        assert_quantiles_within_bound(&values, &bounds);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_observed_max() {
+        let mut h = FixedHistogram::new(&[1.0]);
+        for v in [0.5, 7.0, 9.0, 42.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), Some(42.0));
+        assert_eq!(h.quantile(0.99), Some(42.0));
+    }
+
+    #[test]
+    fn quantile_rejects_degenerate_q() {
+        let mut h = FixedHistogram::new(&[1.0]);
+        h.record(0.5);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
     }
 }

@@ -21,5 +21,7 @@
 
 pub mod app;
 pub mod catalog;
+pub mod traffic;
 
 pub use app::{App, PhaseSpec, Suite, Workload, WorkloadRun};
+pub use traffic::{Request, Traffic, TrafficConfig, TrafficPattern};
