@@ -1,0 +1,90 @@
+//! Excitation-schedule ablation: how much controller quality the
+//! identification excitation buys.
+//!
+//! Builds the full design pipeline under each excitation family (legacy
+//! random walk, PRBS, multisine) and reports identification fit, held-out
+//! validation residual, the auto-tuned guardbands, and the per-layer µ̂ —
+//! then runs the SSV pair against the coordinated heuristic on a PARSEC
+//! workload for the end-to-end E×D cost of the remaining model error.
+
+use yukta_core::design::{DesignOptions, ExcitationKind, build_design};
+use yukta_core::runtime::{Experiment, RunOptions};
+use yukta_core::schemes::Scheme;
+use yukta_workloads::catalog;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("=== excitation ablation ===\n");
+    let kinds = [
+        ("random-walk", ExcitationKind::RandomWalk),
+        ("prbs", ExcitationKind::Prbs),
+        ("multisine", ExcitationKind::Multisine),
+    ];
+    let mut designs = Vec::new();
+    for (name, kind) in kinds {
+        let opts = DesignOptions {
+            excitation: kind,
+            ..Default::default()
+        };
+        match build_design(&opts) {
+            Ok(d) => {
+                println!("{name}:");
+                println!("  hw fit       = {:?}", rounded(&d.hw_fit));
+                println!("  os fit       = {:?}", rounded(&d.os_fit));
+                println!(
+                    "  hw residual  = {:.3} -> guardband {:.3}",
+                    d.hw_residual, d.hw_uncertainty_used
+                );
+                println!(
+                    "  os residual  = {:.3} -> guardband {:.3}",
+                    d.os_residual, d.os_uncertainty_used
+                );
+                println!(
+                    "  mu_hat       = hw {:.2} / os {:.2}  (gamma hw {:.2} / os {:.2})\n",
+                    d.hw_ssv.mu_peak, d.os_ssv.mu_peak, d.hw_ssv.gamma, d.os_ssv.gamma
+                );
+                designs.push((name, d));
+            }
+            Err(e) => println!("{name}: design failed: {e}\n"),
+        }
+    }
+    if quick {
+        return;
+    }
+    // End-to-end: E×D of the SSV pair under each design, against the
+    // (design-independent) coordinated heuristic.
+    let wl = catalog::parsec::blackscholes();
+    let run_opts = RunOptions {
+        timeout_s: 400.0,
+        ..Default::default()
+    };
+    let coord = Experiment::new(Scheme::CoordinatedHeuristic)
+        .expect("experiment")
+        .with_options(run_opts)
+        .run(&wl)
+        .expect("heuristic run");
+    println!(
+        "coordinated heuristic: E = {:.1} J, D = {:.1} s, ExD = {:.0}",
+        coord.metrics.energy_joules,
+        coord.metrics.delay_seconds,
+        coord.metrics.exd()
+    );
+    for (name, d) in designs {
+        let rep = Experiment::with_design(Scheme::YuktaHwSsvOsSsv, d)
+            .with_options(run_opts)
+            .run(&wl)
+            .expect("ssv run");
+        println!(
+            "ssv pair ({name:>11}): E = {:.1} J, D = {:.1} s, ExD = {:.0} ({:.2}x), completed = {}",
+            rep.metrics.energy_joules,
+            rep.metrics.delay_seconds,
+            rep.metrics.exd(),
+            rep.metrics.exd() / coord.metrics.exd(),
+            rep.metrics.completed
+        );
+    }
+}
+
+fn rounded(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 1e3).round() / 1e3).collect()
+}

@@ -118,6 +118,7 @@ fn pre_pr_mu_peak(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> MuPeak 
         w_peak: grid.first().copied().unwrap_or(1.0),
         scalings: vec![1.0; blocks.len()],
         curve: Vec::with_capacity(grid.len()),
+        point_scalings: Vec::with_capacity(grid.len()),
     };
     for &w in grid {
         let Ok(n) = sys.eval_at(C64::cis(w * ts)) else {
@@ -128,8 +129,9 @@ fn pre_pr_mu_peak(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> MuPeak 
         if value > peak.peak {
             peak.peak = value;
             peak.w_peak = w;
-            peak.scalings = scalings;
+            peak.scalings = scalings.clone();
         }
+        peak.point_scalings.push(scalings);
     }
     peak
 }

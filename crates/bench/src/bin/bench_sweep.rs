@@ -149,6 +149,7 @@ fn mu_peak_naive(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> MuPeak {
         w_peak: grid.first().copied().unwrap_or(1.0),
         scalings: vec![1.0; blocks.len()],
         curve: Vec::with_capacity(grid.len()),
+        point_scalings: Vec::with_capacity(grid.len()),
     };
     for &w in grid {
         let Ok(n) = sys.eval_at_reference(C64::cis(w * ts)) else {
@@ -159,8 +160,9 @@ fn mu_peak_naive(sys: &StateSpace, blocks: &[MuBlock], grid: &[f64]) -> MuPeak {
         if value > peak.peak {
             peak.peak = value;
             peak.w_peak = w;
-            peak.scalings = scalings;
+            peak.scalings = scalings.clone();
         }
+        peak.point_scalings.push(scalings);
     }
     peak
 }

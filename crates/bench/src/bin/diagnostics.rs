@@ -26,6 +26,15 @@ fn main() {
         "  OS model [perf_little, perf_big, dSC]  = {:?}\n",
         rounded(&d.os_fit)
     );
+    println!("guardband (auto-tuned from held-out validation residual):");
+    println!(
+        "  HW: residual = {:.3}, uncertainty used = {:.3}",
+        d.hw_residual, d.hw_uncertainty_used
+    );
+    println!(
+        "  OS: residual = {:.3}, uncertainty used = {:.3}\n",
+        d.os_residual, d.os_uncertainty_used
+    );
 
     for (name, syn) in [("HW", &d.hw_ssv), ("OS", &d.os_ssv)] {
         println!("{name} SSV controller:");
@@ -60,7 +69,7 @@ fn main() {
         output_bounds: opts.hw_bounds.to_vec(),
         input_weights: opts.hw_weights.to_vec(),
         n_ext: 3,
-        uncertainty: opts.hw_uncertainty,
+        uncertainty: d.hw_uncertainty_used,
         noise_eps: 0.05,
         prefilter_tau: None,
         unc_tau: None,

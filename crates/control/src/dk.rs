@@ -7,6 +7,7 @@
 //! the paper, together with the achieved robust-performance level µ̂ that
 //! determines the guaranteed output deviation bounds.
 
+use yukta_linalg::ratfit::{self, RatSection};
 use yukta_linalg::{Error, Result};
 use yukta_obs::{Recorder, Value};
 
@@ -31,6 +32,10 @@ pub struct SsvSynthesis {
     pub mu_peak: f64,
     /// Final constant D-scalings (per µ block).
     pub scalings: Vec<f64>,
+    /// The fitted rational `D(s)` sections of the winning design, empty
+    /// when a constant-D iteration won (or the rational step was
+    /// disabled). Minimum phase by construction.
+    pub d_sections: Vec<RatSection>,
     /// D–K iterations performed.
     pub iterations: usize,
     /// Per-output deviation bounds the design *guarantees*, as a fraction
@@ -56,6 +61,11 @@ pub struct DkOptions {
     pub w_max_frac: f64,
     /// Relative D-scaling change below which the iteration is converged.
     pub d_converge_tol: f64,
+    /// First-order sections of the rational `D(s)` fitted to the
+    /// per-grid-point Osborne scalings for one final frequency-dependent
+    /// K-step. `0` disables the rational step (constant-D only, the
+    /// pre-existing behaviour).
+    pub d_fit_sections: usize,
 }
 
 impl Default for DkOptions {
@@ -67,6 +77,7 @@ impl Default for DkOptions {
             w_min: 1e-3,
             w_max_frac: 0.98,
             d_converge_tol: 0.05,
+            d_fit_sections: 1,
         }
     }
 }
@@ -103,6 +114,11 @@ impl DkOptions {
         }
         if !self.d_converge_tol.is_finite() || self.d_converge_tol <= 0.0 {
             return Err(fail("d_converge_tol must be positive and finite"));
+        }
+        if self.d_fit_sections > 4 {
+            return Err(fail(
+                "d_fit_sections above 4 would balloon the scaled plant order",
+            ));
         }
         Ok(())
     }
@@ -183,7 +199,7 @@ pub fn synthesize_ssv_obs(
     crate::hinf::validate_dgkf_plant(&plant.gen)?;
 
     let mut d_scale = 1.0f64;
-    let mut best_design: Option<(crate::hinf::HinfDesign, f64, f64, Vec<f64>)> = None;
+    let mut best_design: Option<DkCandidate> = None;
     let mut iters = 0;
     // Scaled plants and their γ-independent DGKF factors, keyed by the
     // exact bits of the scaling that produced them: iterations that
@@ -239,17 +255,23 @@ pub fn synthesize_ssv_obs(
         let peak = mu_peak_obs(&cl, &blocks, &grid, rec)?;
         let better = best_design
             .as_ref()
-            .map(|(_, _, mu, _)| peak.peak < *mu)
+            .map(|c| peak.peak < c.peak.peak)
             .unwrap_or(true);
-        if better {
-            best_design = Some((design, gamma, peak.peak, peak.scalings.clone()));
-        }
         let new_d = peak.scalings[0].clamp(1e-3, 1e3);
+        let mu_here = peak.peak;
+        if better {
+            best_design = Some(DkCandidate {
+                design,
+                gamma,
+                peak,
+                sections: Vec::new(),
+            });
+        }
         if rec.enabled() {
             d_span.end_with(&[
                 ("iter", Value::U64(iters as u64)),
                 ("d_scale", Value::F64(new_d)),
-                ("mu", Value::F64(peak.peak)),
+                ("mu", Value::F64(mu_here)),
             ]);
             iter_span.end_with(&[("iter", Value::U64(iters as u64))]);
         }
@@ -258,10 +280,84 @@ pub fn synthesize_ssv_obs(
         }
         d_scale = new_d;
     }
-    let (design, gamma, mu, scalings) = best_design.ok_or(Error::NoSolution {
+    // Rational-D refinement: fit a low-order minimum-phase D(s) to the
+    // per-grid-point Osborne scalings of the best constant-D design and
+    // run one frequency-dependent K-step on the dynamically scaled plant.
+    // µ is still evaluated on the *unscaled* closed loop and the winner
+    // is chosen by minimum µ, so this step can only improve on the
+    // constant-D bound, never fall below it.
+    if opts.d_fit_sections > 0 {
+        let fit_data = best_design.as_ref().map(|c| {
+            let omega: Vec<f64> = c.peak.curve.iter().map(|&(w, _)| w).collect();
+            let mags: Vec<f64> = c
+                .peak
+                .point_scalings
+                .iter()
+                .map(|s| s[0].clamp(1e-3, 1e3))
+                .collect();
+            (omega, mags, c.peak.peak)
+        });
+        if let Some((omega, mags, best_mu)) = fit_data {
+            let spread = mags.iter().cloned().fold(0.0f64, f64::max)
+                / mags
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min)
+                    .max(1e-300);
+            // A near-constant d(ω) has nothing to gain over the constant
+            // step the loop already took.
+            if omega.len() >= 3 && spread > 1.05 {
+                let rat_span = yukta_obs::span(rec, "dk.rational_step");
+                let mut rat_mu = f64::NAN;
+                if let Ok(fitted) = ratfit::fit_sections(&omega, &mags, opts.d_fit_sections) {
+                    let shaped = fitted.iter().any(|s| s.z != s.p);
+                    if shaped {
+                        if let Ok(scaled) = plant.scaled_rational(&fitted) {
+                            let fac = DgkfFactors::new(&scaled);
+                            if let Ok((design, gamma)) = hinf_bisect_multi_factored(
+                                &scaled,
+                                &fac,
+                                0.05,
+                                64.0,
+                                opts.gamma_iters,
+                            ) {
+                                if let Ok(cl) = plant.gen.lft(&design.k) {
+                                    if let Ok(peak) = mu_peak_obs(&cl, &blocks, &grid, rec) {
+                                        iters += 1;
+                                        rat_mu = peak.peak;
+                                        if peak.peak < best_mu {
+                                            best_design = Some(DkCandidate {
+                                                design,
+                                                gamma,
+                                                peak,
+                                                sections: fitted,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if rec.enabled() {
+                    rat_span.end_with(&[
+                        ("sections", Value::U64(opts.d_fit_sections as u64)),
+                        ("mu", Value::F64(rat_mu)),
+                    ]);
+                }
+            }
+        }
+    }
+    let DkCandidate {
+        design,
+        gamma,
+        peak,
+        sections,
+    } = best_design.ok_or(Error::NoSolution {
         op: "synthesize_ssv",
         why: "D-K iteration found no feasible controller",
     })?;
+    let mu = peak.peak;
     // Deploy the observer form (anti-windup), all scalings baked in.
     let controller = plant.deploy_anti_windup(&design)?;
     let scale = mu.max(1.0);
@@ -277,10 +373,21 @@ pub fn synthesize_ssv_obs(
         controller,
         gamma,
         mu_peak: mu,
-        scalings,
+        scalings: peak.scalings,
+        d_sections: sections,
         iterations: iters,
         guaranteed_bounds,
     })
+}
+
+/// One D–K candidate: the H∞ design, its achieved γ, the µ sweep of its
+/// unscaled closed loop, and the rational D(s) sections that produced it
+/// (empty for constant-D iterations).
+struct DkCandidate {
+    design: crate::hinf::HinfDesign,
+    gamma: f64,
+    peak: crate::mu::MuPeak,
+    sections: Vec<RatSection>,
 }
 
 /// Convenience: synthesize directly against an [`SsvPlant`] you already
@@ -302,6 +409,7 @@ pub fn synthesize_on_plant(plant: &SsvPlant, opts: DkOptions) -> Result<SsvSynth
         gamma,
         mu_peak: peak.peak,
         scalings: peak.scalings,
+        d_sections: Vec::new(),
         iterations: 1,
         guaranteed_bounds: Vec::new(),
     })
@@ -504,6 +612,64 @@ mod tests {
     #[test]
     fn default_options_validate() {
         DkOptions::default().validate(0.5).unwrap();
+    }
+
+    #[test]
+    fn excessive_d_fit_sections_rejected() {
+        assert_rejected(DkOptions {
+            d_fit_sections: 5,
+            ..DkOptions::default()
+        });
+    }
+
+    #[test]
+    fn rational_step_never_degrades_mu() {
+        // The rational-D candidate is adopted only when its µ beats the
+        // best constant-D iterate, so enabling the step can never raise
+        // the reported bound.
+        let constant = synthesize_ssv(
+            &toy_model(),
+            &toy_spec(),
+            DkOptions {
+                d_fit_sections: 0,
+                ..DkOptions::default()
+            },
+        )
+        .unwrap();
+        for sections in [1usize, 2] {
+            let rational = synthesize_ssv(
+                &toy_model(),
+                &toy_spec(),
+                DkOptions {
+                    d_fit_sections: sections,
+                    ..DkOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                rational.mu_peak <= constant.mu_peak + 1e-12,
+                "sections {sections}: rational µ {} above constant-D µ {}",
+                rational.mu_peak,
+                constant.mu_peak
+            );
+            // Any adopted sections must be realizable minimum-phase
+            // filters.
+            assert!(rational.d_sections.iter().all(|s| s.is_minimum_phase()));
+        }
+    }
+
+    #[test]
+    fn disabled_rational_step_reports_no_sections() {
+        let syn = synthesize_ssv(
+            &toy_model(),
+            &toy_spec(),
+            DkOptions {
+                d_fit_sections: 0,
+                ..DkOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(syn.d_sections.is_empty());
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct MuPeak {
     pub scalings: Vec<f64>,
     /// The whole curve as `(ω, µ̄(ω))` pairs.
     pub curve: Vec<(f64, f64)>,
+    /// Optimized per-block scalings at every curve point (parallel to
+    /// `curve`): the `d(ω)` data a frequency-dependent D-scaling fit
+    /// consumes.
+    pub point_scalings: Vec<Vec<f64>>,
 }
 
 /// Validates that a block structure tiles an `rows × cols` matrix.
@@ -489,6 +493,7 @@ fn fold_peak(grid: &[f64], results: Vec<Option<MuInfo>>, blocks: &[MuBlock]) -> 
         w_peak: grid.first().copied().unwrap_or(1.0),
         scalings: vec![1.0; blocks.len()],
         curve: Vec::with_capacity(grid.len()),
+        point_scalings: Vec::with_capacity(grid.len()),
     };
     for (&w, info) in grid.iter().zip(results) {
         let Some(info) = info else {
@@ -498,8 +503,9 @@ fn fold_peak(grid: &[f64], results: Vec<Option<MuInfo>>, blocks: &[MuBlock]) -> 
         if info.value > peak.peak {
             peak.peak = info.value;
             peak.w_peak = w;
-            peak.scalings = info.scalings;
+            peak.scalings = info.scalings.clone();
         }
+        peak.point_scalings.push(info.scalings);
     }
     peak
 }

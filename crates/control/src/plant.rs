@@ -20,6 +20,7 @@
 //! u = [u'(nu)]                                           y = [err'(ny) | ext'(ne)]
 //! ```
 
+use yukta_linalg::ratfit::RatSection;
 use yukta_linalg::{Error, Mat, Result};
 
 use crate::c2d::d2c_tustin;
@@ -160,6 +161,110 @@ impl SsvPlant {
             }
         }
         let scaled = StateSpace::new(sys.a().clone(), b, c, sys.d().clone(), sys.ts())?;
+        GenPlant::new(
+            scaled,
+            self.gen.n_w,
+            self.gen.n_u,
+            self.gen.n_z,
+            self.gen.n_y,
+        )
+    }
+
+    /// Returns the generalized plant with a *frequency-dependent* scaling
+    /// `D(s) = Π k_i (s + z_i)/(s + p_i)` absorbed into the uncertainty
+    /// channel: the `z_unc` rows are filtered by `D(s)` and the `w_unc`
+    /// columns by `D(s)⁻¹` — the dynamic-D K-step of D–K iteration, which
+    /// lets the scaling follow the per-frequency Osborne optimum instead
+    /// of one constant compromise.
+    ///
+    /// Each section adds `2·ny` states (one filter bank per side). The
+    /// DGKF regularity structure is preserved exactly: `z_unc` is a pure
+    /// state output and `w_unc` enters only through prefilter states, so
+    /// filtering either leaves every feedthrough block untouched. Every
+    /// section must be minimum phase ([`RatSection::is_minimum_phase`])
+    /// so both filter banks are stable.
+    ///
+    /// An empty cascade returns the unscaled plant.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSolution`] if a section is not minimum phase or the
+    /// uncertainty channel unexpectedly carries feedthrough.
+    pub fn scaled_rational(&self, sections: &[RatSection]) -> Result<GenPlant> {
+        if sections.is_empty() {
+            return self.scaled(1.0);
+        }
+        if sections.iter().any(|s| !s.is_minimum_phase()) {
+            return Err(Error::NoSolution {
+                op: "scaled_rational",
+                why: "D(s) section must be stable and stably invertible (k, z, p > 0)",
+            });
+        }
+        let sys = &self.gen.sys;
+        let ny = self.ny;
+        let d = sys.d().clone();
+        // The construction below relies on the uncertainty channel being
+        // feedthrough-free (true for build_ssv_plant outputs).
+        if d.block(0, ny, 0, d.cols()).max_abs() > 1e-12
+            || d.block(0, d.rows(), 0, ny).max_abs() > 1e-12
+        {
+            return Err(Error::NoSolution {
+                op: "scaled_rational",
+                why: "uncertainty channel must be feedthrough-free",
+            });
+        }
+        let mut a = sys.a().clone();
+        let mut b = sys.b().clone();
+        let mut c = sys.c().clone();
+        for sec in sections {
+            let (k, z, p) = (sec.k, sec.z, sec.p);
+            // --- z-side: z_unc' = D(s)·z_unc with D = k + k(z−p)/(s+p).
+            let n0 = a.rows();
+            let c_unc = c.block(0, ny, 0, n0);
+            let mut a2 = Mat::zeros(n0 + ny, n0 + ny);
+            a2.set_block(0, 0, &a);
+            a2.set_block(n0, 0, &c_unc);
+            for j in 0..ny {
+                a2[(n0 + j, n0 + j)] = -p;
+            }
+            let mut b2 = Mat::zeros(n0 + ny, b.cols());
+            b2.set_block(0, 0, &b);
+            let mut c2 = Mat::zeros(c.rows(), n0 + ny);
+            c2.set_block(0, 0, &c);
+            for i in 0..ny {
+                for j in 0..n0 {
+                    c2[(i, j)] *= k;
+                }
+                c2[(i, n0 + i)] = k * (z - p);
+            }
+            a = a2;
+            b = b2;
+            c = c2;
+            // --- w-side: w_unc through D(s)⁻¹ = 1/k + ((p−z)/k)/(s+z).
+            let n1 = a.rows();
+            let b_unc = b.block(0, n1, 0, ny);
+            let mut a3 = Mat::zeros(n1 + ny, n1 + ny);
+            a3.set_block(0, 0, &a);
+            a3.set_block(0, n1, &b_unc.scale((p - z) / k));
+            for j in 0..ny {
+                a3[(n1 + j, n1 + j)] = -z;
+            }
+            let mut b3 = Mat::zeros(n1 + ny, b.cols());
+            b3.set_block(0, 0, &b);
+            for j in 0..ny {
+                for i in 0..n1 {
+                    b3[(i, j)] = b_unc[(i, j)] / k;
+                }
+                b3[(n1 + j, j)] = 1.0;
+            }
+            let mut c3 = Mat::zeros(c.rows(), n1 + ny);
+            c3.set_block(0, 0, &c);
+            a = a3;
+            b = b3;
+            c = c3;
+        }
+        // D keeps its shape (only states were added), so it carries over.
+        let scaled = StateSpace::new(a, b, c, d, sys.ts())?;
         GenPlant::new(
             scaled,
             self.gen.n_w,
@@ -520,6 +625,100 @@ mod tests {
         let zp_row = p.ny;
         assert!(g0.get(zp_row, 0).abs() > 1e-9, "w_unc must reach z_perf");
         assert!((g1.get(zp_row, 0).abs() / g0.get(zp_row, 0).abs() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rational_scaling_with_flat_section_matches_constant_d() {
+        // A zero-pole-coincident section of gain d is exactly the
+        // constant-D scaling: responses must agree at every frequency.
+        let p = build_ssv_plant(&toy_model(), &toy_spec()).unwrap();
+        let flat = RatSection {
+            k: 2.5,
+            z: 0.7,
+            p: 0.7,
+        };
+        let rat = p.scaled_rational(&[flat]).unwrap();
+        let con = p.scaled(2.5).unwrap();
+        for &w in &[0.01, 0.1, 1.0, 3.0] {
+            let gr = rat.sys.freq_response(w).unwrap();
+            let gc = con.sys.freq_response(w).unwrap();
+            for i in 0..gr.rows() {
+                for j in 0..gr.cols() {
+                    let (a, b) = (gr.get(i, j), gc.get(i, j));
+                    assert!(
+                        (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                        "mismatch at w={w} ({i},{j}): {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rational_scaling_preserves_dgkf_and_shapes_by_frequency() {
+        let p = build_ssv_plant(&toy_model(), &toy_spec()).unwrap();
+        let sec = RatSection {
+            k: 1.0,
+            z: 0.05,
+            p: 2.0,
+        };
+        let rat = p.scaled_rational(&[sec]).unwrap();
+        check_dgkf_assumptions(&rat, 1e-9).unwrap();
+        // |D(jω)| at low vs high frequency differs; the (z_unc row,
+        // e column) gain must follow it while (z_perf, w_unc) follows the
+        // inverse.
+        let e_col = 2 * p.ny;
+        for &w in &[0.01, 3.0] {
+            let g0 = p.gen.sys.freq_response(w).unwrap();
+            let g1 = rat.sys.freq_response(w).unwrap();
+            let dmag = sec.magnitude(w);
+            let ratio = g1.get(0, e_col).abs() / g0.get(0, e_col).abs();
+            assert!(
+                (ratio - dmag).abs() < 1e-4 * (1.0 + dmag),
+                "w={w}: row ratio {ratio} vs |D| {dmag}"
+            );
+            let zp_row = p.ny;
+            let ratio_inv = g1.get(zp_row, 0).abs() / g0.get(zp_row, 0).abs();
+            assert!(
+                (ratio_inv - 1.0 / dmag).abs() < 1e-4 * (1.0 + 1.0 / dmag),
+                "w={w}: col ratio {ratio_inv} vs 1/|D| {}",
+                1.0 / dmag
+            );
+        }
+    }
+
+    #[test]
+    fn rational_scaling_rejects_non_minimum_phase_sections() {
+        let p = build_ssv_plant(&toy_model(), &toy_spec()).unwrap();
+        for bad in [
+            RatSection {
+                k: -1.0,
+                z: 1.0,
+                p: 1.0,
+            },
+            RatSection {
+                k: 1.0,
+                z: -0.2,
+                p: 1.0,
+            },
+            RatSection {
+                k: 1.0,
+                z: 1.0,
+                p: 0.0,
+            },
+        ] {
+            assert!(p.scaled_rational(&[bad]).is_err());
+        }
+    }
+
+    #[test]
+    fn rational_scaling_empty_cascade_is_identity() {
+        let p = build_ssv_plant(&toy_model(), &toy_spec()).unwrap();
+        let rat = p.scaled_rational(&[]).unwrap();
+        assert_eq!(rat.sys.order(), p.gen.sys.order());
+        let g0 = p.gen.sys.freq_response(0.3).unwrap();
+        let g1 = rat.sys.freq_response(0.3).unwrap();
+        assert!((g0.get(0, 0) - g1.get(0, 0)).abs() < 1e-12);
     }
 
     #[test]

@@ -410,6 +410,160 @@ pub fn calibrate_dc_gains(sys: &StateSpace, measured_dc: &Mat) -> Result<StateSp
     )
 }
 
+/// Worst-case one-step-ahead relative prediction residual of `model` on
+/// held-out data: `max_j ‖y_j − ŷ_j‖ / ‖y_j − ȳ_j‖` over outputs `j`.
+///
+/// This is the quantity the guardband auto-tuner compares against the
+/// uncertainty radius: if the model predicts a validation record to within
+/// 10% relative RMS, a ±40% multiplicative guardband is needlessly
+/// conservative.
+///
+/// # Errors
+///
+/// Same data-shape failures as [`fit_arx`] (mismatched lengths, too few
+/// samples for the model's orders).
+pub fn validation_residual(u: &[Vec<f64>], y: &[Vec<f64>], model: &IdModel) -> Result<f64> {
+    let (phi, targets, ny, _) = build_regression(u, y, model.config.na, model.config.nb, None, 0)?;
+    let pred = &phi * &model.theta.t();
+    let n = targets.rows();
+    let mut worst = 0.0f64;
+    for j in 0..ny {
+        let mean: f64 = (0..n).map(|i| targets[(i, j)]).sum::<f64>() / n as f64;
+        let mut err = 0.0;
+        let mut var = 0.0;
+        for i in 0..n {
+            err += (targets[(i, j)] - pred[(i, j)]).powi(2);
+            var += (targets[(i, j)] - mean).powi(2);
+        }
+        // A flat-line output carries no information about model quality;
+        // treat it as perfectly predicted rather than dividing by zero.
+        if var > 1e-300 {
+            worst = worst.max((err / var).sqrt());
+        }
+    }
+    Ok(worst)
+}
+
+/// Identification excitation schedules: PRBS and multisine signals that are
+/// deterministic under a fixed seed, decorrelated across actuator channels,
+/// and shaped onto quantized actuator grids.
+///
+/// The paper's MATLAB flow excites every knob with independent random
+/// walks; a random walk concentrates its power at DC and under-excites the
+/// mid-band where the µ peak of the eventual design lives. The schedules
+/// here put flat (PRBS) or exactly-placed (multisine) power across the
+/// band up to the Nyquist rate of the controller period.
+pub mod excitation {
+    use crate::quant::InputGrid;
+
+    /// SplitMix64 step — the stream-salting and seeding primitive. Every
+    /// channel derives its own independent stream from
+    /// `(experiment seed, channel index)`, so adding or reordering
+    /// channels never perturbs the others' sequences.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The per-channel stream seed: `splitmix64` of the experiment seed
+    /// XOR a channel salt. Channel 0 with salt 0 is NOT the raw seed, so
+    /// no channel ever aliases the caller's own use of the seed.
+    pub fn channel_seed(seed: u64, channel: usize) -> u64 {
+        let mut s = seed ^ (channel as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        splitmix64(&mut s)
+    }
+
+    /// Maximum-length PRBS in `{−1, +1}` from a 31-bit LFSR (taps 31, 28),
+    /// one chip held for `hold` samples. The hold time moves the sequence's
+    /// power band: the first spectral null sits at `ω = 2π/(hold·ts)`, so
+    /// longer holds concentrate power at lower frequencies.
+    pub fn prbs_sequence(seed: u64, channel: usize, n: usize, hold: usize) -> Vec<f64> {
+        let hold = hold.max(1);
+        // Non-zero 31-bit LFSR state from the salted stream.
+        let mut s = channel_seed(seed, channel);
+        let mut lfsr = (splitmix64(&mut s) as u32) & 0x7FFF_FFFF;
+        if lfsr == 0 {
+            lfsr = 1;
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut chip = 0.0;
+        for t in 0..n {
+            if t % hold == 0 {
+                let bit = ((lfsr >> 30) ^ (lfsr >> 27)) & 1;
+                lfsr = ((lfsr << 1) | bit) & 0x7FFF_FFFF;
+                chip = if bit == 1 { 1.0 } else { -1.0 };
+            }
+            out.push(chip);
+        }
+        out
+    }
+
+    /// Schroeder-phased multisine in `[−1, 1]`: `n_tones` sinusoids on an
+    /// interleaved frequency comb (channel `c` of `n_channels` owns bins
+    /// `c, c + n_channels, c + 2·n_channels, …` of a length-`n` record),
+    /// so simultaneous channels are exactly orthogonal over the record.
+    /// Schroeder phases `φ_i = −π·i·(i−1)/n_tones` keep the crest factor
+    /// low; the result is peak-normalized to 1.
+    pub fn multisine_sequence(
+        seed: u64,
+        channel: usize,
+        n_channels: usize,
+        n: usize,
+        n_tones: usize,
+    ) -> Vec<f64> {
+        let n_channels = n_channels.max(1);
+        let n_tones = n_tones.max(1);
+        if n == 0 {
+            return Vec::new();
+        }
+        // A random phase offset per channel (deterministic in the seed)
+        // decorrelates records with the same bin comb across experiments.
+        let mut s = channel_seed(seed, channel);
+        let phase0 =
+            (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64 * std::f64::consts::TAU;
+        let mut out = vec![0.0f64; n];
+        for i in 0..n_tones {
+            // Interleaved comb, skipping bin 0 (DC belongs to the
+            // operating point, not the excitation).
+            let bin = 1 + channel % n_channels + i * n_channels;
+            let phase =
+                phase0 - std::f64::consts::PI * (i * i.wrapping_sub(1)) as f64 / n_tones as f64;
+            let w = std::f64::consts::TAU * bin as f64 / n as f64;
+            for (t, o) in out.iter_mut().enumerate() {
+                *o += (w * t as f64 + phase).cos();
+            }
+        }
+        let peak = out.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-300);
+        for o in &mut out {
+            *o /= peak;
+        }
+        out
+    }
+
+    /// Shapes a normalized `[−1, 1]` schedule onto a quantized actuator
+    /// grid: the amplitude window `[lo, hi]` (in actuator units) is mapped
+    /// linearly and each sample snapped to the nearest admissible grid
+    /// point. Returns grid *indices*, ready for `grid.values()[idx]`.
+    ///
+    /// When the window spans fewer than two grid points the signal
+    /// degenerates to a constant; the caller should widen the window — the
+    /// returned schedule makes the problem visible (all indices equal)
+    /// rather than silently exciting nothing.
+    pub fn shape_to_grid(signal: &[f64], grid: &InputGrid, lo: f64, hi: f64) -> Vec<usize> {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        signal
+            .iter()
+            .map(|&v| {
+                let x = lo + (v.clamp(-1.0, 1.0) + 1.0) * 0.5 * (hi - lo);
+                grid.quantize_index(x)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,6 +767,95 @@ mod tests {
         .unwrap();
         let bad = Mat::zeros(3, 2);
         assert!(calibrate_dc_gains(&model.sys, &bad).is_err());
+    }
+
+    #[test]
+    fn validation_residual_small_on_training_system() {
+        let (u, y) = known_system_data(600);
+        let cfg = SysIdConfig {
+            na: 2,
+            nb: 2,
+            nc: 0,
+            plr_iters: 0,
+            ridge: 0.0,
+        };
+        let model = fit_arx(&u[..400], &y[..400], cfg).unwrap();
+        // Held-out tail of the same noiseless system: residual near zero.
+        let r = validation_residual(&u[400..], &y[400..], &model).unwrap();
+        assert!(r < 0.05, "residual {r}");
+        // A deliberately wrong model must show a large residual.
+        let mut broken = model.clone();
+        broken.theta = model.theta.scale(0.3);
+        let rb = validation_residual(&u[400..], &y[400..], &broken).unwrap();
+        assert!(rb > 0.3, "broken residual {rb}");
+    }
+
+    #[test]
+    fn prbs_is_binary_and_respects_hold() {
+        let s = excitation::prbs_sequence(42, 3, 200, 4);
+        assert_eq!(s.len(), 200);
+        assert!(s.iter().all(|&v| v == 1.0 || v == -1.0));
+        for t in 0..200 {
+            assert_eq!(s[t], s[t - t % 4], "chip broken at {t}");
+        }
+        // Both levels show up: a maximum-length LFSR is balanced.
+        assert!(s.contains(&1.0) && s.contains(&-1.0));
+    }
+
+    #[test]
+    fn excitation_streams_are_deterministic_and_channel_isolated() {
+        let a = excitation::prbs_sequence(7, 0, 128, 1);
+        let b = excitation::prbs_sequence(7, 0, 128, 1);
+        assert_eq!(a, b, "same seed+channel must replay bit-identically");
+        let c = excitation::prbs_sequence(7, 1, 128, 1);
+        assert_ne!(a, c, "channels must get independent streams");
+        let d = excitation::prbs_sequence(8, 0, 128, 1);
+        assert_ne!(a, d, "different seeds must differ");
+        let m0 = excitation::multisine_sequence(7, 0, 3, 256, 5);
+        assert_eq!(m0, excitation::multisine_sequence(7, 0, 3, 256, 5));
+        assert_ne!(m0, excitation::multisine_sequence(7, 1, 3, 256, 5));
+    }
+
+    #[test]
+    fn multisine_hits_only_its_own_comb_bins() {
+        let n = 256;
+        let n_ch = 3;
+        let s = excitation::multisine_sequence(11, 1, n_ch, n, 4);
+        assert!(s.iter().all(|&v| v.abs() <= 1.0 + 1e-12));
+        // DFT magnitude at each bin: energy only at bins 2, 5, 8, 11
+        // (1 + channel + i·n_channels).
+        let power = |bin: usize| -> f64 {
+            let w = std::f64::consts::TAU * bin as f64 / n as f64;
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for (t, &v) in s.iter().enumerate() {
+                re += v * (w * t as f64).cos();
+                im += v * (w * t as f64).sin();
+            }
+            (re * re + im * im).sqrt() / n as f64
+        };
+        for i in 0..4 {
+            let own = 1 + 1 + i * n_ch;
+            assert!(power(own) > 0.05, "missing power at own bin {own}");
+        }
+        for other in [1, 3, 4, 6, 7, 9] {
+            assert!(power(other) < 1e-9, "leakage into bin {other}");
+        }
+    }
+
+    #[test]
+    fn shape_to_grid_snaps_to_admissible_points() {
+        let grid = crate::quant::InputGrid::stepped(0.2, 2.0, 0.2);
+        let sig = excitation::prbs_sequence(3, 0, 50, 2);
+        let idx = excitation::shape_to_grid(&sig, &grid, 0.6, 1.8);
+        assert_eq!(idx.len(), 50);
+        for &i in &idx {
+            let v = grid.values()[i];
+            assert!((0.6 - 1e-9..=1.8 + 1e-9).contains(&v), "value {v}");
+        }
+        // A binary signal on a linear map touches exactly the two window
+        // endpoints after quantization.
+        let distinct: std::collections::BTreeSet<usize> = idx.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
     }
 
     #[test]

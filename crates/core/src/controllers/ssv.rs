@@ -366,6 +366,7 @@ mod tests {
             gamma: 1.0,
             mu_peak: 1.0,
             scalings: vec![1.0],
+            d_sections: Vec::new(),
             iterations: 1,
             guaranteed_bounds: vec![0.2; 4],
         }
@@ -381,6 +382,7 @@ mod tests {
             gamma: 1.0,
             mu_peak: 1.0,
             scalings: vec![1.0],
+            d_sections: Vec::new(),
             iterations: 1,
             guaranteed_bounds: vec![0.2; 3],
         }

@@ -23,12 +23,99 @@ use yukta_board::{Actuation, Board, BoardConfig, Cluster, Placement};
 use yukta_control::dk::{DkOptions, SsvSynthesis, synthesize_ssv};
 use yukta_control::plant::SsvSpec;
 use yukta_control::ss::StateSpace;
-use yukta_control::sysid::{SysIdConfig, calibrate_dc_gains, fit_arx};
+use yukta_control::sysid::{SysIdConfig, calibrate_dc_gains, fit_arx, validation_residual};
 use yukta_linalg::{Error, Result};
 use yukta_workloads::WorkloadRun;
 use yukta_workloads::catalog::training;
 
 use crate::signals::{ActuatorGrids, SignalRanges, spare_capacity};
+
+/// The excitation schedule used during characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExcitationKind {
+    /// Per-channel maximum-length PRBS between the operating-region floor
+    /// and the grid top, held for three controller periods per chip. Flat
+    /// power across the band; the default.
+    Prbs,
+    /// Per-channel Schroeder multisine on an interleaved frequency comb:
+    /// simultaneous channels are exactly orthogonal over the record.
+    Multisine,
+    /// The legacy bounded random walk (±3 grid steps every third period).
+    /// Kept for ablation: its power collapses onto DC, which is what the
+    /// PRBS/multisine schedules fix.
+    RandomWalk,
+}
+
+/// Guardband auto-tuning: derive the uncertainty radius Δ from a held-out
+/// validation residual instead of a fixed Table II/III constant.
+///
+/// A guardband much wider than the model's actual prediction error forces
+/// the µ synthesis to defend against plants that cannot occur, inflating
+/// µ̂ and detuning the controller; one narrower than the residual voids the
+/// robustness guarantee. The tuner sets
+/// `Δ = clamp(margin · residual, min, max)` per layer, where `residual` is
+/// the worst-output relative RMS one-step prediction error on a held-out
+/// tail of the excitation record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardbandConfig {
+    /// Tune Δ from the validation residual; `false` keeps the fixed
+    /// `hw_uncertainty`/`os_uncertainty` values.
+    pub auto: bool,
+    /// Safety factor applied to the measured residual.
+    pub margin: f64,
+    /// Floor of the tuned radius (never trust a residual of zero).
+    pub min: f64,
+    /// Ceiling of the tuned radius (beyond this the synthesis gives up
+    /// performance for phantom robustness).
+    pub max: f64,
+    /// Fraction of the excitation record held out for validation.
+    pub holdout_frac: f64,
+}
+
+impl Default for GuardbandConfig {
+    fn default() -> Self {
+        GuardbandConfig {
+            auto: true,
+            margin: 1.25,
+            min: 0.10,
+            max: 0.60,
+            holdout_frac: 0.25,
+        }
+    }
+}
+
+impl GuardbandConfig {
+    /// Checks the configuration before the design pipeline starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSolution`] (op `guardband_config`) naming the
+    /// first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |why: &'static str| Error::NoSolution {
+            op: "guardband_config",
+            why,
+        };
+        if !(self.margin.is_finite() && self.margin > 0.0) {
+            return Err(fail("margin must be positive and finite"));
+        }
+        if !(self.min.is_finite() && self.min > 0.0) {
+            return Err(fail("min radius must be positive and finite"));
+        }
+        if !(self.max.is_finite() && self.max >= self.min) {
+            return Err(fail("max radius must be finite and at least min"));
+        }
+        if !(self.holdout_frac > 0.0 && self.holdout_frac < 0.9) {
+            return Err(fail("holdout_frac must lie in (0, 0.9)"));
+        }
+        Ok(())
+    }
+
+    /// The tuned radius for a measured validation residual.
+    pub fn radius(&self, residual: f64) -> f64 {
+        (self.margin * residual).clamp(self.min, self.max)
+    }
+}
 
 /// Designer-facing knobs (Tables II and III), exposed so the sensitivity
 /// experiments of Section VI-E can sweep them.
@@ -39,18 +126,24 @@ pub struct DesignOptions {
     pub hw_bounds: [f64; 4],
     /// HW input weights (#big, #little, f_big, f_little).
     pub hw_weights: [f64; 4],
-    /// HW uncertainty guardband.
+    /// HW uncertainty guardband (used as-is when `guardband.auto` is off;
+    /// otherwise the auto-tuner overrides it).
     pub hw_uncertainty: f64,
     /// OS output deviation bounds (Perf_little, Perf_big, ΔSC).
     pub os_bounds: [f64; 3],
     /// OS input weights (threads_big, packing_big, packing_little).
     pub os_weights: [f64; 3],
-    /// OS uncertainty guardband.
+    /// OS uncertainty guardband (see `hw_uncertainty`).
     pub os_uncertainty: f64,
-    /// Seed for the excitation random walk.
+    /// Seed of the excitation schedules (every actuator channel derives
+    /// its own salted stream from this).
     pub seed: u64,
     /// Seconds of excitation per training workload.
     pub excitation_secs: f64,
+    /// Excitation schedule family.
+    pub excitation: ExcitationKind,
+    /// Guardband auto-tuning configuration.
+    pub guardband: GuardbandConfig,
     /// DC boost of the shaped performance weight (see `SsvSpec`).
     pub perf_dc_boost: f64,
     /// Corner frequency of the shaped performance weight (rad/s).
@@ -61,7 +154,8 @@ pub struct DesignOptions {
 
 impl Default for DesignOptions {
     fn default() -> Self {
-        // Exactly the values of Tables II and III.
+        // Bounds and weights exactly as Tables II and III; the guardbands
+        // are auto-tuned from the validation residual by default.
         DesignOptions {
             hw_bounds: [0.20, 0.10, 0.10, 0.10],
             hw_weights: [1.0, 1.0, 1.0, 1.0],
@@ -71,6 +165,8 @@ impl Default for DesignOptions {
             os_uncertainty: 0.50,
             seed: 0x5EED_CAFE,
             excitation_secs: 60.0,
+            excitation: ExcitationKind::Prbs,
+            guardband: GuardbandConfig::default(),
             perf_dc_boost: 5.0,
             perf_corner: 0.15,
             effort_scale: 1.0,
@@ -124,18 +220,30 @@ pub struct Design {
     pub hw_fit: Vec<f64>,
     /// Per-output identification fit of the full OS model.
     pub os_fit: Vec<f64>,
+    /// The HW uncertainty radius the synthesis actually used (auto-tuned
+    /// when `options.guardband.auto`).
+    pub hw_uncertainty_used: f64,
+    /// The OS uncertainty radius the synthesis actually used.
+    pub os_uncertainty_used: f64,
+    /// Held-out validation residual of the HW model (worst output,
+    /// relative RMS); `NaN` when auto-tuning is off.
+    pub hw_residual: f64,
+    /// Held-out validation residual of the OS model.
+    pub os_residual: f64,
     /// The options the design was built with.
     pub options: DesignOptions,
 }
 
-/// Collects excitation data by random-walking the actuators while the
-/// training workloads run.
+/// Collects excitation data by driving every actuator with its own
+/// deterministic schedule (PRBS, multisine, or the legacy random walk)
+/// while the training workloads run.
 pub fn collect_excitation(opts: &DesignOptions) -> ExcitationData {
+    use yukta_control::sysid::excitation;
     let mut data = ExcitationData::default();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let ranges = SignalRanges::xu3();
     let grids = ActuatorGrids::xu3();
-    for wl in training::all() {
+    for (wl_index, wl) in training::all().into_iter().enumerate() {
         let mut cfg = BoardConfig::odroid_xu3();
         cfg.seed = opts.seed ^ 0xB0A2D;
         let mut board = Board::new(cfg);
@@ -180,21 +288,64 @@ pub fn collect_excitation(opts: &DesignOptions) -> ExcitationData {
         let mut perf_reader_little = yukta_board::sensors::BipsReader::new();
         let steps_per_interval = (0.5 / board.config().dt).round() as usize;
         let n_intervals = (opts.excitation_secs / 0.5) as usize;
+        // Per-channel index schedules, precomputed for the whole record.
+        // Every channel gets its own salted stream of the experiment seed
+        // (workload index included in the salt so records differ across
+        // workloads), shaped onto the quantized actuator grid between the
+        // operating-region floor and the grid top.
+        let wl_seed = opts.seed ^ (wl_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let schedules: Option<Vec<Vec<usize>>> = match opts.excitation {
+            ExcitationKind::RandomWalk => None,
+            kind => Some(
+                (0..7)
+                    .map(|k| {
+                        let g = grid_of(k);
+                        let lo = g.values()[idx_lo[k]];
+                        let sig = match kind {
+                            // Chips held three controller periods: the
+                            // 10–50 ms transition stalls pollute at most
+                            // one sample in three and the power band
+                            // stays under the first spectral null.
+                            ExcitationKind::Prbs => {
+                                excitation::prbs_sequence(wl_seed, k, n_intervals, 3)
+                            }
+                            // Tone count capped so every channel's comb
+                            // stays below the record's Nyquist bin.
+                            ExcitationKind::Multisine => excitation::multisine_sequence(
+                                wl_seed,
+                                k,
+                                7,
+                                n_intervals,
+                                (n_intervals / 14).clamp(1, 8),
+                            ),
+                            ExcitationKind::RandomWalk => unreachable!(),
+                        };
+                        excitation::shape_to_grid(&sig, g, lo, g.max())
+                    })
+                    .collect(),
+            ),
+        };
         // Mirror of yukta_board's counters for windowed BIPS.
         let mut counter_big = yukta_board::sensors::PerfCounter::new();
         let mut counter_little = yukta_board::sensors::PerfCounter::new();
         for interval in 0..n_intervals {
-            // Step-hold excitation: move the actuators only every third
-            // controller period, so the 10–50 ms transition stalls pollute
-            // at most one sample in three and the steady-state gains
-            // dominate the regression.
-            if interval % 3 == 0 {
-                for (k, i) in idx.iter_mut().enumerate() {
-                    let g = grid_of(k);
-                    let delta: i64 = rng.gen_range(-3..=3);
-                    let next = (*i as i64 + delta).clamp(idx_lo[k] as i64, g.len() as i64 - 1);
-                    *i = next as usize;
+            match &schedules {
+                Some(s) => {
+                    for (k, i) in idx.iter_mut().enumerate() {
+                        *i = s[k][interval];
+                    }
                 }
+                // Legacy step-hold random walk: move the actuators only
+                // every third controller period.
+                None if interval % 3 == 0 => {
+                    for (k, i) in idx.iter_mut().enumerate() {
+                        let g = grid_of(k);
+                        let delta: i64 = rng.gen_range(-3..=3);
+                        let next = (*i as i64 + delta).clamp(idx_lo[k] as i64, g.len() as i64 - 1);
+                        *i = next as usize;
+                    }
+                }
+                None => {}
             }
             let act = Actuation {
                 f_big: Some(grids.f_big.values()[idx[2]]),
@@ -386,6 +537,7 @@ fn align_for_arx(u: &[Vec<f64>], y: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>
 /// synthesis failures (infeasible bounds/guardbands, per the paper's
 /// description of MATLAB failing to build the controller).
 pub fn build_design(opts: &DesignOptions) -> Result<Design> {
+    opts.guardband.validate()?;
     let data = collect_excitation(opts);
     if data.len() < 100 {
         return Err(Error::NoSolution {
@@ -427,6 +579,27 @@ pub fn build_design(opts: &DesignOptions) -> Result<Design> {
         .stabilized(0.97)?
         .with_sample_period(0.5)?;
     os_id.sys = calibrate_dc_gains(&os_id.sys, &pick(&[4, 5, 6], &[4, 5, 6, 0, 1, 2, 3]))?;
+    // Guardband auto-tuning: re-fit each layer on the leading portion of
+    // the record and measure the one-step prediction residual on the
+    // held-out tail. The residual bounds how wrong the production model
+    // (fitted on *all* data, so at least as good) can be on data it has
+    // never seen; the uncertainty radius shrinks to a margin above it.
+    let (hw_residual, os_residual, hw_uncertainty, os_uncertainty) = if opts.guardband.auto {
+        let tune = |u: &[Vec<f64>], y: &[Vec<f64>]| -> Result<f64> {
+            let split = ((1.0 - opts.guardband.holdout_frac) * u.len() as f64) as usize;
+            let train = fit_arx(&u[..split], &y[..split], sysid_cfg)?;
+            validation_residual(&u[split..], &y[split..], &train)
+        };
+        let (hw_r, os_r) = (tune(&u_hwf, &y_hwf)?, tune(&u_osf, &y_osf)?);
+        (
+            hw_r,
+            os_r,
+            opts.guardband.radius(hw_r),
+            opts.guardband.radius(os_r),
+        )
+    } else {
+        (f64::NAN, f64::NAN, opts.hw_uncertainty, opts.os_uncertainty)
+    };
     // Solo and joint models for the LQG baselines.
     let (u_hws, y_hws) = align_for_arx(&data.u_hw, &data.y_hw);
     let mut hw_solo = fit_arx(&u_hws, &y_hws, sysid_cfg)?
@@ -454,7 +627,7 @@ pub fn build_design(opts: &DesignOptions) -> Result<Design> {
         output_bounds: opts.hw_bounds.to_vec(),
         input_weights: opts.hw_weights.to_vec(),
         n_ext: 3,
-        uncertainty: opts.hw_uncertainty,
+        uncertainty: hw_uncertainty,
         noise_eps: 0.05,
         prefilter_tau: None,
         unc_tau: None,
@@ -475,7 +648,7 @@ pub fn build_design(opts: &DesignOptions) -> Result<Design> {
         output_bounds: opts.os_bounds.to_vec(),
         input_weights: opts.os_weights.to_vec(),
         n_ext: 4,
-        uncertainty: opts.os_uncertainty,
+        uncertainty: os_uncertainty,
         noise_eps: 0.05,
         prefilter_tau: None,
         unc_tau: None,
@@ -494,12 +667,52 @@ pub fn build_design(opts: &DesignOptions) -> Result<Design> {
         os_model_solo: os_solo.sys,
         mono_model: mono.sys,
         hw_fit: hw_id.fit,
+        hw_uncertainty_used: hw_uncertainty,
+        os_uncertainty_used: os_uncertainty,
+        hw_residual,
+        os_residual,
         os_fit: os_id.fit,
         options: opts.clone(),
     })
 }
 
 static DEFAULT_DESIGN: OnceLock<Design> = OnceLock::new();
+
+/// Designs keyed by excitation seed, for experiments that thread their own
+/// seed through the whole pipeline (identification excitation included)
+/// rather than riding on the process-global default.
+static SEEDED_DESIGNS: OnceLock<std::sync::Mutex<std::collections::HashMap<u64, Design>>> =
+    OnceLock::new();
+
+/// The design whose identification excitation (and every downstream
+/// artifact) derives from `seed`. Results are cached process-wide, and the
+/// default seed shares [`default_design`]'s cache, so repeated calls are
+/// free and bit-identical — the property crash-recovery replay relies on.
+///
+/// # Errors
+///
+/// Propagates [`build_design`] failures for seeds whose excitation record
+/// turns out too poor to identify (practically: never for realistic
+/// seeds).
+pub fn design_for_seed(seed: u64) -> Result<Design> {
+    if seed == DesignOptions::default().seed {
+        return Ok(default_design().clone());
+    }
+    let cache =
+        SEEDED_DESIGNS.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+    if let Some(d) = cache.lock().expect("design cache poisoned").get(&seed) {
+        return Ok(d.clone());
+    }
+    let d = build_design(&DesignOptions {
+        seed,
+        ..Default::default()
+    })?;
+    cache
+        .lock()
+        .expect("design cache poisoned")
+        .insert(seed, d.clone());
+    Ok(d)
+}
 
 /// The cached default design (Tables II/III parameters). Built once per
 /// process; deterministic.

@@ -31,6 +31,7 @@ fn dummy_synthesis(n_out: usize, n_in: usize) -> SsvSynthesis {
         gamma: 1.0,
         mu_peak: 1.0,
         scalings: vec![1.0],
+        d_sections: Vec::new(),
         iterations: 1,
         guaranteed_bounds: vec![0.2; n_out],
     }

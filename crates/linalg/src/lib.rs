@@ -57,6 +57,7 @@ pub mod lyap;
 pub mod mat;
 pub mod osborne;
 pub mod qr;
+pub mod ratfit;
 pub mod riccati;
 pub mod sign;
 pub mod simd;
