@@ -156,10 +156,10 @@ fn main() {
         let exp = Experiment::new(*scheme)
             .expect("experiment construction")
             .with_options(options);
-        for (pi, (pname, pattern)) in patterns.iter().enumerate() {
+        for (pname, pattern) in patterns.iter() {
             // Monotone SLO-violation envelope over the ascending loads.
             let mut violation_envelope = 0.0f64;
-            for (li, &load) in loads.iter().enumerate() {
+            for &load in loads.iter() {
                 // The destructive-interference twin rides the flash-crowd
                 // top-load cell: an external governor caps the big cluster
                 // while the OS layer scales up.
@@ -169,10 +169,17 @@ fn main() {
                     &[None]
                 };
                 for &cap in caps {
-                    // Seeded by (pattern, load) only: every scheme faces
-                    // the identical arrival trace, so the cross-scheme
-                    // p99 gate compares like against like.
-                    let seed = ((pi * 10 + li) as u64) ^ 0x510;
+                    // Seeded by (pattern, load) only — by their *values*,
+                    // not their grid indices, so a --quick cell draws the
+                    // identical arrival trace as its full-grid twin and
+                    // bench_compare can match the rows. Every scheme also
+                    // faces the identical trace, so the cross-scheme p99
+                    // gate compares like against like.
+                    let seed = pname
+                        .bytes()
+                        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64))
+                        .wrapping_add((load * 10.0) as u64)
+                        ^ 0x510;
                     let label = format!(
                         "{} {pname} load {load}{}",
                         scheme.label(),

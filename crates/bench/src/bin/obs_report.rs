@@ -4,17 +4,24 @@
 //! obs_report results/obs_bench_faults.jsonl results/obs_bench_faults_chrome.json
 //! obs_report --check results/obs_*.jsonl   # validate only, exit 1 on failure
 //! obs_report --phases dk results/obs_bench_resynth.jsonl
+//! obs_report --phases health results/obs_adaptive.jsonl
+//! obs_report results/obs_a.jsonl results/obs_b.jsonl  # merged aggregate
 //! ```
 //!
 //! `.jsonl` files are checked against the JSONL wire format (one object
-//! per line, monotone timestamps, aggregates last) and, without
-//! `--check`, rendered as the per-phase breakdown. `.json` files are
-//! checked as Chrome `trace_event` documents. `--phases dk` replaces the
-//! generic breakdown with the per-D–K-iteration table (K-step,
-//! γ-bisection, D-step wall time per iteration).
+//! per line, versioned run-metadata header first, monotone timestamps,
+//! aggregates last) — headerless pre-versioning ("v0") streams are
+//! rejected. Without `--check`, all JSONL inputs merge into a single
+//! aggregate per-phase breakdown (one file renders as itself). `.json`
+//! files are checked as Chrome `trace_event` documents. `--phases dk`
+//! replaces the generic breakdown with the per-D–K-iteration table;
+//! `--phases health` renders the loop-health timeline (verdicts, online
+//! refits, hot-swaps) plus the `health.*` gauges per input.
 
-use yukta_obs::export::{validate_chrome, validate_jsonl};
-use yukta_obs::report::{dk_phase_breakdown, render, render_dk, summarize};
+use yukta_obs::export::{validate_chrome, validate_jsonl_meta};
+use yukta_obs::report::{
+    RunSummary, dk_phase_breakdown, health_breakdown, render, render_dk, render_health, summarize,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,17 +39,23 @@ fn main() {
         }
     }
     match phases.as_deref() {
-        None | Some("dk") => {}
+        None | Some("dk") | Some("health") => {}
         Some(other) => {
-            eprintln!("unknown --phases mode {other:?} (supported: dk)");
+            eprintln!("unknown --phases mode {other:?} (supported: dk, health)");
             std::process::exit(2);
         }
     }
     if files.is_empty() {
-        eprintln!("usage: obs_report [--check] [--phases dk] <obs_*.jsonl|obs_*_chrome.json>...");
+        eprintln!(
+            "usage: obs_report [--check] [--phases dk|health] \
+             <obs_*.jsonl|obs_*_chrome.json>..."
+        );
         std::process::exit(2);
     }
     let mut failed = false;
+    // JSONL inputs accumulate into one aggregate; the generic breakdown
+    // renders once at the end so several campaign logs read as one run.
+    let mut merged: Option<RunSummary> = None;
     for path in files {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -53,33 +66,53 @@ fn main() {
             }
         };
         if path.ends_with(".jsonl") {
-            match validate_jsonl(&text) {
-                Ok(s) => {
+            match validate_jsonl_meta(&text) {
+                Ok((meta, s)) => {
                     println!(
-                        "{path}: jsonl OK ({} spans, {} events, {} counters, {} gauges, {} hists)",
-                        s.spans, s.events, s.counters, s.gauges, s.hists
+                        "{path}: jsonl OK (schema v{}, scheme {}, seed {}, {} spans, \
+                         {} events, {} counters, {} gauges, {} hists)",
+                        meta.schema_version,
+                        meta.scheme,
+                        meta.seed,
+                        s.spans,
+                        s.events,
+                        s.counters,
+                        s.gauges,
+                        s.hists
                     );
-                    if !check_only {
-                        if phases.as_deref() == Some("dk") {
-                            match dk_phase_breakdown(&text) {
-                                Ok(rows) if rows.is_empty() => {
-                                    println!("{path}: no dk.* spans in log");
-                                }
-                                Ok(rows) => println!("{}", render_dk(&rows)),
-                                Err(e) => {
-                                    eprintln!("{path}: dk breakdown failed: {e}");
-                                    failed = true;
-                                }
+                    if check_only {
+                        continue;
+                    }
+                    match phases.as_deref() {
+                        Some("dk") => match dk_phase_breakdown(&text) {
+                            Ok(rows) if rows.is_empty() => {
+                                println!("{path}: no dk.* spans in log");
                             }
-                        } else {
-                            match summarize(&text) {
-                                Ok(sum) => println!("{}", render(&sum)),
-                                Err(e) => {
-                                    eprintln!("{path}: summarize failed: {e}");
-                                    failed = true;
-                                }
+                            Ok(rows) => println!("{}", render_dk(&rows)),
+                            Err(e) => {
+                                eprintln!("{path}: dk breakdown failed: {e}");
+                                failed = true;
                             }
-                        }
+                        },
+                        Some("health") => match (health_breakdown(&text), summarize(&text)) {
+                            (Ok(rows), Ok(sum)) => {
+                                println!("{}", render_health(&rows, &sum));
+                            }
+                            (Err(e), _) | (_, Err(e)) => {
+                                eprintln!("{path}: health breakdown failed: {e}");
+                                failed = true;
+                            }
+                        },
+                        _ => match summarize(&text) {
+                            Ok(sum) => match merged.as_mut() {
+                                Some(m) => m.merge(sum),
+                                None => merged = Some(sum),
+                            },
+                            Err(e) => {
+                                eprintln!("{path}: summarize failed: {e}");
+                                failed = true;
+                            }
+                        },
                     }
                 }
                 Err(e) => {
@@ -99,6 +132,9 @@ fn main() {
                 }
             }
         }
+    }
+    if let Some(sum) = merged {
+        println!("{}", render(&sum));
     }
     if failed {
         std::process::exit(1);

@@ -473,6 +473,7 @@ impl FaultInjector {
         let sched_drop = self.scheduled(time, FaultKind::DroppedSample, channel);
         let sched_spike = self.scheduled(time, FaultKind::Spike, channel);
         let sched_delay = self.scheduled(time, FaultKind::DelayedRead, channel);
+        let sched_bias = self.scheduled(time, FaultKind::BiasNoise, channel);
         let (p_stuck, p_drop, p_spike, p_delay, bias_frac) = (
             self.plan.p_stuck,
             self.plan.p_drop,
@@ -567,8 +568,15 @@ impl FaultInjector {
             }
         }
         // Persistent bias + read noise ride on top of whatever happened.
-        if sev > 0.0 && bias_frac > 0.0 {
-            let noisy = value + state.bias + sev * bias_frac * scale * 0.25 * d_noise;
+        // A scheduled BiasNoise window adds a deterministic full-severity
+        // bias (plus the read noise, whose draw is consumed every read
+        // anyway), so bias onsets can be placed at exact times even in
+        // otherwise fault-free plans without shifting the RNG stream.
+        if (sev > 0.0 && bias_frac > 0.0) || sched_bias {
+            let window_bias = if sched_bias { bias_frac * scale } else { 0.0 };
+            let noise_sev = if sched_bias { sev.max(1.0) } else { sev };
+            let noisy =
+                value + state.bias + window_bias + noise_sev * bias_frac * scale * 0.25 * d_noise;
             if noisy != value {
                 if !faulted {
                     stats.sensor_faults += 1;
@@ -800,6 +808,39 @@ mod tests {
         let second = crate::board::Actuation::default();
         let applied = inj.filter_actuation(1.0, &second);
         assert_eq!(applied.f_big, Some(1.0));
+    }
+
+    #[test]
+    fn scheduled_bias_window_shifts_readings_and_preserves_the_stream() {
+        let window = ScheduledFault {
+            kind: FaultKind::BiasNoise,
+            channel: FaultChannel::PowerBig,
+            t_start: 1.0,
+            t_end: 3.0,
+        };
+        let mut biased = FaultInjector::new(FaultPlan::uniform(5, 0.0).with_scheduled(window));
+        let mut clean = FaultInjector::new(FaultPlan::uniform(5, 0.0));
+        // read_n samples t = 0.0, 0.5, …, so reads 2..=5 fall inside the
+        // [1, 3) window.
+        let with_window = read_n(&mut biased, 20, 2.0);
+        let without = read_n(&mut clean, 20, 2.0);
+        for (i, (a, b)) in with_window.iter().zip(&without).enumerate() {
+            if (2..=5).contains(&i) {
+                // Inside: bias_frac (0.10) of the 4 W full scale lands on
+                // top, plus read noise bounded by 0.25 * bias_frac * scale.
+                let shift = a - b;
+                assert!(
+                    (shift - 0.4).abs() <= 0.1 + 1e-12,
+                    "read {i}: shift {shift} outside bias ± noise band"
+                );
+            } else {
+                // Outside: bit-identical to the schedule-free plan — the
+                // window never shifted the RNG stream.
+                assert_eq!(a.to_bits(), b.to_bits(), "read {i} diverged");
+            }
+        }
+        assert!(biased.stats().sensor_faults >= 4);
+        assert_eq!(clean.stats().total(), 0);
     }
 
     #[test]

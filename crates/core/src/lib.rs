@@ -45,6 +45,7 @@
 
 pub mod controllers;
 pub mod design;
+pub mod health;
 pub mod metrics;
 pub mod modes;
 pub mod optimizer;
@@ -55,6 +56,7 @@ pub mod signals;
 pub mod supervisor;
 
 pub use controllers::ControllerState;
+pub use health::HealthTap;
 pub use metrics::{FaultReport, Metrics, Report};
 pub use modes::{
     Decision, InvariantViolation, Knob, LevelChange, ModeAutomaton, ModeConfig, ModeEvent,
@@ -62,8 +64,8 @@ pub use modes::{
 };
 pub use recorder::{Journal, JournalRecord, ReplayOutcome};
 pub use runtime::{
-    Experiment, InjectedCrash, RecoveredRun, RecoveryOptions, RecoveryReport, RunOptions, SwapSpec,
-    UnifiedOptions,
+    AdaptiveOptions, AdaptiveRun, Experiment, InjectedCrash, RecoveredRun, RecoveryOptions,
+    RecoveryReport, RunOptions, SwapCycle, SwapSpec, UnifiedOptions,
 };
 pub use schemes::{ControllersState, Scheme};
 pub use supervisor::{

@@ -21,8 +21,12 @@ use yukta_linalg::{Error, Result};
 use yukta_obs::{ObsHandle, Recorder, Value};
 use yukta_workloads::{Traffic, TrafficConfig, Workload, WorkloadRun};
 
+use yukta_control::sysid::{fit_arx, validation_residual};
+use yukta_obs::health::{HealthConfig, HealthStats, HealthVerdict};
+
 use crate::controllers::{HwSense, OsSense};
 use crate::design::{Design, default_design};
+use crate::health::{HealthTap, emit_verdict};
 use crate::metrics::{ComputeStats, FaultReport, Metrics, Report, SloReport, Trace, TraceSample};
 use crate::modes::{Knob, ModeAutomaton, ModeConfig, ModeSnapshot, TransitionRecord, level_label};
 use crate::recorder::{Journal, JournalRecord, ReplayOutcome, replay_with};
@@ -364,6 +368,70 @@ pub struct UnifiedOptions {
     pub serving: Option<ServingSpec>,
 }
 
+/// Configuration of [`Experiment::run_adaptive`]: a supervised run whose
+/// health detectors drive re-identification and controller hot-swaps.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOptions {
+    /// Supervisor configuration (validated via
+    /// [`SupervisorConfig::validate`]).
+    pub sup_cfg: SupervisorConfig,
+    /// Fault-injection plan corrupting the board interface (crash points
+    /// are not fired on this path).
+    pub plan: Option<FaultPlan>,
+    /// Health monitor configuration (validated via
+    /// [`HealthConfig::validate`]).
+    pub health: HealthConfig,
+    /// Scheme serving at the start of the run; `None` starts on the
+    /// experiment's own scheme (each swap always installs the
+    /// experiment's scheme).
+    pub initial: Option<Scheme>,
+    /// Cap on detector-triggered hot-swaps for the whole run.
+    pub max_swaps: u32,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            sup_cfg: SupervisorConfig::default(),
+            plan: None,
+            health: HealthConfig::default(),
+            initial: None,
+            max_swaps: 1,
+        }
+    }
+}
+
+/// One completed observe → detect → re-identify → hot-swap cycle of
+/// [`Experiment::run_adaptive`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapCycle {
+    /// Invocation whose verdict fired the detector.
+    pub detect_step: u64,
+    /// Invocation just before which the replacement committed (always the
+    /// one after `detect_step` — the swap lands in the next period).
+    pub swap_step: u64,
+    /// Worst-output relative RMS residual of the online refit on its own
+    /// training window (−1.0 when the regression failed and the swap
+    /// proceeded against the original model).
+    pub fit_residual: f64,
+    /// Whether the controller state transferred bumplessly.
+    pub bumpless: bool,
+}
+
+/// The outcome of [`Experiment::run_adaptive`].
+#[derive(Debug)]
+pub struct AdaptiveRun {
+    /// The run's report.
+    pub report: Report,
+    /// Health-monitor aggregates over the whole run.
+    pub health: HealthStats,
+    /// Detector-triggered swap cycles, in order.
+    pub cycles: Vec<SwapCycle>,
+    /// Mode-automaton invariant violations observed by the engine. Must
+    /// be zero: every swap flows through the request→commit protocol.
+    pub invariant_violations: u64,
+}
+
 /// The outcome of [`Experiment::run_recoverable`].
 #[derive(Debug)]
 pub struct RecoveredRun {
@@ -661,6 +729,205 @@ impl Experiment {
             next,
         )?;
         Ok(run.report)
+    }
+
+    /// [`Experiment::run_supervised`] with the loop-health monitor
+    /// attached as a pure observer (DESIGN.md §16): every invocation
+    /// record is distilled into health signals and streamed through the
+    /// drift/phase-change detectors, but no verdict ever acts on the run.
+    /// The [`Report`] is bit-identical to [`Experiment::run_supervised`]
+    /// with the same inputs — the monitor never touches the board, the
+    /// engine, or the RNG streams, and telemetry is emitted only when the
+    /// recorder is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`Error::NoSolution`] on an invalid [`HealthConfig`];
+    /// propagates controller-instantiation failures.
+    pub fn run_monitored(
+        &self,
+        workload: &Workload,
+        sup_cfg: SupervisorConfig,
+        plan: Option<FaultPlan>,
+        health: HealthConfig,
+    ) -> Result<(Report, HealthStats)> {
+        let (report, stats) = self.run_monitored_opt(workload, sup_cfg, plan, Some(health))?;
+        Ok((report, stats.expect("monitor was attached")))
+    }
+
+    /// [`Experiment::run_monitored`] with the monitor optional: `None`
+    /// runs the same loop with the monitoring seam compiled in but no tap
+    /// attached — the disabled-monitor configuration a deployment ships
+    /// when health telemetry is off, and the one whose overhead
+    /// `bench_health` gates against plain [`Experiment::run_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`Error::NoSolution`] on an invalid [`HealthConfig`];
+    /// propagates controller-instantiation failures.
+    pub fn run_monitored_opt(
+        &self,
+        workload: &Workload,
+        sup_cfg: SupervisorConfig,
+        plan: Option<FaultPlan>,
+        health: Option<HealthConfig>,
+    ) -> Result<(Report, Option<HealthStats>)> {
+        let mut tap = match health {
+            Some(cfg) => Some(self.build_tap(cfg)?),
+            None => None,
+        };
+        let controllers = self.scheme.instantiate(&self.design, self.options.limits)?;
+        let mut engine = Engine::Supervised(Box::new(Supervisor::new(controllers, sup_cfg)));
+        let mut st = self.init_state(workload, plan.as_ref(), None);
+        while !st.done {
+            if let Some(record) = self.step_invocation(&mut st, &mut engine, false)? {
+                if let Some(tap) = tap.as_mut() {
+                    let verdict = tap.observe(&record);
+                    let rec = self.rec();
+                    if rec.enabled() {
+                        emit_verdict(rec, record.step, verdict);
+                    }
+                }
+            }
+        }
+        if let Some(tap) = tap.as_ref() {
+            let rec = self.rec();
+            if rec.enabled() {
+                tap.publish(rec);
+            }
+        }
+        let report = self.finish(st, &engine, plan.as_ref(), workload);
+        Ok((report, tap.map(|t| t.stats())))
+    }
+
+    /// Closes the observe → detect → re-identify → hot-swap loop: the
+    /// health monitor watches the run as in [`Experiment::run_monitored`],
+    /// and on a `PhaseChange` verdict the runtime re-identifies the plant
+    /// from the tap's retained history ([`fit_arx`] over the last ≤ 128 s
+    /// of normalized records), installs the refit model as the tap's new
+    /// residual reference, and hot-swaps the serving controllers for a
+    /// fresh instantiation of the experiment's scheme through the
+    /// [`ModeAutomaton`]'s request→commit protocol — the same seam
+    /// [`Experiment::run_supervised_with_swap`] uses, so every swap is
+    /// audited for actuation gaps and dual writers.
+    ///
+    /// With [`AdaptiveOptions::initial`] set, the run *starts* on that
+    /// scheme and each swap installs the experiment's own scheme — the
+    /// adapt-under-phase-change deployment story: a conservative
+    /// controller serves until the detectors prove the plant moved, then
+    /// the full synthesis takes over.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`Error::NoSolution`] on an invalid [`HealthConfig`] or
+    /// supervisor configuration; propagates controller-instantiation
+    /// failures.
+    pub fn run_adaptive(&self, workload: &Workload, opts: AdaptiveOptions) -> Result<AdaptiveRun> {
+        opts.sup_cfg.validate()?;
+        let mut tap = self.build_tap(opts.health)?;
+        let start_scheme = opts.initial.unwrap_or(self.scheme);
+        let controllers = start_scheme.instantiate(&self.design, self.options.limits)?;
+        let mut engine = Engine::Supervised(Box::new(Supervisor::new(controllers, opts.sup_cfg)));
+        let mut st = self.init_state(workload, opts.plan.as_ref(), None);
+        let mut cycles: Vec<SwapCycle> = Vec::new();
+        let mut pending_detect: Option<u64> = None;
+        while !st.done {
+            if let Some(detect_step) = pending_detect.take() {
+                if (cycles.len() as u32) < opts.max_swaps {
+                    let cycle = self.adapt_swap(&mut st, &mut engine, &mut tap, detect_step)?;
+                    cycles.push(cycle);
+                }
+            }
+            if let Some(record) = self.step_invocation(&mut st, &mut engine, false)? {
+                let verdict = tap.observe(&record);
+                let rec = self.rec();
+                if rec.enabled() {
+                    emit_verdict(rec, record.step, verdict);
+                }
+                if let HealthVerdict::PhaseChange { .. } = verdict {
+                    pending_detect = Some(record.step);
+                }
+            }
+        }
+        let rec = self.rec();
+        if rec.enabled() {
+            tap.publish(rec);
+        }
+        let invariant_violations = engine.violations();
+        let report = self.finish(st, &engine, opts.plan.as_ref(), workload);
+        Ok(AdaptiveRun {
+            report,
+            health: tap.stats(),
+            cycles,
+            invariant_violations,
+        })
+    }
+
+    /// One adaptive cycle: refit the plant from the tap's history, swap in
+    /// a fresh instantiation of the experiment's scheme, and re-arm the
+    /// detectors against the refit model.
+    fn adapt_swap(
+        &self,
+        st: &mut RunState,
+        engine: &mut Engine,
+        tap: &mut HealthTap,
+        detect_step: u64,
+    ) -> Result<SwapCycle> {
+        // Re-identify from the retained window. The orders mirror the
+        // design pipeline's; ridge regularization keeps the regression
+        // posed on closed-loop data (inputs correlate with outputs).
+        let refit_cfg = yukta_control::sysid::SysIdConfig {
+            na: 2,
+            nb: 2,
+            nc: 0,
+            plr_iters: 0,
+            ridge: 1e-4,
+        };
+        let (u, y) = tap.history();
+        let refit = fit_arx(u, y, refit_cfg)
+            .and_then(|m| validation_residual(u, y, &m).map(|r| (m, r)))
+            .ok();
+        let fit_residual = refit.as_ref().map_or(-1.0, |(_, r)| *r);
+        let rec = self.rec();
+        if rec.enabled() {
+            rec.event(
+                "health.refit",
+                &[
+                    ("step", Value::U64(st.step)),
+                    ("fit_residual", Value::F64(fit_residual)),
+                ],
+            );
+        }
+        engine.request_swap();
+        let replacement = self.scheme.instantiate(&self.design, self.options.limits)?;
+        let bumpless = engine.swap_primary(replacement);
+        st.swapped = true;
+        if rec.enabled() {
+            rec.event(
+                "runtime.resynth",
+                &[
+                    ("step", Value::U64(st.step)),
+                    ("bumpless", Value::Bool(bumpless)),
+                ],
+            );
+        }
+        tap.rearm_after_swap(refit.map(|(m, _)| m.sys));
+        Ok(SwapCycle {
+            detect_step,
+            swap_step: st.step,
+            fit_residual,
+            bumpless,
+        })
+    }
+
+    /// Builds the run's health tap, mapping config errors to the
+    /// workspace's typed error (the dynamic detail is available from
+    /// [`HealthConfig::validate`] directly).
+    fn build_tap(&self, health: HealthConfig) -> Result<HealthTap> {
+        HealthTap::new(&self.design, health).map_err(|_| Error::NoSolution {
+            op: "health_config",
+            why: "invalid health configuration (see HealthConfig::validate)",
+        })
     }
 
     /// Instantiates the engine for this experiment: the scheme's
@@ -2147,5 +2414,135 @@ mod tests {
                 "{err:?}"
             );
         }
+    }
+
+    /// A workload with one hard mid-run phase change: a compute-bound
+    /// 8-thread phase, then a memory-bound 2-thread phase with very
+    /// different IPC — the plant the deployed model was identified against
+    /// effectively changes underneath the controller.
+    fn phase_change_workload() -> Workload {
+        use yukta_workloads::{App, PhaseSpec, Suite};
+        Workload::single(App {
+            name: "phase-change".into(),
+            suite: Suite::Parsec,
+            slots: 8,
+            phases: vec![
+                PhaseSpec {
+                    name: "compute".into(),
+                    threads: 8,
+                    work_gi: 220.0,
+                    mem_intensity: 0.05,
+                    ipc_big: 1.10,
+                    ipc_little: 1.00,
+                },
+                PhaseSpec {
+                    name: "memory".into(),
+                    threads: 2,
+                    work_gi: 60.0,
+                    mem_intensity: 0.90,
+                    ipc_big: 0.45,
+                    ipc_little: 0.40,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn monitored_run_is_bit_identical_to_supervised() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let base = exp
+            .run_supervised(&wl, SupervisorConfig::default(), None)
+            .unwrap();
+        let (monitored, stats) = exp
+            .run_monitored(
+                &wl,
+                SupervisorConfig::default(),
+                None,
+                HealthConfig::default(),
+            )
+            .unwrap();
+        assert!(
+            monitored.bit_identical(&base),
+            "health monitoring perturbed the run"
+        );
+        assert_eq!(stats.samples, monitored.trace.samples.len() as u64);
+        assert!(stats.residual_mean.is_finite());
+    }
+
+    #[test]
+    fn invalid_health_config_is_rejected_with_typed_error() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let err = exp
+            .run_monitored(
+                &wl,
+                SupervisorConfig::default(),
+                None,
+                HealthConfig {
+                    warmup: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::NoSolution {
+                    op: "health_config",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_run_completes_a_detect_refit_swap_cycle() {
+        let wl = phase_change_workload();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let run = exp
+            .run_adaptive(
+                &wl,
+                AdaptiveOptions {
+                    initial: Some(Scheme::DecoupledHeuristic),
+                    max_swaps: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(run.report.metrics.completed, "adaptive run timed out");
+        assert_eq!(run.invariant_violations, 0, "swap violated the automaton");
+        assert_eq!(
+            run.cycles.len(),
+            1,
+            "expected one detect→swap cycle, alarms = {}",
+            run.health.alarms
+        );
+        let cycle = run.cycles[0];
+        assert_eq!(cycle.swap_step, cycle.detect_step + 1);
+        assert!(run.health.alarms >= 1);
+    }
+
+    #[test]
+    fn adaptive_run_on_stationary_workload_never_swaps() {
+        let wl = catalog::spec::mcf();
+        let exp = Experiment::new(Scheme::CoordinatedHeuristic)
+            .unwrap()
+            .with_options(quick_options());
+        let run = exp.run_adaptive(&wl, AdaptiveOptions::default()).unwrap();
+        assert!(run.report.metrics.completed);
+        assert!(
+            run.cycles.is_empty(),
+            "false-positive swap at step {:?}",
+            run.cycles.first().map(|c| c.detect_step)
+        );
+        assert_eq!(run.invariant_violations, 0);
     }
 }

@@ -22,6 +22,80 @@
 use crate::json::{self, Json};
 use crate::mem::{Entry, OwnedValue, Snapshot};
 
+/// Current JSONL schema version, stamped into every export's header
+/// record. Version 1 introduced the header itself; headerless ("v0")
+/// streams are rejected by [`validate_jsonl_meta`].
+pub const JSONL_SCHEMA_VERSION: u64 = 1;
+
+/// Run metadata stamped as the first record of every JSONL export:
+/// `{"type":"meta","name":"run","schema_version":1,"seed":…,"scheme":"…","quick":…}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Wire schema version ([`JSONL_SCHEMA_VERSION`] for fresh exports).
+    pub schema_version: u64,
+    /// Experiment seed the run was keyed on (0 when not seed-driven).
+    pub seed: u64,
+    /// Scheme label or producing binary name.
+    pub scheme: String,
+    /// Whether the run was a `--quick` smoke pass.
+    pub quick: bool,
+}
+
+impl RunMeta {
+    /// Metadata for a fresh export at the current schema version.
+    pub fn new(seed: u64, scheme: &str, quick: bool) -> Self {
+        Self {
+            schema_version: JSONL_SCHEMA_VERSION,
+            seed,
+            scheme: scheme.to_string(),
+            quick,
+        }
+    }
+
+    /// The header's JSONL line (no trailing newline).
+    pub fn to_jsonl_line(&self) -> String {
+        format!(
+            "{{\"type\":\"meta\",\"name\":\"run\",\"schema_version\":{},\"seed\":{},\"scheme\":\"{}\",\"quick\":{}}}",
+            self.schema_version,
+            self.seed,
+            escape(&self.scheme),
+            self.quick
+        )
+    }
+}
+
+/// Typed header-validation error from [`validate_jsonl_meta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// The stream has no `meta` header record — a pre-versioning ("v0")
+    /// export.
+    MissingHeader,
+    /// The header's schema version is not one this reader supports.
+    UnsupportedSchema { found: u64, supported: u64 },
+    /// The header record is present but malformed, or the body failed
+    /// validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingHeader => write!(
+                f,
+                "missing run-metadata header (v0 stream): line 1 must be a \
+                 {{\"type\":\"meta\",\"name\":\"run\",…}} record"
+            ),
+            Self::UnsupportedSchema { found, supported } => write!(
+                f,
+                "unsupported schema_version {found} (this reader supports {supported})"
+            ),
+            Self::Invalid(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
 /// Formats an f64 as a strict JSON token. JSON has no NaN/Infinity, so
 /// non-finite values become `null` (consumers treat them as absent).
 fn fmt_f64(v: f64) -> String {
@@ -91,8 +165,19 @@ fn jsonl_entry(e: &Entry) -> String {
     line
 }
 
-/// Renders a snapshot as a JSONL event log (trailing newline included when
-/// non-empty).
+/// Renders a snapshot as a JSONL event log headed by the run-metadata
+/// record — the production export format ([`validate_jsonl_meta`]
+/// requires the header).
+pub fn to_jsonl_with_meta(snap: &Snapshot, meta: &RunMeta) -> String {
+    let mut out = meta.to_jsonl_line();
+    out.push('\n');
+    out.push_str(&to_jsonl(snap));
+    out
+}
+
+/// Renders a snapshot's body as a JSONL event log (trailing newline
+/// included when non-empty). No metadata header is attached; production
+/// exports go through [`to_jsonl_with_meta`].
 pub fn to_jsonl(snap: &Snapshot) -> String {
     let mut out = String::new();
     for e in &snap.entries {
@@ -213,6 +298,16 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
             return Err(format!("line {n}: missing \"name\""));
         }
         match ty {
+            "meta" => {
+                if n != 1 {
+                    return Err(format!(
+                        "line {n}: meta record only allowed as the first line"
+                    ));
+                }
+                if v.get("schema_version").and_then(Json::as_f64).is_none() {
+                    return Err(format!("line {n}: meta missing numeric \"schema_version\""));
+                }
+            }
             "span" | "event" => {
                 if aggregates_started {
                     return Err(format!("line {n}: span/event after aggregate section"));
@@ -266,6 +361,54 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
         }
     }
     Ok(stats)
+}
+
+/// Validates a JSONL telemetry log *and* its run-metadata header: the
+/// first line must be a `meta` record at a supported schema version
+/// carrying `seed`, `scheme`, and `quick`. Headerless v0 streams are
+/// rejected with [`MetaError::MissingHeader`]. On success returns the
+/// parsed header alongside the body statistics.
+pub fn validate_jsonl_meta(text: &str) -> Result<(RunMeta, JsonlStats), MetaError> {
+    let first = text.lines().next().ok_or(MetaError::MissingHeader)?;
+    let v = json::parse(first).map_err(|e| MetaError::Invalid(format!("line 1: {e}")))?;
+    if v.get("type").and_then(Json::as_str) != Some("meta") {
+        return Err(MetaError::MissingHeader);
+    }
+    let schema_version = v
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| MetaError::Invalid("meta missing numeric \"schema_version\"".into()))?
+        as u64;
+    if schema_version != JSONL_SCHEMA_VERSION {
+        return Err(MetaError::UnsupportedSchema {
+            found: schema_version,
+            supported: JSONL_SCHEMA_VERSION,
+        });
+    }
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| MetaError::Invalid("meta missing numeric \"seed\"".into()))?
+        as u64;
+    let scheme = v
+        .get("scheme")
+        .and_then(Json::as_str)
+        .ok_or_else(|| MetaError::Invalid("meta missing string \"scheme\"".into()))?
+        .to_string();
+    let quick = v
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| MetaError::Invalid("meta missing boolean \"quick\"".into()))?;
+    let stats = validate_jsonl(text).map_err(MetaError::Invalid)?;
+    Ok((
+        RunMeta {
+            schema_version,
+            seed,
+            scheme,
+            quick,
+        },
+        stats,
+    ))
 }
 
 /// Summary of a validated Chrome trace.
@@ -390,6 +533,60 @@ mod tests {
             "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":5.0,\"dur\":1},{\"name\":\"y\",\"ph\":\"i\",\"ts\":1.0}]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn meta_export_roundtrips_and_validates() {
+        let meta = RunMeta::new(0x5EED, "yukta_hw_ssv+os_ssv", true);
+        let text = to_jsonl_with_meta(&sample(), &meta);
+        // The plain validator accepts a leading header…
+        validate_jsonl(&text).unwrap();
+        // …and the meta validator parses it back exactly.
+        let (parsed, stats) = validate_jsonl_meta(&text).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.hists, 1);
+    }
+
+    #[test]
+    fn meta_validator_rejects_v0_streams_with_typed_error() {
+        let v0 = to_jsonl(&sample());
+        assert_eq!(validate_jsonl_meta(&v0), Err(MetaError::MissingHeader));
+        assert_eq!(validate_jsonl_meta(""), Err(MetaError::MissingHeader));
+        let msg = MetaError::MissingHeader.to_string();
+        assert!(msg.contains("v0"), "{msg}");
+    }
+
+    #[test]
+    fn meta_validator_rejects_future_schema_and_malformed_headers() {
+        let body = to_jsonl(&sample());
+        let future = format!(
+            "{{\"type\":\"meta\",\"name\":\"run\",\"schema_version\":2,\"seed\":1,\"scheme\":\"x\",\"quick\":false}}\n{body}"
+        );
+        assert_eq!(
+            validate_jsonl_meta(&future),
+            Err(MetaError::UnsupportedSchema {
+                found: 2,
+                supported: JSONL_SCHEMA_VERSION
+            })
+        );
+        let incomplete = format!(
+            "{{\"type\":\"meta\",\"name\":\"run\",\"schema_version\":1,\"seed\":1}}\n{body}"
+        );
+        assert!(matches!(
+            validate_jsonl_meta(&incomplete),
+            Err(MetaError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn meta_record_rejected_mid_stream() {
+        let meta = RunMeta::new(1, "x", false);
+        let mut text = to_jsonl(&sample());
+        text.push_str(&meta.to_jsonl_line());
+        text.push('\n');
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("first line"), "{err}");
     }
 
     #[test]

@@ -130,6 +130,46 @@ impl FixedHistogram {
         None
     }
 
+    /// Clears every recorded observation while keeping the bucket bounds —
+    /// the window-rotation primitive for streaming use. A reset histogram
+    /// is indistinguishable from a freshly constructed one.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
+    /// Merges `other` into `self`. Both histograms must have bitwise
+    /// identical bucket bounds; merging is exact (bucket counts, totals,
+    /// and min/max combine losslessly), so a merge of rotated windows
+    /// equals the histogram of the concatenated stream.
+    pub fn merge(&mut self, other: &FixedHistogram) -> Result<(), String> {
+        if self.bounds.len() != other.bounds.len()
+            || self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Err(format!(
+                "bucket bounds mismatch: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // min/max are +inf/-inf sentinels when empty, so plain min/max
+        // combine correctly for any mix of empty and populated sides.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+
     /// Bucket upper bounds (the overflow bucket is implicit).
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
@@ -268,6 +308,122 @@ mod tests {
         }
         assert_eq!(h.quantile(1.0), Some(42.0));
         assert_eq!(h.quantile(0.99), Some(42.0));
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let bounds = [1.0, 10.0, 100.0];
+        let mut h = FixedHistogram::new(&bounds);
+        for v in [0.5, 5.0, 50.0, 500.0, f64::NAN] {
+            h.record(v);
+        }
+        h.reset();
+        let fresh = FixedHistogram::new(&bounds);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.counts(), fresh.counts());
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        // A reset histogram records exactly like a fresh one.
+        h.record(7.0);
+        let mut f2 = FixedHistogram::new(&bounds);
+        f2.record(7.0);
+        assert_eq!(h.counts(), f2.counts());
+        assert_eq!(h.min(), f2.min());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let bounds = [2.0, 8.0, 32.0];
+        let stream = [0.1, 3.0, 9.0, 31.0, 100.0, 7.0, 2.0, 0.5];
+        let mut whole = FixedHistogram::new(&bounds);
+        for &v in &stream {
+            whole.record(v);
+        }
+        // Same stream split across two windows, merged.
+        let mut a = FixedHistogram::new(&bounds);
+        let mut b = FixedHistogram::new(&bounds);
+        for &v in &stream[..3] {
+            a.record(v);
+        }
+        for &v in &stream[3..] {
+            b.record(v);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), whole.counts());
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.quantile(0.95), whole.quantile(0.95));
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        let bounds = [1.0, 2.0];
+        let mut a = FixedHistogram::new(&bounds);
+        a.record(1.5);
+        let empty = FixedHistogram::new(&bounds);
+        a.merge(&empty).unwrap();
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Some(1.5));
+        let mut e2 = FixedHistogram::new(&bounds);
+        e2.merge(&a).unwrap();
+        assert_eq!(e2.counts(), a.counts());
+        assert_eq!(e2.max(), Some(1.5));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = FixedHistogram::new(&[1.0, 2.0]);
+        let b = FixedHistogram::new(&[1.0, 3.0]);
+        assert!(a.merge(&b).is_err());
+        let c = FixedHistogram::new(&[1.0]);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn quantile_accuracy_survives_many_rotations() {
+        // Stream through 64 window rotations, merging each retired window
+        // into a lifetime histogram; lifetime quantiles must match a
+        // single never-reset histogram exactly, and stay within the
+        // documented bucket error bound of the true order statistic.
+        let bounds = [1.0, 4.0, 16.0, 64.0, 256.0];
+        let mut window = FixedHistogram::new(&bounds);
+        let mut lifetime = FixedHistogram::new(&bounds);
+        let mut reference = FixedHistogram::new(&bounds);
+        let mut values = Vec::new();
+        let mut state = 0xDEAD_BEEFu64;
+        for rotation in 0..64 {
+            for _ in 0..32 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((state >> 11) % 40_000) as f64 / 100.0;
+                window.record(v);
+                reference.record(v);
+                values.push(v);
+            }
+            lifetime.merge(&window).unwrap();
+            window.reset();
+            let _ = rotation;
+        }
+        assert_eq!(lifetime.counts(), reference.counts());
+        assert_eq!(lifetime.count(), reference.count());
+        assert_eq!(lifetime.min(), reference.min());
+        assert_eq!(lifetime.max(), reference.max());
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&values, q);
+            let est = lifetime.quantile(q).unwrap();
+            let tol = error_bound(&lifetime, exact).max(1e-12);
+            assert!(
+                (est - exact).abs() <= tol,
+                "q={q}: estimate {est} vs exact {exact}, bound {tol}"
+            );
+            assert_eq!(lifetime.quantile(q), reference.quantile(q));
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!    `third_party/` vendored-stub policy.
 
 pub mod export;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod mem;

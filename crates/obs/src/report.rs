@@ -26,9 +26,12 @@ impl PhaseRow {
     }
 }
 
-/// Everything `obs_report` prints, parsed out of one JSONL log.
+/// Everything `obs_report` prints, parsed out of one JSONL log (or
+/// several, via [`RunSummary::merge`]).
 #[derive(Debug, Clone, Default)]
 pub struct RunSummary {
+    /// Rendered run-metadata headers, one per aggregated log.
+    pub metas: Vec<String>,
     /// Span phases sorted by total time, descending.
     pub phases: Vec<PhaseRow>,
     /// Event names with occurrence counts, sorted by count descending.
@@ -38,7 +41,8 @@ pub struct RunSummary {
     /// Histogram name → (count, sum, min, max); `None` bounds collapse to
     /// NaN-free options.
     pub hists: Vec<(String, HistSummary)>,
-    /// Wall window covered by spans/events, in nanoseconds.
+    /// Wall window covered by spans/events, in nanoseconds. Merged
+    /// summaries add windows (runs are sequential).
     pub wall_ns: f64,
 }
 
@@ -65,6 +69,21 @@ pub fn summarize(text: &str) -> Result<RunSummary, String> {
         let ty = v.get("type").and_then(Json::as_str).unwrap_or("");
         let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
         match ty {
+            "meta" => {
+                let ver = v
+                    .get("schema_version")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let seed = v.get("seed").and_then(Json::as_f64).unwrap_or(0.0);
+                let scheme = v.get("scheme").and_then(Json::as_str).unwrap_or("?");
+                let quick = match v.get("quick") {
+                    Some(Json::Bool(true)) => "quick",
+                    _ => "full",
+                };
+                sum.metas.push(format!(
+                    "schema v{ver:.0}, seed {seed:.0}, scheme {scheme}, {quick}"
+                ));
+            }
             "span" => {
                 let ts = v.get("ts_ns").and_then(Json::as_f64).unwrap_or(0.0);
                 let dur = v.get("dur_ns").and_then(Json::as_f64).unwrap_or(0.0);
@@ -129,6 +148,163 @@ pub fn summarize(text: &str) -> Result<RunSummary, String> {
     });
     sum.events.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     Ok(sum)
+}
+
+impl RunSummary {
+    /// Folds another log's summary into this one, so several JSONL inputs
+    /// (fig-family runs, campaign cells) render as a single aggregate:
+    /// phase/event counts and totals add, counters add, gauges keep the
+    /// most recent value, histogram aggregates combine losslessly, and
+    /// wall windows add (runs are sequential, not concurrent).
+    pub fn merge(&mut self, other: RunSummary) {
+        self.metas.extend(other.metas);
+        for p in other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.count += p.count;
+                    q.total_ns += p.total_ns;
+                    q.max_ns = q.max_ns.max(p.max_ns);
+                }
+                None => self.phases.push(p),
+            }
+        }
+        for (name, c) in other.events {
+            match self.events.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => *mine += c,
+                None => self.events.push((name, c)),
+            }
+        }
+        for (name, total) in other.counters {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => *mine += total,
+                None => self.counters.push((name, total)),
+            }
+        }
+        for (name, value) in other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => *mine = value,
+                None => self.gauges.push((name, value)),
+            }
+        }
+        for (name, h) in other.hists {
+            match self.hists.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => {
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = match (mine.min, h.min) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    mine.max = match (mine.max, h.max) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+                None => self.hists.push((name, h)),
+            }
+        }
+        self.wall_ns += other.wall_ns;
+        if self.wall_ns > 0.0 {
+            for p in &mut self.phases {
+                p.wall_share = p.total_ns / self.wall_ns;
+            }
+        }
+        self.phases.sort_by(|a, b| {
+            b.total_ns
+                .partial_cmp(&a.total_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.events
+            .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    }
+}
+
+/// One entry of the loop-health timeline (`obs_report --phases health`):
+/// a non-healthy verdict, an online refit, or a hot-swap, in step order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRow {
+    /// Controller invocation index the entry refers to.
+    pub step: u64,
+    /// Entry kind: `drifting`, `phase_change`, `refit`, or `resynth`.
+    pub kind: String,
+    /// Detail: drift score, refit residual, or 1/0 bumpless flag.
+    pub detail: f64,
+}
+
+/// Extracts the loop-health timeline from a JSONL telemetry log: the
+/// `health.verdict` events the runtime emits for non-healthy verdicts,
+/// `health.refit` re-identification events, and `runtime.resynth`
+/// hot-swap events. A health event without a `step` field is an error
+/// (the emitter always attaches one).
+pub fn health_breakdown(text: &str) -> Result<Vec<HealthRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(Json::as_str) != Some("event") {
+            continue;
+        }
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("");
+        if !matches!(name, "health.verdict" | "health.refit" | "runtime.resynth") {
+            continue;
+        }
+        let fields = v.get("fields");
+        let field = |key: &str| fields.and_then(|f| f.get(key)).and_then(Json::as_f64);
+        let step = field("step")
+            .ok_or_else(|| format!("line {}: {name:?} event without step field", i + 1))?
+            as u64;
+        let (kind, detail) = match name {
+            "health.verdict" => {
+                let kind = fields
+                    .and_then(|f| f.get("verdict"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                (kind, field("score").unwrap_or(0.0))
+            }
+            "health.refit" => ("refit".to_string(), field("fit_residual").unwrap_or(0.0)),
+            _ => {
+                let bumpless = fields
+                    .and_then(|f| f.get("bumpless"))
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                ("resynth".to_string(), if bumpless { 1.0 } else { 0.0 })
+            }
+        };
+        rows.push(HealthRow { step, kind, detail });
+    }
+    rows.sort_by_key(|r| r.step);
+    Ok(rows)
+}
+
+/// Renders the health timeline plus the `health.*` aggregate gauges as an
+/// aligned text section.
+pub fn render_health(rows: &[HealthRow], sum: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<8} {:<14} {:>12}\n", "step", "entry", "detail"));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<14} {:>12.4}\n",
+            r.step, r.kind, r.detail
+        ));
+    }
+    if rows.is_empty() {
+        out.push_str("(no health timeline events)\n");
+    }
+    let health_gauges: Vec<_> = sum
+        .gauges
+        .iter()
+        .filter(|(n, _)| n.starts_with("health."))
+        .collect();
+    if !health_gauges.is_empty() {
+        out.push_str(&format!("\n{:<28} {:>12}\n", "health gauge", "value"));
+        for (name, value) in health_gauges {
+            out.push_str(&format!("{name:<28} {value:>12.4}\n"));
+        }
+    }
+    out
 }
 
 /// Wall-time breakdown of one D–K iteration, aggregated from the
@@ -245,6 +421,9 @@ fn fmt_ns(ns: f64) -> String {
 /// Renders the per-phase breakdown as an aligned text table.
 pub fn render(sum: &RunSummary) -> String {
     let mut out = String::new();
+    for meta in &sum.metas {
+        out.push_str(&format!("run: {meta}\n"));
+    }
     out.push_str(&format!(
         "wall window: {} across {} span phase(s), {} event name(s)\n\n",
         fmt_ns(sum.wall_ns),
@@ -374,6 +553,99 @@ mod tests {
         let text = render_dk(&rows);
         assert!(text.contains("gamma_bisect"));
         assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn summarize_parses_meta_header() {
+        let rec = MemRecorder::manual();
+        rec.counter_add("c", 1);
+        let meta = crate::export::RunMeta::new(42, "yukta_hw_ssv+os_heur", true);
+        let text = crate::export::to_jsonl_with_meta(&rec.snapshot(), &meta);
+        let sum = summarize(&text).unwrap();
+        assert_eq!(sum.metas.len(), 1);
+        assert!(sum.metas[0].contains("seed 42"), "{}", sum.metas[0]);
+        assert!(render(&sum).contains("run: schema v1"));
+    }
+
+    #[test]
+    fn merge_aggregates_two_logs() {
+        let make = |spans: u64, counter: f64, gauge: f64| {
+            let rec = MemRecorder::manual();
+            for _ in 0..spans {
+                let s = span(&rec, "runtime.invoke");
+                rec.advance_ns(100);
+                s.end_with(&[]);
+            }
+            rec.counter_add("steps", counter as u64);
+            rec.gauge_set("ema", gauge);
+            rec.hist_record("lat", 10.0 * gauge);
+            summarize(&to_jsonl(&rec.snapshot())).unwrap()
+        };
+        let mut a = make(2, 3.0, 1.0);
+        let b = make(3, 4.0, 2.0);
+        let wall = a.wall_ns + b.wall_ns;
+        a.merge(b);
+        assert_eq!(a.phases.len(), 1);
+        assert_eq!(a.phases[0].count, 5);
+        assert_eq!(a.phases[0].total_ns, 500.0);
+        assert_eq!(a.counters, vec![("steps".to_string(), 7.0)]);
+        assert_eq!(a.gauges, vec![("ema".to_string(), 2.0)]); // last wins
+        assert_eq!(a.wall_ns, wall);
+        let (_, h) = &a.hists[0];
+        assert_eq!(h.count, 2.0);
+        assert_eq!(h.sum, 30.0);
+        assert_eq!(h.min, Some(10.0));
+        assert_eq!(h.max, Some(20.0));
+    }
+
+    #[test]
+    fn health_breakdown_builds_step_ordered_timeline() {
+        let rec = MemRecorder::manual();
+        rec.event(
+            "health.verdict",
+            &[
+                ("step", Value::U64(40)),
+                ("verdict", Value::Str("phase_change")),
+                ("score", Value::F64(1.0)),
+            ],
+        );
+        rec.event(
+            "health.refit",
+            &[("step", Value::U64(41)), ("fit_residual", Value::F64(0.12))],
+        );
+        rec.event(
+            "runtime.resynth",
+            &[("step", Value::U64(42)), ("bumpless", Value::Bool(true))],
+        );
+        rec.event(
+            "health.verdict",
+            &[
+                ("step", Value::U64(30)),
+                ("verdict", Value::Str("drifting")),
+                ("score", Value::F64(0.7)),
+            ],
+        );
+        rec.event("board.fault", &[]); // ignored
+        rec.gauge_set("health.margin_recent", 0.9);
+        let text = to_jsonl(&rec.snapshot());
+        let rows = health_breakdown(&text).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].step, 30);
+        assert_eq!(rows[0].kind, "drifting");
+        assert_eq!(rows[3].kind, "resynth");
+        assert_eq!(rows[3].detail, 1.0);
+        let sum = summarize(&text).unwrap();
+        let rendered = render_health(&rows, &sum);
+        assert!(rendered.contains("phase_change"));
+        assert!(rendered.contains("health.margin_recent"));
+    }
+
+    #[test]
+    fn health_breakdown_rejects_event_without_step() {
+        let rec = MemRecorder::manual();
+        rec.event("health.verdict", &[("verdict", Value::Str("drifting"))]);
+        let err = health_breakdown(&to_jsonl(&rec.snapshot())).unwrap_err();
+        assert!(err.contains("without step field"), "{err}");
     }
 
     #[test]

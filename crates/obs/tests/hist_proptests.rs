@@ -1,0 +1,77 @@
+//! Property-based tests for streaming histogram use: arbitrary streams
+//! split into arbitrary windows, rotated and merged, must reproduce the
+//! single run-lifetime histogram.
+
+use proptest::prelude::*;
+use yukta_obs::hist::FixedHistogram;
+
+const BOUNDS: [f64; 6] = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a stream into windows of arbitrary length, rotating each
+    /// retired window into a merged histogram, matches recording the whole
+    /// stream into one histogram: identical bucket counts and aggregates,
+    /// and quantiles within one bucket's resolution (here: bitwise equal,
+    /// since the merge is exact).
+    #[test]
+    fn merged_windows_match_lifetime_histogram(
+        values in prop::collection::vec(0.01f64..4000.0, 1..400),
+        window in 1usize..40,
+    ) {
+        let mut lifetime = FixedHistogram::new(&BOUNDS);
+        let mut merged = FixedHistogram::new(&BOUNDS);
+        let mut win = FixedHistogram::new(&BOUNDS);
+        let mut fill = 0usize;
+        for &v in &values {
+            lifetime.record(v);
+            win.record(v);
+            fill += 1;
+            if fill == window {
+                merged.merge(&win).unwrap();
+                win.reset();
+                fill = 0;
+            }
+        }
+        merged.merge(&win).unwrap(); // partial final window
+        prop_assert_eq!(merged.counts(), lifetime.counts());
+        prop_assert_eq!(merged.count(), lifetime.count());
+        prop_assert_eq!(merged.min(), lifetime.min());
+        prop_assert_eq!(merged.max(), lifetime.max());
+        prop_assert!((merged.sum() - lifetime.sum()).abs() <= 1e-9 * lifetime.sum().abs().max(1.0));
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            // Sums can differ by float association order, so quantiles are
+            // compared within bucket resolution: both estimates must land
+            // in the same bucket as each other.
+            let a = merged.quantile(q).unwrap();
+            let b = lifetime.quantile(q).unwrap();
+            let bucket = |x: f64| BOUNDS.iter().position(|&bd| x <= bd).unwrap_or(BOUNDS.len());
+            prop_assert_eq!(bucket(a), bucket(b), "q={}: {} vs {}", q, a, b);
+        }
+    }
+
+    /// Reset behaves like a fresh histogram for any prior stream.
+    #[test]
+    fn reset_is_equivalent_to_fresh(
+        before in prop::collection::vec(0.01f64..4000.0, 0..100),
+        after in prop::collection::vec(0.01f64..4000.0, 1..100),
+    ) {
+        let mut reused = FixedHistogram::new(&BOUNDS);
+        for &v in &before {
+            reused.record(v);
+        }
+        reused.reset();
+        let mut fresh = FixedHistogram::new(&BOUNDS);
+        for &v in &after {
+            reused.record(v);
+            fresh.record(v);
+        }
+        prop_assert_eq!(reused.counts(), fresh.counts());
+        prop_assert_eq!(reused.count(), fresh.count());
+        prop_assert_eq!(reused.min(), fresh.min());
+        prop_assert_eq!(reused.max(), fresh.max());
+        prop_assert_eq!(reused.sum(), fresh.sum());
+        prop_assert_eq!(reused.quantile(0.95), fresh.quantile(0.95));
+    }
+}
